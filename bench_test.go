@@ -1,0 +1,451 @@
+package repro
+
+// One benchmark per paper table/figure (DESIGN.md §4) plus ablation
+// benches for the design choices of DESIGN.md §5. Each benchmark prints
+// the paper-style rows once (so `go test -bench=.` regenerates the
+// evaluation) and then times the underlying computation.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/memmap"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/rowhammer"
+)
+
+var benchPreset = experiments.Tiny()
+
+// printOnce guards per-benchmark table output so -benchtime reruns do not
+// spam the log.
+var printOnce sync.Map
+
+func once(b *testing.B, key, out string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		b.Logf("\n%s", out)
+	}
+}
+
+// --- Fig. 1 -------------------------------------------------------------------
+
+func BenchmarkFig1aTargetedVsRandom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1a(benchPreset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig1a", experiments.FormatFig1a(r))
+	}
+}
+
+func BenchmarkFig1bThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig1b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig1b", experiments.FormatFig1b(rows))
+	}
+}
+
+// --- §IV.D Monte-Carlo ---------------------------------------------------------
+
+func BenchmarkMonteCarloSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MonteCarlo(benchPreset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "mc", experiments.FormatMonteCarlo(rows))
+	}
+}
+
+func BenchmarkMonteCarloSingleTrial(b *testing.B) {
+	p := circuit.Default45nm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := circuit.MonteCarlo(p, 0.2, 100, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table I -------------------------------------------------------------------
+
+func BenchmarkTable1Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports := experiments.Table1()
+		once(b, "table1", experiments.FormatTable1(reports))
+	}
+}
+
+// --- Fig. 7 -------------------------------------------------------------------
+
+func BenchmarkFig7aLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig7aData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig7a", experiments.FormatFig7a(curves))
+	}
+}
+
+func BenchmarkFig7bDefenseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.Fig7bData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig7b", experiments.FormatFig7b(bars))
+	}
+}
+
+// --- Fig. 8 -------------------------------------------------------------------
+
+func BenchmarkFig8aResNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchPreset, experiments.ArchResNet20, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig8a", experiments.FormatFig8(r))
+	}
+}
+
+func BenchmarkFig8bVGG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchPreset, experiments.ArchVGG11, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig8b", experiments.FormatFig8(r))
+	}
+}
+
+func BenchmarkFig8PTA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8PTA(benchPreset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "fig8pta", experiments.FormatFig8PTA(r))
+	}
+}
+
+// --- Table II -----------------------------------------------------------------
+
+func BenchmarkTable2Defenses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchPreset, experiments.DefaultTable2Config(benchPreset))
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "table2", experiments.FormatTable2(rows))
+	}
+}
+
+// --- Workload overhead ----------------------------------------------------------
+
+func BenchmarkPerfUnderAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Perf(benchPreset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "perf", experiments.FormatPerf(r))
+	}
+}
+
+// --- Micro-benchmarks of the hot primitives -------------------------------------
+
+func newBenchSystem(b *testing.B) *core.System {
+	b.Helper()
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkLockTableLookup(b *testing.B) {
+	sys := newBenchSystem(b)
+	for r := 1; r < 30; r += 2 {
+		sys.ProtectRow(dram.RowAddr{Bank: 0, Row: r})
+	}
+	tab := sys.Table()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.IsLocked(dram.RowAddr{Bank: 0, Row: i % 60})
+	}
+}
+
+func BenchmarkSwapOperation(b *testing.B) {
+	sys := newBenchSystem(b)
+	ctl := sys.Controller()
+	row := dram.RowAddr{Bank: 0, Row: 5}
+	phys, err := ctl.Mapper().Untranslate(row, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl.Write(phys, []byte{1})
+	ctl.LockRow(row)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ctl.Read(phys, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammerAttemptDenied(b *testing.B) {
+	sys := newBenchSystem(b)
+	row := dram.RowAddr{Bank: 0, Row: 5}
+	sys.ProtectRow(row)
+	ctl := sys.Controller()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ctl.HammerAttempt(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowHammerActivationTracking(b *testing.B) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rowhammer.DefaultConfig()
+	cfg.TRH = 1 << 30 // never cross, measure tracking cost only
+	if _, err := rowhammer.New(dev, cfg); err != nil {
+		b.Fatal(err)
+	}
+	row := dram.RowAddr{Bank: 0, Row: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Activate(row)
+		dev.Precharge(row.Bank)
+	}
+}
+
+func BenchmarkQuantizedInferenceResNet20(b *testing.B) {
+	v, err := experiments.NewVictim(benchPreset, experiments.ArchResNet20, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := v.AttackBatch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.BatchLoss(v.QM.Net, batch)
+	}
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------------
+
+// ablationSetup builds a defended system with the given controller tweaks
+// and measures how many attack iterations are denied and the victim-side
+// swap overhead of a fixed legitimate workload under attack.
+func ablationRun(b *testing.B, mut func(*controller.Config), lockWeightsThemselves bool, stride int) (denied int64, swapLat dram.Picoseconds) {
+	b.Helper()
+	ccfg := core.DefaultConfig()
+	ccfg.Hammer.TRH = 40
+	if mut != nil {
+		mut(&ccfg.Controller)
+	}
+	sys, err := core.NewSystem(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm := quant.NewModel(nn.NewResNet20(4, 0.125, 31))
+	opts := memmap.DefaultOptions()
+	opts.StartRow = 1
+	opts.RowStride = stride
+	opts.Avoid = func(a dram.RowAddr) bool { return sys.Controller().IsReserved(a) }
+	layout, err := memmap.New(qm, sys.Device(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if lockWeightsThemselves {
+		for _, wr := range layout.WeightRows() {
+			if err := sys.Controller().LockRow(wr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		if _, err := sys.ProtectWeights(layout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctl := sys.Controller()
+
+	// Attack stream: hammer first weight row's neighbor.
+	victim := layout.WeightRows()[0]
+	aggs := sys.Device().Geometry().Neighbors(victim, 1)
+	// Legitimate stream: read weights (hits locked rows only when the
+	// weights themselves are locked).
+	phys, err := layout.PhysOfWeight(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		for _, agg := range aggs {
+			ctl.HammerAttempt(agg)
+		}
+		if _, _, err := ctl.Read(phys, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := ctl.Stats()
+	return st.Denied, st.SwapLatency
+}
+
+// BenchmarkAblationLockGranularity compares the paper's adjacent-row
+// locking against locking the weight rows themselves: the latter forces a
+// SWAP on nearly every legitimate access (the paper's §IV-A argument).
+func BenchmarkAblationLockGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, swapAdj := ablationRun(b, nil, false, 2)
+		_, swapSelf := ablationRun(b, nil, true, 2)
+		once(b, "abl-gran", fmt.Sprintf(
+			"lock granularity ablation:\n  adjacent-row locking: swap latency %v\n  weight-row locking:   swap latency %v\n  (weight-row locking forces constant unlock SWAPs, as §IV-A argues)",
+			swapAdj, swapSelf))
+		if swapSelf <= swapAdj {
+			b.Fatal("weight-row locking should cost more swap latency")
+		}
+	}
+}
+
+// BenchmarkAblationRelockInterval sweeps the re-lock cadence.
+func BenchmarkAblationRelockInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "re-lock interval ablation (weight-row locking to force swap traffic):\n"
+		for _, interval := range []int{50, 200, 1000, 5000} {
+			_, swapLat := ablationRun(b, func(c *controller.Config) {
+				c.RelockInterval = interval
+			}, true, 2)
+			out += fmt.Sprintf("  interval %5d: swap latency %v\n", interval, swapLat)
+		}
+		once(b, "abl-relock", out)
+	}
+}
+
+// BenchmarkAblationSwapDest compares destination selection policies.
+func BenchmarkAblationSwapDest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rr := ablationRun(b, func(c *controller.Config) { c.DestPolicy = controller.DestRoundRobin }, true, 2)
+		_, rnd := ablationRun(b, func(c *controller.Config) { c.DestPolicy = controller.DestRandom }, true, 2)
+		once(b, "abl-dest", fmt.Sprintf(
+			"swap destination ablation:\n  round-robin: swap latency %v\n  random:      swap latency %v",
+			rr, rnd))
+	}
+}
+
+// BenchmarkAblationLockTableSize verifies protection degrades gracefully
+// when the lock-table cannot hold every aggressor row.
+func BenchmarkAblationLockTableSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "lock-table capacity ablation:\n"
+		for _, capEntries := range []int{4, 16, 64, 8192} {
+			ccfg := core.DefaultConfig()
+			ccfg.Hammer.TRH = 40
+			ccfg.Controller.Table.CapacityEntries = capEntries
+			sys, err := core.NewSystem(ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qm := quant.NewModel(nn.NewResNet20(4, 0.125, 33))
+			opts := memmap.DefaultOptions()
+			opts.StartRow = 1
+			opts.Avoid = func(a dram.RowAddr) bool { return sys.Controller().IsReserved(a) }
+			layout, err := memmap.New(qm, sys.Device(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			locked, _ := sys.ProtectWeights(layout) // error expected at low capacity
+			total := len(layout.AggressorRows(1))
+			out += fmt.Sprintf("  capacity %5d: locked %d of %d aggressor rows\n", capEntries, locked, total)
+		}
+		once(b, "abl-size", out)
+	}
+}
+
+// BenchmarkAblationLockDistance compares distance-1 locking against
+// distance-2 (Half-Double coverage).
+func BenchmarkAblationLockDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "lock distance ablation (stride-4 placement):\n"
+		for _, dist := range []int{1, 2} {
+			ccfg := core.DefaultConfig()
+			ccfg.Hammer.TRH = 40
+			ccfg.Hammer.BlastRadius = 2
+			ccfg.Hammer.DistantFlipProb = 1
+			ccfg.LockDistance = dist
+			sys, err := core.NewSystem(ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qm := quant.NewModel(nn.NewResNet20(4, 0.125, 35))
+			opts := memmap.DefaultOptions()
+			opts.StartRow = 1
+			opts.RowStride = 4
+			opts.Avoid = func(a dram.RowAddr) bool { return sys.Controller().IsReserved(a) }
+			layout, err := memmap.New(qm, sys.Device(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.ProtectWeights(layout); err != nil {
+				b.Fatal(err)
+			}
+			// Half-Double: hammer a distance-2 aggressor of a weight row.
+			victim := layout.WeightRows()[0]
+			geom := sys.Device().Geometry()
+			for _, agg := range geom.Neighbors(victim, 2) {
+				for j := 0; j < 45; j++ {
+					sys.Controller().HammerAttempt(agg)
+				}
+			}
+			flips := int(sys.Hammer().History().TotalFlips)
+			out += fmt.Sprintf("  distance %d: %d Half-Double flips landed\n", dist, flips)
+		}
+		once(b, "abl-dist", out)
+	}
+}
+
+// BenchmarkSimWindow measures end-to-end controller throughput under a
+// mixed privileged/attack request stream.
+func BenchmarkControllerMixedStream(b *testing.B) {
+	sys := newBenchSystem(b)
+	ctl := sys.Controller()
+	row := dram.RowAddr{Bank: 0, Row: 9}
+	phys, err := ctl.Mapper().Untranslate(row, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl.Write(phys, []byte{1, 2, 3, 4})
+	ctl.LockNeighborsOf(phys, 1)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%3 == 0 {
+			ctl.HammerAttempt(agg)
+		} else {
+			if _, _, err := ctl.Read(phys, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

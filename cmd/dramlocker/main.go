@@ -1,0 +1,116 @@
+// Command dramlocker runs the paper's experiments and prints paper-style
+// tables and curve data.
+//
+// Usage:
+//
+//	dramlocker -exp table1
+//	dramlocker -exp fig8a -preset small
+//	dramlocker -exp all -preset tiny
+//
+// Experiments: fig1a fig1b mc table1 fig7a fig7b fig8a fig8b fig8pta
+// table2 all. Presets: tiny small paper (see internal/experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1a fig1b mc table1 fig7a fig7b fig8a fig8b fig8pta table2 all)")
+	preset := flag.String("preset", "small", "scale preset (tiny small paper)")
+	flag.Parse()
+
+	p, err := experiments.PresetByName(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig1b", "mc", "table1", "fig7a", "fig7b", "fig1a", "fig8a", "fig8b", "fig8pta", "table2", "perf"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := run(id, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (preset %s, %v) ===\n%s\n", id, p.Name, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func run(id string, p experiments.Preset) (string, error) {
+	switch id {
+	case "fig1a":
+		r, err := experiments.Fig1a(p)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig1a(r), nil
+	case "fig1b":
+		rows, err := experiments.Fig1b()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig1b(rows), nil
+	case "mc":
+		rows, err := experiments.MonteCarlo(p)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatMonteCarlo(rows), nil
+	case "table1":
+		return experiments.FormatTable1(experiments.Table1()), nil
+	case "fig7a":
+		curves, err := experiments.Fig7aData()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig7a(curves), nil
+	case "fig7b":
+		bars, err := experiments.Fig7bData()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig7b(bars), nil
+	case "fig8a":
+		r, err := experiments.Fig8(p, experiments.ArchResNet20, 10)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig8(r), nil
+	case "fig8b":
+		r, err := experiments.Fig8(p, experiments.ArchVGG11, 100)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig8(r), nil
+	case "fig8pta":
+		r, err := experiments.Fig8PTA(p)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig8PTA(r), nil
+	case "table2":
+		rows, err := experiments.Table2(p, experiments.DefaultTable2Config(p))
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable2(rows), nil
+	case "perf":
+		r, err := experiments.Perf(p)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatPerf(r), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

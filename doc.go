@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "DRAM-Locker: A
+// General-Purpose DRAM Protection Mechanism against Adversarial DNN Weight
+// Attacks" (Zhou et al., DATE 2024).
+//
+// The library lives under internal/: the DRAM device model, RowHammer
+// fault injection, RowClone/SWAP, the DRAM-Locker ISA and controller, the
+// lock-table, baseline defenses, a pure-Go quantized-DNN substrate, the
+// BFA/PTA attacks, and the experiment harness that regenerates every table
+// and figure of the paper. See README.md for a guided tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per paper table/figure plus ablation benches for the
+// design choices called out in DESIGN.md §5.
+package repro

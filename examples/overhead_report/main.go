@@ -1,0 +1,36 @@
+// Overhead report: prints the Table I hardware-overhead comparison and the
+// §IV.D process-variation Monte-Carlo, the two "paper tables" that need no
+// DNN training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	fmt.Println()
+
+	rows, err := experiments.MonteCarlo(experiments.Small())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatMonteCarlo(rows))
+	fmt.Println()
+
+	curves, err := experiments.Fig7aData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig7a(curves))
+	fmt.Println()
+
+	bars, err := experiments.Fig7bData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig7b(bars))
+}

@@ -1,0 +1,240 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dram"
+	"repro/internal/memmap"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/stats"
+)
+
+// The victim is trained once and restored from a pristine snapshot for
+// each test, since training dominates test time on one core.
+var (
+	victimOnce sync.Once
+	victimQM   *quant.Model
+	victimSnap [][]int8
+	victimAB   nn.Batch
+	victimEval nn.BatchSource
+)
+
+// trainedVictim returns a small trained, quantized model with its data,
+// with weights reset to their post-training state.
+func trainedVictim(t *testing.T) (*quant.Model, nn.Batch, nn.BatchSource) {
+	t.Helper()
+	victimOnce.Do(func() {
+		cfg := dataset.Tiny(4)
+		cfg.Train = 160
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := nn.NewResNet20(4, 0.25, 21)
+		tc := nn.DefaultTrainConfig()
+		tc.Epochs = 5
+		nn.Fit(net, &ds.TrainSplit, tc)
+		victimQM = quant.NewModel(net)
+		victimSnap = victimQM.Snapshot()
+		victimEval = dataset.Subset(&ds.TestSplit, 60)
+		victimAB = ds.TestSplit.Slice(0, 16)
+	})
+	victimQM.Restore(victimSnap)
+	return victimQM, victimAB, victimEval
+}
+
+func TestBFADegradesAccuracy(t *testing.T) {
+	qm, ab, eval := trainedVictim(t)
+	clean := nn.Evaluate(qm.Net, eval, 32)
+	if clean < 0.7 {
+		t.Fatalf("victim too weak to attack: clean acc %.2f", clean)
+	}
+	cfg := DefaultBFAConfig()
+	cfg.Iterations = 10
+	cfg.CandidatesPerIter = 3
+	res, err := BFA(qm, ab, eval, &DirectExecutor{QM: qm}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFlips != 10 {
+		t.Fatalf("flips = %d, want 10 (direct executor always lands)", res.TotalFlips)
+	}
+	if res.FinalAccuracy() >= clean {
+		t.Fatalf("BFA did not degrade accuracy: %.3f -> %.3f", clean, res.FinalAccuracy())
+	}
+	// Records must be cumulative and monotone in flips.
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Flips < res.Records[i-1].Flips {
+			t.Fatal("flip count must be cumulative")
+		}
+	}
+}
+
+func TestBFABeatsRandomAttack(t *testing.T) {
+	qm, ab, eval := trainedVictim(t)
+	snap := qm.Snapshot()
+	cfg := DefaultBFAConfig()
+	cfg.Iterations = 10
+	cfg.CandidatesPerIter = 3
+	bfa, err := BFA(qm, ab, eval, &DirectExecutor{QM: qm}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm.Restore(snap)
+	rnd, err := RandomAttack(qm, eval, &DirectExecutor{QM: qm}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm.Restore(snap)
+	// The paper's Fig. 1(a): same flip budget, targeted must hurt much more.
+	if bfa.FinalAccuracy() >= rnd.FinalAccuracy() {
+		t.Fatalf("targeted BFA (%.3f) must beat random (%.3f)",
+			bfa.FinalAccuracy(), rnd.FinalAccuracy())
+	}
+}
+
+func TestLeakyExecutorStatistics(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	exec := &LeakyExecutor{QM: qm, Leak: 0.25, RNG: stats.NewRNG(9)}
+	succ := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		out, err := exec.TryFlip(i%qm.TotalWeights(), i%8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Succeeded {
+			succ++
+		} else if !out.Denied {
+			t.Fatal("must be succeeded or denied")
+		}
+	}
+	rate := float64(succ) / n
+	if rate < 0.2 || rate > 0.3 {
+		t.Fatalf("leak rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestBFAUntilCollapse(t *testing.T) {
+	qm, ab, eval := trainedVictim(t)
+	cfg := DefaultBFAConfig()
+	cfg.CandidatesPerIter = 3
+	flips, acc, err := BFAUntilCollapse(qm, ab, eval, &DirectExecutor{QM: qm}, cfg, 0.45, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.45 && flips < 25 {
+		t.Fatalf("stopped early without collapse: flips=%d acc=%.3f", flips, acc)
+	}
+	if flips == 0 {
+		t.Fatal("no flips committed")
+	}
+}
+
+func TestBFAConfigValidation(t *testing.T) {
+	qm, ab, eval := trainedVictim(t)
+	bad := BFAConfig{}
+	if _, err := BFA(qm, ab, eval, &DirectExecutor{QM: qm}, bad); err == nil {
+		t.Fatal("zero config must fail")
+	}
+	if _, err := RandomAttack(qm, eval, &DirectExecutor{QM: qm}, 0, 1); err == nil {
+		t.Fatal("zero iterations must fail")
+	}
+}
+
+// buildStack assembles the full DRAM substrate around a quantized model.
+func buildStack(t *testing.T, qm *quant.Model, protect bool, leak float64) (*core.System, *memmap.Layout, *DRAMExecutor) {
+	t.Helper()
+	ccfg := core.DefaultConfig()
+	ccfg.Hammer.TRH = 30
+	sys, err := core.NewSystem(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := memmap.DefaultOptions()
+	opts.StartRow = 1
+	opts.Avoid = func(a dram.RowAddr) bool { return sys.Controller().IsReserved(a) }
+	layout, err := memmap.New(qm, sys.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protect {
+		if _, err := sys.ProtectWeights(layout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec, err := NewDRAMExecutor(layout, sys.Controller(), sys.Hammer(), leak, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, layout, exec
+}
+
+func TestDRAMExecutorFlipsThroughHammering(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	_, _, exec := buildStack(t, qm, false, 0)
+	pi, li := qm.Locate(3)
+	before := qm.Params[pi].Get(li)
+	out, err := exec.TryFlip(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded || out.Denied {
+		t.Fatalf("undefended flip outcome: %+v", out)
+	}
+	after := qm.Params[pi].Get(li)
+	if after == before {
+		t.Fatal("weight unchanged after hammering flip")
+	}
+	if exec.Activations == 0 {
+		t.Fatal("no activations recorded")
+	}
+}
+
+func TestDRAMExecutorDeniedUnderProtection(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	_, _, exec := buildStack(t, qm, true, 0)
+	snap := qm.Snapshot()
+	for w := 0; w < 5; w++ {
+		out, err := exec.TryFlip(w*3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Succeeded || !out.Denied {
+			t.Fatalf("defended flip outcome: %+v", out)
+		}
+	}
+	if qm.HammingDistance(snap) != 0 {
+		t.Fatal("weights changed despite full denial")
+	}
+	if exec.DeniedActs == 0 {
+		t.Fatal("denials not recorded")
+	}
+}
+
+func TestDRAMExecutorLeakLandsFlips(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	_, _, exec := buildStack(t, qm, true, 1.0) // always leak
+	out, err := exec.TryFlip(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("leak=1 must land the flip: %+v", out)
+	}
+	if exec.LeakedFlips != 1 {
+		t.Fatalf("leaked = %d", exec.LeakedFlips)
+	}
+}
+
+func TestDRAMExecutorLeakValidation(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	sys, layout, _ := buildStack(t, qm, false, 0)
+	if _, err := NewDRAMExecutor(layout, sys.Controller(), sys.Hammer(), 1.5, 1); err == nil {
+		t.Fatal("leak > 1 must be rejected")
+	}
+}

@@ -1,0 +1,287 @@
+// Package attack implements the adversarial DNN weight attacks of the
+// paper's threat model (§III): the gradient-guided Bit-Flip Attack (BFA,
+// Rakin et al. ICCV'19 progressive bit search), the random bit-flip
+// baseline of Fig. 1(a), and the Page Table Attack (PTA, after PT-Guard).
+//
+// Attacks commit flips through a FlipExecutor, which is where the DRAM
+// substrate and the defense come in: the executor may hammer real
+// simulated rows (and be denied by the lock-table) rather than mutate the
+// model directly.
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/stats"
+)
+
+// FlipOutcome reports one committed flip attempt.
+type FlipOutcome struct {
+	// Succeeded is true when the target bit actually changed in the
+	// victim's weights.
+	Succeeded bool
+	// Denied is true when a defense blocked the hammering.
+	Denied bool
+}
+
+// FlipExecutor commits a bit flip on the victim. Implementations range
+// from direct model mutation (no defense) to full DRAM RowHammer with a
+// lock-table in the way.
+type FlipExecutor interface {
+	// TryFlip attempts to flip bit k of the global weight index.
+	TryFlip(globalW, k int) (FlipOutcome, error)
+}
+
+// DirectExecutor mutates the quantized model immediately: the undefended
+// upper bound used by Fig. 1(a) and the software-defense rows of Table II.
+type DirectExecutor struct{ QM *quant.Model }
+
+// TryFlip implements FlipExecutor.
+func (e *DirectExecutor) TryFlip(globalW, k int) (FlipOutcome, error) {
+	e.QM.FlipGlobal(globalW, k)
+	return FlipOutcome{Succeeded: true}, nil
+}
+
+// LeakyExecutor models a defense that blocks flips except with a leak
+// probability (the paper's Fig. 8 accounting: under ±20% process variation
+// the SWAP-based defense fails 9.6% of the time, letting the BFA through).
+type LeakyExecutor struct {
+	QM   *quant.Model
+	Leak float64
+	RNG  *stats.RNG
+}
+
+// TryFlip implements FlipExecutor.
+func (e *LeakyExecutor) TryFlip(globalW, k int) (FlipOutcome, error) {
+	if e.RNG.Bernoulli(e.Leak) {
+		e.QM.FlipGlobal(globalW, k)
+		return FlipOutcome{Succeeded: true}, nil
+	}
+	return FlipOutcome{Denied: true}, nil
+}
+
+// Candidate is one ranked flip option.
+type Candidate struct {
+	GlobalW int
+	Bit     int
+	// Score is the first-order loss increase estimate grad * deltaW.
+	Score float64
+}
+
+// BFAConfig parameterises the progressive bit search.
+type BFAConfig struct {
+	// Iterations is the number of attack iterations (each commits at most
+	// one flip).
+	Iterations int
+	// CandidatesPerIter is how many top-ranked bits are evaluated with a
+	// real forward pass before committing the best.
+	CandidatesPerIter int
+	// AttackBatch is the number of examples in the attacker's sample
+	// batch (paper: 128).
+	AttackBatch int
+	// MSBOnly restricts the search to sign bits (bit 7), the practical
+	// BFA variant; when false all 8 bits are scored.
+	MSBOnly bool
+	Seed    uint64
+}
+
+// DefaultBFAConfig returns the paper's attack setup scaled to the
+// simulator (100 iterations, 128-sample batch).
+func DefaultBFAConfig() BFAConfig {
+	return BFAConfig{
+		Iterations:        100,
+		CandidatesPerIter: 5,
+		AttackBatch:       128,
+		MSBOnly:           false,
+		Seed:              0xbfa,
+	}
+}
+
+// Validate checks the configuration.
+func (c BFAConfig) Validate() error {
+	if c.Iterations <= 0 || c.CandidatesPerIter <= 0 || c.AttackBatch <= 0 {
+		return fmt.Errorf("attack: BFAConfig fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// IterationRecord tracks one attack iteration for the Fig. 8 curves.
+type IterationRecord struct {
+	Iteration int
+	// Flips is the cumulative number of successful bit flips.
+	Flips int
+	// Denied is the cumulative number of defense denials.
+	Denied int
+	// Loss is the attacker's batch loss after the iteration.
+	Loss float64
+	// Accuracy is the victim's accuracy after the iteration (evaluated on
+	// the provided eval source; NaN if not evaluated).
+	Accuracy float64
+}
+
+// Result is a full attack trace.
+type Result struct {
+	Records []IterationRecord
+	// TotalFlips is the number of bits actually flipped.
+	TotalFlips int
+	// TotalDenied counts denied attempts.
+	TotalDenied int
+}
+
+// FinalAccuracy returns the accuracy after the last iteration.
+func (r Result) FinalAccuracy() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return r.Records[len(r.Records)-1].Accuracy
+}
+
+// BFA runs the progressive bit search against the quantized model,
+// committing flips through the executor, and evaluating accuracy on eval
+// after every iteration.
+//
+// Each iteration: (1) one gradient pass on the attacker's batch ranks all
+// bits by the first-order loss increase of flipping them; (2) the top
+// CandidatesPerIter candidates are each trial-flipped in a scratch copy
+// and scored with a real forward pass; (3) the best candidate is committed
+// through the executor — which a defense may deny.
+func BFA(qm *quant.Model, attackBatch nn.Batch, eval nn.BatchSource, exec FlipExecutor, cfg BFAConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	tried := make(map[[2]int]bool) // (globalW, bit) already committed/denied
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		nn.GradientPass(qm.Net, attackBatch)
+		cands := rankCandidates(qm, cfg, tried)
+		if len(cands) == 0 {
+			break
+		}
+		// Trial-evaluate candidates with real forward passes.
+		best := -1
+		bestLoss := -1.0
+		for i, c := range cands {
+			qm.FlipGlobal(c.GlobalW, c.Bit)
+			loss := nn.BatchLoss(qm.Net, attackBatch)
+			qm.FlipGlobal(c.GlobalW, c.Bit) // undo
+			if loss > bestLoss {
+				bestLoss = loss
+				best = i
+			}
+		}
+		chosen := cands[best]
+		tried[[2]int{chosen.GlobalW, chosen.Bit}] = true
+		out, err := exec.TryFlip(chosen.GlobalW, chosen.Bit)
+		if err != nil {
+			return res, err
+		}
+		if out.Succeeded {
+			res.TotalFlips++
+		}
+		if out.Denied {
+			res.TotalDenied++
+		}
+		rec := IterationRecord{
+			Iteration: iter + 1,
+			Flips:     res.TotalFlips,
+			Denied:    res.TotalDenied,
+			Loss:      nn.BatchLoss(qm.Net, nn.Batch{X: attackBatch.X, Y: attackBatch.Y}),
+		}
+		if eval != nil {
+			rec.Accuracy = nn.Evaluate(qm.Net, eval, 64)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+// rankCandidates scores every (weight, bit) by grad*deltaW and returns the
+// top CandidatesPerIter untried ones.
+func rankCandidates(qm *quant.Model, cfg BFAConfig, tried map[[2]int]bool) []Candidate {
+	var cands []Candidate
+	keep := cfg.CandidatesPerIter * 4 // oversample before filtering tried
+	for pi, qp := range qm.Params {
+		grads := qp.Param.Grad.Data
+		for li := range qp.Q {
+			g := float64(grads[li])
+			if g == 0 {
+				continue
+			}
+			lo, hi := 0, qp.Bits
+			if cfg.MSBOnly {
+				lo = qp.Bits - 1
+			}
+			for k := lo; k < hi; k++ {
+				delta := float64(qp.BitDelta(li, k)) * float64(qp.Scale)
+				score := g * delta
+				if score <= 0 {
+					continue // flip would reduce the loss
+				}
+				gw := qm.GlobalIndex(pi, li)
+				if tried[[2]int{gw, k}] {
+					continue
+				}
+				cands = append(cands, Candidate{GlobalW: gw, Bit: k, Score: score})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	if len(cands) > keep {
+		cands = cands[:keep]
+	}
+	if len(cands) > cfg.CandidatesPerIter {
+		cands = cands[:cfg.CandidatesPerIter]
+	}
+	return cands
+}
+
+// RandomAttack flips one uniformly random bit per iteration through the
+// executor — the Fig. 1(a) baseline showing targeted flips are what makes
+// BFA dangerous.
+func RandomAttack(qm *quant.Model, eval nn.BatchSource, exec FlipExecutor, iterations int, seed uint64) (Result, error) {
+	if iterations <= 0 {
+		return Result{}, fmt.Errorf("attack: iterations must be positive, got %d", iterations)
+	}
+	rng := stats.NewRNG(seed)
+	var res Result
+	for iter := 0; iter < iterations; iter++ {
+		gw := rng.Intn(qm.TotalWeights())
+		k := rng.Intn(qm.Bits)
+		out, err := exec.TryFlip(gw, k)
+		if err != nil {
+			return res, err
+		}
+		if out.Succeeded {
+			res.TotalFlips++
+		}
+		if out.Denied {
+			res.TotalDenied++
+		}
+		rec := IterationRecord{Iteration: iter + 1, Flips: res.TotalFlips, Denied: res.TotalDenied}
+		if eval != nil {
+			rec.Accuracy = nn.Evaluate(qm.Net, eval, 64)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+// BFAUntilCollapse runs BFA until accuracy falls to the threshold or the
+// flip budget is exhausted, returning the number of flips used (the
+// "Bit-Flips #" column of Table II).
+func BFAUntilCollapse(qm *quant.Model, attackBatch nn.Batch, eval nn.BatchSource, exec FlipExecutor, cfg BFAConfig, accThreshold float64, maxFlips int) (int, float64, error) {
+	cfg.Iterations = maxFlips
+	res, err := BFA(qm, attackBatch, eval, exec, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range res.Records {
+		if rec.Accuracy <= accThreshold {
+			return rec.Flips, rec.Accuracy, nil
+		}
+	}
+	return res.TotalFlips, res.FinalAccuracy(), nil
+}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/defense"
+	"repro/internal/dram"
+	"repro/internal/rowhammer"
+)
+
+// ManySided implements Threshold-Breaker-class access patterns (Zhou et
+// al. 2023, cited by the paper as the attack that defeats counter-based
+// trackers): instead of concentrating activations on one aggressor, the
+// attacker distributes sub-threshold activation counts over many aggressor
+// rows whose victims overlap, so no single row's counter ever crosses the
+// tracker's trigger while the victims still accumulate disturbance.
+//
+// In this simulator's fault model, each victim accumulates disturbance
+// from *each* adjacent aggressor independently (a crossing by either
+// neighbor flips it), so the many-sided pattern uses both neighbors of the
+// victim, interleaved, and exploits trackers whose mitigation trigger is
+// above the device threshold.
+type ManySided struct {
+	// AggressorBatch is the set of rows hammered round-robin.
+	AggressorBatch []dram.RowAddr
+	// RoundLength is how many activations each aggressor receives per
+	// round before rotating.
+	RoundLength int
+}
+
+// NewManySided plans a many-sided pattern around a victim row: both
+// distance-1 neighbors plus the distance-2 rows (Half-Double helpers).
+func NewManySided(geom dram.Geometry, victim dram.RowAddr) (*ManySided, error) {
+	aggs := append(geom.Neighbors(victim, 1), geom.Neighbors(victim, 2)...)
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("attack: victim %v has no aggressors", victim)
+	}
+	return &ManySided{AggressorBatch: aggs, RoundLength: 64}, nil
+}
+
+// RunResult summarises a many-sided campaign.
+type ManySidedResult struct {
+	Activations int
+	Denied      int
+	Mitigations int64
+}
+
+// RunAgainstDefense drives the pattern through a counter-based defense
+// (defense.Defense) for totalActivations, activating the device directly
+// when allowed. This is the configuration that breaks trackers: the
+// per-row counts stay below the tracker trigger.
+func (m *ManySided) RunAgainstDefense(dev *dram.Device, d defense.Defense, totalActivations int) (ManySidedResult, error) {
+	var res ManySidedResult
+	n := len(m.AggressorBatch)
+	i := 0
+	for res.Activations < totalActivations {
+		agg := m.AggressorBatch[(i/m.RoundLength)%n]
+		i++
+		dec := d.OnActivate(agg, false)
+		if !dec.Allow {
+			res.Denied++
+			continue
+		}
+		if _, err := dev.Activate(agg); err != nil {
+			return res, err
+		}
+		if _, err := dev.Precharge(agg.Bank); err != nil {
+			return res, err
+		}
+		res.Activations++
+	}
+	res.Mitigations = d.Stats().Mitigations
+	return res, nil
+}
+
+// RunAgainstLocker drives the pattern through the DRAM-Locker controller.
+// Locked aggressors are denied outright, so the pattern's stealth buys
+// nothing: the lock-table does not count, it forbids.
+func (m *ManySided) RunAgainstLocker(ctl *controller.Controller, totalAttempts int) (ManySidedResult, error) {
+	var res ManySidedResult
+	n := len(m.AggressorBatch)
+	for i := 0; i < totalAttempts; i++ {
+		agg := m.AggressorBatch[(i/m.RoundLength)%n]
+		activated, _, err := ctl.HammerAttempt(agg)
+		if err != nil {
+			return res, err
+		}
+		if activated {
+			res.Activations++
+		} else {
+			res.Denied++
+		}
+	}
+	return res, nil
+}
+
+// VictimFlipped reports whether any registered victim bit of the engine
+// flipped during the campaign.
+func VictimFlipped(eng *rowhammer.Engine) bool {
+	return eng.History().TotalFlips > 0
+}

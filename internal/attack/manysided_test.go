@@ -1,0 +1,122 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/dram"
+	"repro/internal/rowhammer"
+)
+
+func manySidedRig(t *testing.T, trh int) (*dram.Device, *rowhammer.Engine) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rowhammer.DefaultConfig()
+	cfg.TRH = trh
+	cfg.BlastRadius = 2
+	cfg.DistantFlipProb = 1
+	eng, err := rowhammer.New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, eng
+}
+
+func TestManySidedPlansAllAggressors(t *testing.T) {
+	geom := dram.SmallGeometry()
+	victim := dram.RowAddr{Bank: 0, Row: 10}
+	ms, err := NewManySided(geom, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior victim: two distance-1 plus two distance-2 aggressors.
+	if len(ms.AggressorBatch) != 4 {
+		t.Fatalf("aggressors = %v", ms.AggressorBatch)
+	}
+}
+
+// TestManySidedDefeatsLooseTracker reproduces the Threshold Breaker
+// observation the paper cites: a counter-based tracker with its trigger
+// set above the true device threshold misses the distributed pattern, and
+// the victim flips anyway.
+func TestManySidedDefeatsLooseTracker(t *testing.T) {
+	dev, eng := manySidedRig(t, 100)
+	victim := dram.RowAddr{Bank: 0, Row: 10}
+	eng.RegisterTarget(victim, 0)
+	// Tracker believes the threshold is 4x the real one — exactly the
+	// miscalibration Threshold Breaker exploits.
+	tracker, err := defense.NewCounterPerRow(eng, dev.Geometry(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewManySided(dev.Geometry(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ms.RunAgainstDefense(dev, tracker, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mitigations != 0 {
+		t.Fatalf("loose tracker mitigated %d times; pattern should stay below its trigger", res.Mitigations)
+	}
+	if !VictimFlipped(eng) {
+		t.Fatal("many-sided pattern should defeat the loose tracker")
+	}
+}
+
+// TestManySidedStoppedByTightTracker: with a correctly calibrated trigger
+// the tracker catches each aggressor before the device threshold.
+func TestManySidedStoppedByTightTracker(t *testing.T) {
+	dev, eng := manySidedRig(t, 100)
+	victim := dram.RowAddr{Bank: 0, Row: 10}
+	eng.RegisterTarget(victim, 0)
+	tracker, err := defense.NewCounterPerRow(eng, dev.Geometry(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewManySided(dev.Geometry(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.RunAgainstDefense(dev, tracker, 800); err != nil {
+		t.Fatal(err)
+	}
+	if VictimFlipped(eng) {
+		t.Fatal("tight tracker should stop the many-sided pattern")
+	}
+}
+
+// TestManySidedStoppedByLocker: the lock-table forbids rather than counts,
+// so the distributed pattern gains nothing regardless of calibration.
+func TestManySidedStoppedByLocker(t *testing.T) {
+	qm, _, _ := trainedVictim(t)
+	snap := qm.Snapshot()
+	sys, layout, _ := buildStack(t, qm, true, 0)
+	victim := layout.WeightRows()[0]
+	ms, err := NewManySided(sys.Device().Geometry(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ms.RunAgainstLocker(sys.Controller(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance-1 aggressors are locked and denied. With stride-2
+	// placement the distance-2 "aggressors" are other weight rows: the
+	// attacker may activate them, but their disturbance lands in the
+	// locked gap rows, which hold no data. Whatever happens, the weights
+	// themselves must be intact.
+	if res.Denied == 0 {
+		t.Fatal("locked aggressors must deny")
+	}
+	if _, err := layout.SyncFromDRAM(); err != nil {
+		t.Fatal(err)
+	}
+	if d := qm.HammingDistance(snap); d != 0 {
+		t.Fatalf("victim weights corrupted despite lock-table: %d bits", d)
+	}
+}

@@ -1,0 +1,203 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/memmap"
+	"repro/internal/nn"
+	"repro/internal/pagetable"
+	"repro/internal/rowhammer"
+	"repro/internal/stats"
+)
+
+// PTAConfig parameterises the page-table attack.
+type PTAConfig struct {
+	// Iterations is the number of attack rounds; each tries to corrupt
+	// one weight page.
+	Iterations int
+	// AttackerPage is the attacker-controlled virtual page index.
+	AttackerPage int
+	// PayloadByte is the replacement value written over hijacked weight
+	// frames (0x80 = -128, the most damaging int8 value).
+	PayloadByte byte
+	// Leak is the probability a denied PTE flip lands anyway (erroneous
+	// SWAP exposure), as in Fig. 8's 9.6% accounting.
+	Leak float64
+	Seed uint64
+}
+
+// DefaultPTAConfig returns the paper-style PTA setup.
+func DefaultPTAConfig() PTAConfig {
+	return PTAConfig{
+		Iterations:   100,
+		AttackerPage: 0,
+		PayloadByte:  0x80,
+		Leak:         0,
+		Seed:         0x97a,
+	}
+}
+
+// PTA is the page-table attack of Fig. 3(b): the attacker flips a PFN bit
+// in its *own* PTE (via RowHammer on the page-table row's neighbor) so the
+// entry points at a victim weight frame, then overwrites that frame
+// through its now-redirected virtual page.
+type PTA struct {
+	cfg    PTAConfig
+	table  *pagetable.Table
+	layout *memmap.Layout
+	ctl    *controller.Controller
+	engine *rowhammer.Engine
+	rng    *stats.RNG
+
+	// Stats
+	Redirects int64
+	Denied    int64
+	Leaked    int64
+}
+
+// NewPTA wires the attack over the substrate.
+func NewPTA(table *pagetable.Table, layout *memmap.Layout, ctl *controller.Controller, eng *rowhammer.Engine, cfg PTAConfig) (*PTA, error) {
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("attack: PTA iterations must be positive")
+	}
+	if cfg.Leak < 0 || cfg.Leak > 1 {
+		return nil, fmt.Errorf("attack: PTA leak must be in [0,1]")
+	}
+	if cfg.AttackerPage < 0 || cfg.AttackerPage >= table.NumPages() {
+		return nil, fmt.Errorf("attack: attacker page %d outside table", cfg.AttackerPage)
+	}
+	return &PTA{
+		cfg: cfg, table: table, layout: layout, ctl: ctl, engine: eng,
+		rng: stats.NewRNG(cfg.Seed),
+	}, nil
+}
+
+// Run executes the attack, evaluating victim accuracy after each round.
+func (p *PTA) Run(eval nn.BatchSource) (Result, error) {
+	var res Result
+	targets := p.layout.WeightRows()
+	if len(targets) == 0 {
+		return res, fmt.Errorf("attack: no weight rows to target")
+	}
+	geom := p.ctl.Device().Geometry()
+	for iter := 0; iter < p.cfg.Iterations; iter++ {
+		target := targets[iter%len(targets)]
+		ok, denied, err := p.round(target, geom)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.TotalFlips++
+			p.Redirects++
+		}
+		if denied {
+			res.TotalDenied++
+			p.Denied++
+		}
+		rec := IterationRecord{Iteration: iter + 1, Flips: res.TotalFlips, Denied: res.TotalDenied}
+		if eval != nil {
+			rec.Accuracy = nn.Evaluate(p.layout.QM.Net, eval, 64)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+// round performs one PTE corruption + payload write against one target
+// weight frame.
+func (p *PTA) round(target dram.RowAddr, geom dram.Geometry) (succeeded, denied bool, err error) {
+	// 1. Attacker re-maps its own page (legitimate OS operation) so the
+	//    stored PFN is one bit away from the target frame. The threat
+	//    model grants VA->PA knowledge and memory massaging (§III).
+	targetPFN := uint64(geom.LinearIndex(target))
+	bit := p.rng.Intn(8) // flip within the PFN low byte
+	setupPFN := targetPFN ^ (1 << uint(bit))
+	if int(setupPFN) >= geom.TotalRows() {
+		setupPFN = targetPFN ^ 1
+		bit = 0
+	}
+	if err := p.table.Map(p.cfg.AttackerPage, geom.FromLinearIndex(int(setupPFN))); err != nil {
+		return false, false, err
+	}
+
+	// 2. Hammer the PT row's neighbor to flip that PFN bit.
+	pteRow, pteBit, err := p.table.PFNBitOf(p.cfg.AttackerPage, bit)
+	if err != nil {
+		return false, false, err
+	}
+	if err := p.engine.RegisterTarget(pteRow, pteBit); err != nil {
+		return false, false, err
+	}
+	defer p.engine.ClearTargets()
+	p.engine.ResetWindow(p.ctl.Device().Now())
+
+	aggressors := geom.Neighbors(pteRow, 1)
+	if len(aggressors) == 0 {
+		return false, false, fmt.Errorf("attack: PT row %v has no neighbors", pteRow)
+	}
+	trh := p.engine.Config().TRH
+	flipped := false
+	deniedAll := true
+	for _, agg := range aggressors {
+		wasDenied := false
+		for i := 0; i < trh+1; i++ {
+			activated, _, err := p.ctl.HammerAttempt(agg)
+			if err != nil {
+				return false, false, err
+			}
+			if !activated {
+				wasDenied = true
+				break
+			}
+		}
+		if wasDenied {
+			continue
+		}
+		deniedAll = false
+		frame, err := p.table.FrameOf(p.cfg.AttackerPage)
+		if err == nil && frame == target {
+			flipped = true
+			break
+		}
+	}
+	if !flipped && deniedAll {
+		if p.rng.Bernoulli(p.cfg.Leak) {
+			// Erroneous-SWAP exposure: the flip lands despite the lock.
+			if err := p.ctl.Device().FlipBit(pteRow, pteBit); err != nil {
+				return false, false, err
+			}
+			p.Leaked++
+			flipped = true
+		} else {
+			return false, true, nil
+		}
+	}
+	if !flipped {
+		return false, false, nil
+	}
+
+	// 3. The attacker's page now maps to the victim frame: overwrite it
+	//    with the payload through the page table, then let the victim's
+	//    next inference read the corrupted weights.
+	frame, err := p.table.FrameOf(p.cfg.AttackerPage)
+	if err != nil {
+		return false, false, err
+	}
+	payload := make([]byte, geom.RowBytes)
+	for i := range payload {
+		payload[i] = p.cfg.PayloadByte
+	}
+	if err := p.ctl.Device().PokeRow(frame, payload); err != nil {
+		return false, false, err
+	}
+	if _, err := p.layout.SyncFromDRAM(); err != nil {
+		return false, false, err
+	}
+	// Clean up: restore the attacker mapping legitimately for next round.
+	if err := p.table.Unmap(p.cfg.AttackerPage); err != nil {
+		return false, false, err
+	}
+	return true, false, nil
+}

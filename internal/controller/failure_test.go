@@ -1,0 +1,212 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/rowclone"
+	"repro/internal/stats"
+)
+
+// Failure-injection tests: the controller under a degraded process corner
+// (erroneous SWAP copies), lock-table pressure and long mixed request
+// streams.
+
+func TestSwapErrorsCorruptDataButKeepProtection(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RelockInterval = 5
+	cfg.Clone = rowclone.Config{CopyErrorProb: 1.0, ErrorBits: 1, Seed: 3}
+	c, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := dram.RowAddr{Bank: 0, Row: 5}
+	phys, err := c.Mapper().Untranslate(row, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(phys, []byte{0xAA, 0xBB})
+	c.LockRow(row)
+
+	// Every copy errs: the swap succeeds mechanically but flags errors.
+	_, resp, err := c.Read(phys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Swapped || !resp.SwapErred {
+		t.Fatalf("expected erroneous swap, got %+v", resp)
+	}
+	if c.Stats().SwapErrors == 0 {
+		t.Fatal("swap errors not recorded")
+	}
+	// Protection still holds: attacker is denied regardless of the
+	// degraded corner.
+	aresp, _ := c.Submit(Request{Kind: ReqRead, Phys: phys, Len: 1})
+	if !aresp.Denied {
+		t.Fatal("lock must hold under a degraded process corner")
+	}
+}
+
+func TestRelockSurvivesManyCycles(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RelockInterval = 3
+	c, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := dram.RowAddr{Bank: 0, Row: 5}
+	phys, _ := c.Mapper().Untranslate(row, 0)
+	c.Write(phys, []byte{0x5A})
+	c.LockRow(row)
+	other, _ := c.Mapper().Untranslate(dram.RowAddr{Bank: 1, Row: 40}, 0)
+
+	// 30 unlock/re-lock cycles: data must survive every round trip.
+	for cycle := 0; cycle < 30; cycle++ {
+		got, resp, err := c.Read(phys, 1)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if got[0] != 0x5A {
+			t.Fatalf("cycle %d: data corrupted to %#x", cycle, got[0])
+		}
+		if cycle > 0 && !resp.Swapped && c.ActiveRedirects() == 0 {
+			t.Fatalf("cycle %d: no swap and no redirect", cycle)
+		}
+		// Let the redirect expire.
+		for i := 0; i < cfg.RelockInterval+1; i++ {
+			if _, _, err := c.Read(other, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.Stats().SwapsBack < 25 {
+		t.Fatalf("swaps back = %d, want ~30", c.Stats().SwapsBack)
+	}
+}
+
+func TestConcurrentRedirectsAcrossSubarrays(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RelockInterval = 1000
+	c, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One locked row per subarray of bank 0, all swapped out at once.
+	geom := dev.Geometry()
+	var physAddrs []int64
+	for sub := 0; sub < geom.SubarraysPerBank; sub++ {
+		row := dram.RowAddr{Bank: 0, Row: sub*geom.RowsPerSubarray + 5}
+		phys, _ := c.Mapper().Untranslate(row, 0)
+		c.Write(phys, []byte{byte(sub + 1)})
+		if err := c.LockRow(row); err != nil {
+			t.Fatal(err)
+		}
+		physAddrs = append(physAddrs, phys)
+	}
+	for i, phys := range physAddrs {
+		got, resp, err := c.Read(phys, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Swapped || got[0] != byte(i+1) {
+			t.Fatalf("subarray %d: swapped=%v data=%#x", i, resp.Swapped, got[0])
+		}
+	}
+	if c.ActiveRedirects() != geom.SubarraysPerBank {
+		t.Fatalf("redirects = %d, want %d", c.ActiveRedirects(), geom.SubarraysPerBank)
+	}
+	// All still readable through their redirects.
+	for i, phys := range physAddrs {
+		got, _, err := c.Read(phys, 1)
+		if err != nil || got[0] != byte(i+1) {
+			t.Fatalf("redirected read %d failed: %v %v", i, got, err)
+		}
+	}
+}
+
+// TestRandomizedMixedStreamInvariants drives a long random mix of
+// privileged reads/writes, attacker probes and hammer attempts, checking
+// global invariants after every step.
+func TestRandomizedMixedStreamInvariants(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RelockInterval = 7
+	c, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	geom := dev.Geometry()
+
+	// Shadow model of written data: phys -> byte.
+	written := make(map[int64]byte)
+	lockedRows := map[int]bool{}
+	for r := 5; r < 20; r += 3 {
+		row := dram.RowAddr{Bank: 0, Row: r}
+		if err := c.LockRow(row); err != nil {
+			t.Fatal(err)
+		}
+		lockedRows[geom.LinearIndex(row)] = true
+	}
+
+	for step := 0; step < 3000; step++ {
+		row := dram.RowAddr{Bank: rng.Intn(geom.Banks()), Row: rng.Intn(40)}
+		if c.IsReserved(row) {
+			continue
+		}
+		phys, err := c.Mapper().Untranslate(row, rng.Intn(geom.RowBytes-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rng.Intn(4) {
+		case 0: // privileged write
+			v := byte(rng.Intn(256))
+			if _, err := c.Write(phys, []byte{v}); err != nil {
+				t.Fatalf("step %d: write: %v", step, err)
+			}
+			written[phys] = v
+		case 1: // privileged read must observe last write
+			got, _, err := c.Read(phys, 1)
+			if err != nil {
+				t.Fatalf("step %d: read: %v", step, err)
+			}
+			if want, ok := written[phys]; ok && got[0] != want {
+				t.Fatalf("step %d: phys 0x%x = %#x, want %#x", step, phys, got[0], want)
+			}
+		case 2: // attacker probe
+			resp, err := c.Submit(Request{Kind: ReqRead, Phys: phys, Len: 1})
+			if err != nil {
+				t.Fatalf("step %d: probe: %v", step, err)
+			}
+			if lockedRows[geom.LinearIndex(row)] && c.ActiveRedirects() == 0 && !resp.Denied {
+				// With no live redirect the locked row must deny.
+				if c.Table().IsLocked(row) {
+					t.Fatalf("step %d: locked row %v not denied", step, row)
+				}
+			}
+		case 3: // hammer attempt
+			activated, _, err := c.HammerAttempt(row)
+			if err != nil {
+				t.Fatalf("step %d: hammer: %v", step, err)
+			}
+			if activated && c.Table().IsLocked(row) {
+				t.Fatalf("step %d: hammer activated locked row %v", step, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package core is the top-level DRAM-Locker API: it assembles the DRAM
+// device, the RowHammer fault model, the DRAM-Locker memory controller
+// (lock-table + ISA SWAP sequencer) and the protection policies into one
+// system a user can drop a workload onto.
+//
+// Typical use:
+//
+//	sys, _ := core.NewSystem(core.DefaultConfig())
+//	layout, _ := memmap.New(quantModel, sys.Device(), memmap.DefaultOptions())
+//	sys.ProtectWeights(layout)          // lock aggressor-candidate rows
+//	...
+//	sys.Controller().Submit(req)        // guarded accesses
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/locktable"
+	"repro/internal/memmap"
+	"repro/internal/pagetable"
+	"repro/internal/rowhammer"
+)
+
+// Config assembles the full system configuration.
+type Config struct {
+	Geometry   dram.Geometry
+	Timing     dram.Timing
+	Hammer     rowhammer.Config
+	Controller controller.Config
+	// LockDistance is how far (in rows) from protected data the
+	// aggressor-candidate locking reaches. 1 covers the paper's model;
+	// 2 additionally defends Half-Double patterns.
+	LockDistance int
+}
+
+// DefaultConfig returns the paper's operating point on a small test
+// geometry. Production-scale runs swap in dram.DefaultGeometry().
+func DefaultConfig() Config {
+	return Config{
+		Geometry:     dram.SmallGeometry(),
+		Timing:       dram.DDR4Timing(),
+		Hammer:       rowhammer.DefaultConfig(),
+		Controller:   controller.DefaultConfig(),
+		LockDistance: 1,
+	}
+}
+
+// Validate checks the assembled configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hammer.Validate(); err != nil {
+		return err
+	}
+	if err := c.Controller.Validate(); err != nil {
+		return err
+	}
+	if c.LockDistance < 1 || c.LockDistance > 2 {
+		return fmt.Errorf("core: LockDistance must be 1 or 2, got %d", c.LockDistance)
+	}
+	return nil
+}
+
+// System is an assembled DRAM-Locker deployment.
+type System struct {
+	cfg    Config
+	dev    *dram.Device
+	hammer *rowhammer.Engine
+	ctl    *controller.Controller
+}
+
+// NewSystem builds the device, fault model and controller.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := dram.NewDevice(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	hammer, err := rowhammer.New(dev, cfg.Hammer)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(dev, cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, dev: dev, hammer: hammer, ctl: ctl}, nil
+}
+
+// Device returns the DRAM device.
+func (s *System) Device() *dram.Device { return s.dev }
+
+// Hammer returns the RowHammer fault engine.
+func (s *System) Hammer() *rowhammer.Engine { return s.hammer }
+
+// Controller returns the DRAM-Locker memory controller.
+func (s *System) Controller() *controller.Controller { return s.ctl }
+
+// Table returns the lock-table.
+func (s *System) Table() *locktable.Table { return s.ctl.Table() }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// ProtectWeights locks every row physically adjacent to the layout's
+// weight rows (the paper's recommended policy: lock aggressor candidates,
+// not the frequently-accessed weights themselves). It returns the number
+// of rows locked.
+func (s *System) ProtectWeights(layout *memmap.Layout) (int, error) {
+	locked := 0
+	for _, row := range layout.AggressorRows(s.cfg.LockDistance) {
+		if s.ctl.IsReserved(row) || s.ctl.Table().Contains(row) {
+			continue
+		}
+		if err := s.ctl.LockRow(row); err != nil {
+			return locked, fmt.Errorf("core: locking %v: %w", row, err)
+		}
+		locked++
+	}
+	return locked, nil
+}
+
+// ProtectPageTable locks the rows adjacent to every page-table row, the
+// PTA counterpart of ProtectWeights.
+func (s *System) ProtectPageTable(t *pagetable.Table) (int, error) {
+	geom := s.dev.Geometry()
+	locked := 0
+	for _, ptr := range t.PTRows() {
+		for d := 1; d <= s.cfg.LockDistance; d++ {
+			for _, n := range geom.Neighbors(ptr, d) {
+				if s.ctl.IsReserved(n) || s.ctl.Table().Contains(n) {
+					continue
+				}
+				if err := s.ctl.LockRow(n); err != nil {
+					return locked, fmt.Errorf("core: locking %v: %w", n, err)
+				}
+				locked++
+			}
+		}
+	}
+	return locked, nil
+}
+
+// ProtectRow adds one explicit row to the lock-table (the paper's "users
+// can manually add any row that has a high probability of becoming an
+// aggressor row").
+func (s *System) ProtectRow(row dram.RowAddr) error { return s.ctl.LockRow(row) }
+
+// SetProcessCorner adjusts the per-copy SWAP error probability to a
+// process-variation corner (use circuit.MonteCarlo results: 0 at nominal,
+// 0.0014/3 per copy at ±10%, ~0.033 at ±20%).
+func (s *System) SetProcessCorner(perCopyError float64) error {
+	return s.ctl.CloneEngine().SetCopyErrorProb(perCopyError)
+}

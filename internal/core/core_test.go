@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memmap"
+	"repro/internal/nn"
+	"repro/internal/pagetable"
+	"repro/internal/quant"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemWiresComponents(t *testing.T) {
+	sys := newSystem(t)
+	if sys.Device() == nil || sys.Hammer() == nil || sys.Controller() == nil || sys.Table() == nil {
+		t.Fatal("missing component")
+	}
+	// The hammer engine must observe activations issued by the controller.
+	row := dram.RowAddr{Bank: 0, Row: 10}
+	sys.Controller().HammerAttempt(row)
+	if sys.Hammer().Count(row) != 1 {
+		t.Fatal("hammer engine not observing controller activations")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.LockDistance = 3
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("LockDistance 3 must fail")
+	}
+	bad = DefaultConfig()
+	bad.Hammer.TRH = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("bad hammer config must fail")
+	}
+}
+
+func layoutFor(t *testing.T, sys *System) (*quant.Model, *memmap.Layout) {
+	return layoutForStride(t, sys, 2)
+}
+
+func layoutForStride(t *testing.T, sys *System, stride int) (*quant.Model, *memmap.Layout) {
+	t.Helper()
+	qm := quant.NewModel(nn.NewResNet20(4, 0.125, 9))
+	opts := memmap.DefaultOptions()
+	opts.StartRow = 1
+	opts.RowStride = stride
+	opts.Avoid = func(a dram.RowAddr) bool { return sys.Controller().IsReserved(a) }
+	layout, err := memmap.New(qm, sys.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, layout
+}
+
+func TestProtectWeightsLocksAggressors(t *testing.T) {
+	sys := newSystem(t)
+	_, layout := layoutFor(t, sys)
+	locked, err := sys.ProtectWeights(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked == 0 {
+		t.Fatal("nothing locked")
+	}
+	for _, a := range layout.AggressorRows(1) {
+		if sys.Controller().IsReserved(a) {
+			continue
+		}
+		if !sys.Table().IsLocked(a) {
+			t.Fatalf("aggressor %v not locked", a)
+		}
+	}
+	// Weight rows themselves stay unlocked.
+	for _, wr := range layout.WeightRows() {
+		if sys.Table().IsLocked(wr) {
+			t.Fatalf("weight row %v must not be locked", wr)
+		}
+	}
+	// Idempotent: calling again locks nothing new.
+	again, err := sys.ProtectWeights(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("second call locked %d rows", again)
+	}
+}
+
+func TestProtectWeightsStopsHammering(t *testing.T) {
+	sys := newSystem(t)
+	_, layout := layoutFor(t, sys)
+	if _, err := sys.ProtectWeights(layout); err != nil {
+		t.Fatal(err)
+	}
+	victim := layout.WeightRows()[0]
+	geom := sys.Device().Geometry()
+	for _, agg := range geom.Neighbors(victim, 1) {
+		for i := 0; i < sys.Config().Hammer.TRH*2; i++ {
+			activated, _, err := sys.Controller().HammerAttempt(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if activated {
+				t.Fatalf("activation of locked aggressor %v allowed", agg)
+			}
+		}
+	}
+	if sys.Hammer().History().TotalFlips != 0 {
+		t.Fatal("flips occurred despite protection")
+	}
+}
+
+func TestProtectPageTable(t *testing.T) {
+	sys := newSystem(t)
+	ptRows := []dram.RowAddr{{Bank: 1, Row: 10}, {Bank: 1, Row: 14}}
+	tab, err := pagetable.New(sys.Device(), ptRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err := sys.ProtectPageTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 pages fit in one PT row (256B / 8B = 32 entries), so the table
+	// trims to one row with two lockable neighbors.
+	if len(tab.PTRows()) != 1 {
+		t.Fatalf("PT rows = %d, want 1", len(tab.PTRows()))
+	}
+	if locked != 2 {
+		t.Fatalf("locked %d rows, want 2 (two neighbors of the PT row)", locked)
+	}
+	geom := sys.Device().Geometry()
+	for _, pt := range tab.PTRows() {
+		for _, n := range geom.Neighbors(pt, 1) {
+			if !sys.Table().IsLocked(n) {
+				t.Fatalf("PT neighbor %v not locked", n)
+			}
+		}
+	}
+}
+
+func TestProtectRowAndProcessCorner(t *testing.T) {
+	sys := newSystem(t)
+	row := dram.RowAddr{Bank: 0, Row: 20}
+	if err := sys.ProtectRow(row); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Table().IsLocked(row) {
+		t.Fatal("manual lock missing")
+	}
+	if err := sys.SetProcessCorner(0.033); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Controller().CloneEngine().Config().CopyErrorProb; got != 0.033 {
+		t.Fatalf("corner = %g", got)
+	}
+	if err := sys.SetProcessCorner(2); err == nil {
+		t.Fatal("invalid corner must fail")
+	}
+}
+
+func TestLockDistance2CoversHalfDouble(t *testing.T) {
+	// Stride-3 placement leaves two free rows between weight rows, so
+	// distance-2 locking has extra rows to claim (with stride 2 the
+	// distance-2 neighbors are other weight rows and nothing changes).
+	cfg := DefaultConfig()
+	cfg.LockDistance = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, layout := layoutForStride(t, sys, 3)
+	lockedD2, err := sys.ProtectWeights(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys1 := newSystem(t) // distance 1
+	_, layout1 := layoutForStride(t, sys1, 3)
+	lockedD1, err := sys1.ProtectWeights(layout1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockedD2 <= lockedD1 {
+		t.Fatalf("distance 2 locked %d rows, distance 1 locked %d; want more", lockedD2, lockedD1)
+	}
+}

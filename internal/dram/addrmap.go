@@ -1,0 +1,48 @@
+package dram
+
+import "fmt"
+
+// AddrMapper translates flat physical byte addresses to (bank, row, column)
+// coordinates. The simulator uses a row-interleaved map: consecutive rows of
+// the physical address space round-robin across banks, which is the common
+// open-page mapping and also what gives RowHammer its per-bank locality.
+type AddrMapper struct {
+	geom Geometry
+}
+
+// NewAddrMapper builds a mapper over the geometry.
+func NewAddrMapper(geom Geometry) AddrMapper { return AddrMapper{geom: geom} }
+
+// Geometry returns the mapped geometry.
+func (m AddrMapper) Geometry() Geometry { return m.geom }
+
+// Translate maps a physical byte address to DRAM coordinates.
+func (m AddrMapper) Translate(phys int64) (RowAddr, int, error) {
+	if phys < 0 || phys >= m.geom.CapacityBytes() {
+		return RowAddr{}, 0, fmt.Errorf("%w: phys 0x%x", ErrBadAddress, phys)
+	}
+	rowIdx := phys / int64(m.geom.RowBytes)
+	col := int(phys % int64(m.geom.RowBytes))
+	banks := int64(m.geom.Banks())
+	bank := int(rowIdx % banks)
+	rowInBank := int(rowIdx / banks)
+	return RowAddr{Bank: bank, Row: rowInBank}, col, nil
+}
+
+// Untranslate maps DRAM coordinates back to a physical byte address.
+func (m AddrMapper) Untranslate(a RowAddr, col int) (int64, error) {
+	if !m.geom.Valid(a) {
+		return 0, fmt.Errorf("%w: %v", ErrBadAddress, a)
+	}
+	if col < 0 || col >= m.geom.RowBytes {
+		return 0, fmt.Errorf("%w: col %d", ErrBadColumn, col)
+	}
+	rowIdx := int64(a.Row)*int64(m.geom.Banks()) + int64(a.Bank)
+	return rowIdx*int64(m.geom.RowBytes) + int64(col), nil
+}
+
+// RowOfPhys returns just the row address of a physical byte address.
+func (m AddrMapper) RowOfPhys(phys int64) (RowAddr, error) {
+	a, _, err := m.Translate(phys)
+	return a, err
+}

@@ -1,0 +1,145 @@
+// Package dram models a DDR4-class DRAM device at command level: geometry
+// (channel/rank/bank/subarray/row/column), real bit-accurate row storage,
+// JEDEC-style timing parameters, and the ACT/PRE/RD/WR/REF command state
+// machine with per-bank row buffers.
+//
+// The model is the substrate every other part of the DRAM-Locker
+// reproduction runs on: RowHammer fault injection observes ACT streams,
+// RowClone/SWAP copies rows inside subarrays, and the memory controller
+// accounts latency from the timing parameters.
+package dram
+
+import "fmt"
+
+// Geometry describes the physical organisation of one DRAM channel.
+//
+// Row storage is allocated lazily, so large geometries (a 32GB DIMM has
+// millions of rows) cost memory only for rows actually touched.
+type Geometry struct {
+	// Ranks per channel.
+	Ranks int
+	// Banks per rank.
+	BanksPerRank int
+	// Subarrays per bank. RowClone fast-parallel-mode copies are only
+	// possible between rows of the same subarray.
+	SubarraysPerBank int
+	// Rows per subarray.
+	RowsPerSubarray int
+	// RowBytes is the size of one row (one page) in bytes. DDR4 chips
+	// typically expose 8KB rows per rank after chip interleaving.
+	RowBytes int
+}
+
+// DefaultGeometry returns the 32GB, 16-bank DDR4 configuration used for the
+// paper's Table I comparison: 16 banks of 2048-row subarrays, 8KB rows.
+//
+// 32GB / 8KB = 4,194,304 rows = 16 banks x 256 subarrays x 1024 rows.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Ranks:            1,
+		BanksPerRank:     16,
+		SubarraysPerBank: 256,
+		RowsPerSubarray:  1024,
+		RowBytes:         8192,
+	}
+}
+
+// SmallGeometry returns a geometry small enough for exhaustive tests while
+// preserving all structural properties (multiple banks and subarrays).
+func SmallGeometry() Geometry {
+	return Geometry{
+		Ranks:            1,
+		BanksPerRank:     2,
+		SubarraysPerBank: 4,
+		RowsPerSubarray:  64,
+		RowBytes:         256,
+	}
+}
+
+// Validate checks that all geometry fields are positive.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0:
+		return fmt.Errorf("dram: Ranks must be positive, got %d", g.Ranks)
+	case g.BanksPerRank <= 0:
+		return fmt.Errorf("dram: BanksPerRank must be positive, got %d", g.BanksPerRank)
+	case g.SubarraysPerBank <= 0:
+		return fmt.Errorf("dram: SubarraysPerBank must be positive, got %d", g.SubarraysPerBank)
+	case g.RowsPerSubarray <= 0:
+		return fmt.Errorf("dram: RowsPerSubarray must be positive, got %d", g.RowsPerSubarray)
+	case g.RowBytes <= 0:
+		return fmt.Errorf("dram: RowBytes must be positive, got %d", g.RowBytes)
+	}
+	return nil
+}
+
+// Banks returns the total number of banks in the channel.
+func (g Geometry) Banks() int { return g.Ranks * g.BanksPerRank }
+
+// RowsPerBank returns the number of rows in one bank.
+func (g Geometry) RowsPerBank() int { return g.SubarraysPerBank * g.RowsPerSubarray }
+
+// TotalRows returns the number of rows in the channel.
+func (g Geometry) TotalRows() int { return g.Banks() * g.RowsPerBank() }
+
+// CapacityBytes returns the total channel capacity in bytes.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.TotalRows()) * int64(g.RowBytes)
+}
+
+// RowAddr identifies a row within the channel by bank and in-bank row index.
+type RowAddr struct {
+	Bank int // 0 .. Banks()-1
+	Row  int // 0 .. RowsPerBank()-1
+}
+
+// String renders the address as "bK:rN".
+func (a RowAddr) String() string { return fmt.Sprintf("b%d:r%d", a.Bank, a.Row) }
+
+// Valid reports whether the address is within the geometry.
+func (g Geometry) Valid(a RowAddr) bool {
+	return a.Bank >= 0 && a.Bank < g.Banks() &&
+		a.Row >= 0 && a.Row < g.RowsPerBank()
+}
+
+// Subarray returns the subarray index that the row belongs to.
+func (g Geometry) Subarray(a RowAddr) int { return a.Row / g.RowsPerSubarray }
+
+// SameSubarray reports whether two rows share a subarray (and bank), which
+// is the precondition for RowClone fast-parallel-mode copies.
+func (g Geometry) SameSubarray(a, b RowAddr) bool {
+	return a.Bank == b.Bank && g.Subarray(a) == g.Subarray(b)
+}
+
+// RowInSubarray returns the row index within its subarray.
+func (g Geometry) RowInSubarray(a RowAddr) int { return a.Row % g.RowsPerSubarray }
+
+// Neighbors returns the physically adjacent rows at the given distance
+// (distance 1 = immediate victims). Rows at subarray edges have fewer
+// neighbors; only valid addresses are returned. Adjacency does not cross
+// subarray boundaries: the sense-amplifier stripes between subarrays
+// isolate RowHammer coupling, matching the paper's intra-subarray model.
+func (g Geometry) Neighbors(a RowAddr, distance int) []RowAddr {
+	if distance <= 0 {
+		return nil
+	}
+	var out []RowAddr
+	sub := g.Subarray(a)
+	for _, d := range []int{-distance, distance} {
+		n := RowAddr{Bank: a.Bank, Row: a.Row + d}
+		if g.Valid(n) && g.Subarray(n) == sub {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LinearIndex flattens a RowAddr to a unique integer in [0, TotalRows()).
+func (g Geometry) LinearIndex(a RowAddr) int {
+	return a.Bank*g.RowsPerBank() + a.Row
+}
+
+// FromLinearIndex is the inverse of LinearIndex.
+func (g Geometry) FromLinearIndex(i int) RowAddr {
+	return RowAddr{Bank: i / g.RowsPerBank(), Row: i % g.RowsPerBank()}
+}

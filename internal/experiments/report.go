@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/overhead"
+	"repro/internal/sim"
+)
+
+// FormatFig1a renders the Fig. 1(a) comparison as text.
+func FormatFig1a(r *Fig1aResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 1(a): targeted BFA vs random flips (VGG-11, 100 classes)\n")
+	fmt.Fprintf(&b, "clean accuracy: %.2f%%\n", r.CleanAcc*100)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "flips", "BFA acc(%)", "random acc(%)")
+	n := len(r.Targeted.Records)
+	if len(r.Random.Records) < n {
+		n = len(r.Random.Records)
+	}
+	step := n / 10
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(&b, "%8d %14.2f %14.2f\n",
+			r.Targeted.Records[i].Flips,
+			r.Targeted.Records[i].Accuracy*100,
+			r.Random.Records[i].Accuracy*100)
+	}
+	last := n - 1
+	fmt.Fprintf(&b, "final: BFA %.2f%% after %d flips; random %.2f%% after %d flips\n",
+		r.Targeted.Records[last].Accuracy*100, r.Targeted.TotalFlips,
+		r.Random.Records[last].Accuracy*100, r.Random.TotalFlips)
+	return b.String()
+}
+
+// FormatFig1b renders the threshold table.
+func FormatFig1b(rows []Fig1bRow) string {
+	var b strings.Builder
+	b.WriteString("Fig 1(b): RowHammer thresholds (validated against the fault model)\n")
+	fmt.Fprintf(&b, "%-14s %8s %10s %12s\n", "generation", "TRH", "flip@TRH", "flip@TRH+1")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %10v %12v\n", r.Generation, r.TRH, r.FlipAtTRH, r.FlipPastTRH)
+	}
+	return b.String()
+}
+
+// FormatMonteCarlo renders the §IV.D sweep.
+func FormatMonteCarlo(rows []MonteCarloRow) string {
+	var b strings.Builder
+	b.WriteString("SWAP Monte-Carlo (erroneous SWAP rate vs process variation)\n")
+	fmt.Fprintf(&b, "%10s %12s %12s\n", "variation", "measured(%)", "paper(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.0f%% %12.2f %12.2f\n", r.Variation*100, r.Measured*100, r.Paper*100)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders the hardware-overhead comparison.
+func FormatTable1(reports []overhead.Report) string {
+	var b strings.Builder
+	b.WriteString("Table I: hardware overhead @ 32GB 16-bank DDR4\n")
+	fmt.Fprintf(&b, "%-16s %-12s %-24s %-12s\n", "framework", "memory", "capacity overhead", "area")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-16s %-12s %-24s %-12s\n",
+			r.Framework, r.InvolvedMemory(), r.CapacityCell(), r.AreaCell())
+	}
+	return b.String()
+}
+
+// FormatFig7a renders the latency curves.
+func FormatFig7a(curves []sim.Fig7aCurve) string {
+	var b strings.Builder
+	b.WriteString("Fig 7(a): mitigation latency per Tref vs # of BFA\n")
+	fmt.Fprintf(&b, "%-12s", "#BFA")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %12s", c.Label)
+	}
+	b.WriteByte('\n')
+	if len(curves) == 0 || len(curves[0].Points) == 0 {
+		return b.String()
+	}
+	for i := range curves[0].Points {
+		fmt.Fprintf(&b, "%-12d", curves[0].Points[i].BFA)
+		for _, c := range curves {
+			p := c.Points[i]
+			mark := " "
+			if p.Compromised {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " %11.5f%s", p.Latency.Seconds(), mark)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* = beyond SHADOW's defense threshold: integrity compromised)\n")
+	return b.String()
+}
+
+// FormatFig7b renders the defense-time bars.
+func FormatFig7b(bars []sim.Fig7bBar) string {
+	var b strings.Builder
+	b.WriteString("Fig 7(b): sustained defense time (days)\n")
+	fmt.Fprintf(&b, "%10s %14s %14s\n", "threshold", "SHADOW", "DRAM-Locker")
+	for _, bar := range bars {
+		fmt.Fprintf(&b, "%10d %14.1f %14.1f\n", bar.Threshold, bar.ShadowDays, bar.LockerDays)
+	}
+	return b.String()
+}
+
+// FormatFig8 renders one accuracy-vs-iteration panel.
+func FormatFig8(r *Fig8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 (%s, %d classes): accuracy under BFA, clean=%.2f%%, locked rows=%d\n",
+		r.Arch, r.Classes, r.CleanAcc*100, r.LockedRows)
+	b.WriteString(formatAttackPair(r.Without, r.With))
+	return b.String()
+}
+
+// FormatFig8PTA renders the PTA panel.
+func FormatFig8PTA(r *Fig8PTAResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 (PTA variant): accuracy under page-table attack, clean=%.2f%%, locked rows=%d\n",
+		r.CleanAcc*100, r.LockedRows)
+	b.WriteString(formatAttackPair(r.Without, r.With))
+	return b.String()
+}
+
+func formatAttackPair(without, with attack.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %16s %16s\n", "iteration", "without DL(%)", "with DL(%)")
+	n := len(without.Records)
+	if len(with.Records) < n {
+		n = len(with.Records)
+	}
+	step := n / 10
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(&b, "%10d %16.2f %16.2f\n",
+			without.Records[i].Iteration,
+			without.Records[i].Accuracy*100,
+			with.Records[i].Accuracy*100)
+	}
+	fmt.Fprintf(&b, "final: without %.2f%% (%d flips); with %.2f%% (%d flips, %d denied)\n",
+		without.FinalAccuracy()*100, without.TotalFlips,
+		with.FinalAccuracy()*100, with.TotalFlips, with.TotalDenied)
+	return b.String()
+}
+
+// FormatTable2 renders the software-defense comparison.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II: defense comparison (ResNet-20, 10 classes)\n")
+	fmt.Fprintf(&b, "%-24s %10s %14s %10s  %s\n", "model", "clean(%)", "post-attack(%)", "flips", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10.2f %14.2f %10d  %s\n",
+			r.Model, r.CleanAcc*100, r.PostAttackAcc*100, r.BitFlips, r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// Table2Row is one row of the software-defense comparison (Table II):
+// clean accuracy, post-attack accuracy, and the bit-flip count the
+// attacker needed (or spent) to reach the collapse threshold.
+type Table2Row struct {
+	Model         string
+	CleanAcc      float64
+	PostAttackAcc float64
+	BitFlips      int
+	// Note flags emulation details (see EXPERIMENTS.md).
+	Note string
+}
+
+// Table2Config parameterises the comparison.
+type Table2Config struct {
+	// CollapseAcc is the accuracy at which the model counts as crushed
+	// (paper: ~10-11% on CIFAR-10 = random guessing).
+	CollapseAcc float64
+	// MaxFlips bounds the attacker's budget per row.
+	MaxFlips int
+	// ClusteringLambda is the piece-wise clustering penalty strength.
+	ClusteringLambda float64
+}
+
+// DefaultTable2Config returns collapse at random-guess accuracy with a
+// generous flip budget.
+func DefaultTable2Config(p Preset) Table2Config {
+	return Table2Config{
+		CollapseAcc:      1.5 / 10.0, // slightly above random guessing for 10 classes
+		MaxFlips:         p.AttackIters,
+		ClusteringLambda: 3e-3,
+	}
+}
+
+// reconstructionExecutor emulates the weight-reconstruction defense (Li et
+// al. DAC'20): weights are stored in a redundant transformed form, so
+// after each write-back the deployment reconstructs them and large
+// deviations — the catastrophic MSB jumps BFA relies on — are pulled back
+// toward the original value, leaving only a small residual error. Each
+// flip therefore lands but does a fraction of its intended damage, forcing
+// the attacker to spend far more flips (the paper reports 79 vs the
+// baseline's 20).
+type reconstructionExecutor struct {
+	qm *quant.Model
+	// repairThreshold is the quantized-value jump that triggers repair.
+	repairThreshold int
+	// residual is the corruption left behind after a repair.
+	residual int8
+}
+
+// TryFlip implements attack.FlipExecutor.
+func (r *reconstructionExecutor) TryFlip(globalW, k int) (attack.FlipOutcome, error) {
+	pi, li := r.qm.Locate(globalW)
+	qp := r.qm.Params[pi]
+	before := qp.Get(li)
+	qp.Flip(li, k)
+	after := qp.Get(li)
+	delta := int(after) - int(before)
+	if delta >= r.repairThreshold || delta <= -r.repairThreshold {
+		// Reconstruction detects the outlier and repairs toward the
+		// original, leaving a bounded residual.
+		repaired := before
+		if delta > 0 {
+			repaired += r.residual
+		} else {
+			repaired -= r.residual
+		}
+		qp.Q[li] = repaired
+		qp.Param.W.Data[li] = quant.Dequantize(repaired, qp.Scale)
+	}
+	return attack.FlipOutcome{Succeeded: true}, nil
+}
+
+// Table2 measures every defense row on ResNet-20 / CIFAR-10-like data.
+// Training-based defenses run under direct flip execution (they do not
+// change the memory system); DRAM-Locker runs on the full DRAM stack with
+// an ideal (error-free) SWAP, the paper's Table II setting.
+func Table2(p Preset, cfg Table2Config) ([]Table2Row, error) {
+	bcfg := attack.DefaultBFAConfig()
+	bcfg.CandidatesPerIter = p.Candidates
+
+	attackToCollapse := func(v *Victim, exec attack.FlipExecutor) (int, float64, error) {
+		return attack.BFAUntilCollapse(v.QM, v.AttackBatch, v.Eval, exec, bcfg, cfg.CollapseAcc, cfg.MaxFlips)
+	}
+
+	var rows []Table2Row
+
+	// Baseline ResNet-20 (8-bit).
+	base, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err := attackToCollapse(base, &attack.DirectExecutor{QM: base.QM})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "Baseline ResNet-20", CleanAcc: base.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+	})
+
+	// Piece-wise clustering (He et al. CVPR'20).
+	pwc, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0,
+		nn.PiecewiseClusteringReg(cfg.ClusteringLambda))
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err = attackToCollapse(pwc, &attack.DirectExecutor{QM: pwc.QM})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "Piece-wise Clustering", CleanAcc: pwc.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+		Note: "clustering regularizer during training",
+	})
+
+	// Binary weights (He et al. CVPR'20).
+	bin, err := TrainVictim(p, ArchResNet20, 10, 1, 1.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err = attackToCollapse(bin, &attack.DirectExecutor{QM: bin.QM})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "Binary weight", CleanAcc: bin.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+		Note: "1-bit sign weights",
+	})
+
+	// Model capacity x16 (Rakin et al.): 16x parameters = 4x width.
+	wide, err := TrainVictim(p, ArchResNet20, 10, 8, 4.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err = attackToCollapse(wide, &attack.DirectExecutor{QM: wide.QM})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "Model Capacity x16", CleanAcc: wide.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+		Note: "4x channel width",
+	})
+
+	// Weight reconstruction (Li et al. DAC'20): redundancy + repair.
+	rec, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err = attackToCollapse(rec, &reconstructionExecutor{
+		qm:              rec.QM,
+		repairThreshold: 64,
+		residual:        8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "Weight Reconstruction", CleanAcc: rec.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+		Note: "emulated as outlier repair with residual error",
+	})
+
+	// RA-BNN (Rakin et al.): binary weights at doubled width.
+	rabnn, err := TrainVictim(p, ArchResNet20, 10, 1, 2.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flips, post, err = attackToCollapse(rabnn, &attack.DirectExecutor{QM: rabnn.QM})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table2Row{
+		Model: "RA-BNN", CleanAcc: rabnn.CleanAcc,
+		PostAttackAcc: post, BitFlips: flips,
+		Note: "binary weights, 2x width",
+	})
+
+	// DRAM-Locker: full stack, ideal SWAP (no process-variation errors).
+	dl, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := BuildSystem(p, dl, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := attack.BFA(dl.QM, dl.AttackBatch, dl.Eval, sys.Exec, attack.BFAConfig{
+		Iterations:        cfg.MaxFlips,
+		CandidatesPerIter: p.Candidates,
+		AttackBatch:       p.AttackBatch,
+		Seed:              p.Seed + 999,
+	})
+	if err != nil {
+		return nil, err
+	}
+	postAcc := res.FinalAccuracy()
+	rows = append(rows, Table2Row{
+		Model: "DRAM-Locker", CleanAcc: dl.CleanAcc,
+		PostAttackAcc: postAcc, BitFlips: res.TotalDenied + res.TotalFlips,
+		Note: fmt.Sprintf("all %d attempts denied, %d landed", res.TotalDenied, res.TotalFlips),
+	})
+	return rows, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/overhead"
+	"repro/internal/sim"
+)
+
+// MonteCarlo reproduces §IV.D: the erroneous-SWAP rate at ±0/10/20%
+// process variation, next to the paper's reported numbers.
+type MonteCarloRow struct {
+	Variation float64
+	Measured  float64
+	Paper     float64
+}
+
+// MonteCarlo runs the calibrated charge-sharing model.
+func MonteCarlo(p Preset) ([]MonteCarloRow, error) {
+	results, err := circuit.PaperSweep(circuit.Default45nm(), p.MCTrials, p.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	paper := circuit.PaperReportedSwapRates()
+	var rows []MonteCarloRow
+	for _, r := range results {
+		rows = append(rows, MonteCarloRow{
+			Variation: r.Variation,
+			Measured:  r.SwapRate,
+			Paper:     paper[r.Variation],
+		})
+	}
+	return rows, nil
+}
+
+// Table1 reproduces the hardware-overhead comparison on the paper's
+// 32GB 16-bank DDR4 configuration.
+func Table1() []overhead.Report {
+	return overhead.Table1(overhead.DefaultConfig())
+}
+
+// Fig7aData computes the latency-per-Tref curves (SHADOW at four
+// thresholds + DRAM-Locker) over the paper's 0..8e4 BFA range.
+func Fig7aData() ([]sim.Fig7aCurve, error) {
+	return sim.Fig7a(sim.DefaultLatencyConfig(), 80000, 10000)
+}
+
+// Fig7bData computes the defense-time bars at thresholds 1k..8k.
+func Fig7bData() ([]sim.Fig7bBar, error) {
+	return sim.Fig7b(sim.DefaultDefenseTimeConfig())
+}

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/rowclone"
+)
+
+// Errors returned by the sequencer.
+var (
+	ErrNoTerminator = errors.New("isa: program ran off the end without DONE")
+	ErrBranchRange  = errors.New("isa: branch target outside program")
+	ErrStepBudget   = errors.New("isa: step budget exhausted (runaway loop?)")
+	ErrUnboundReg   = errors.New("isa: micro-register holds no row address")
+)
+
+// Sequencer executes DRAM-Locker programs against a RowClone engine.
+// Micro-registers hold either a row address (for AAP operands) or a scalar
+// counter (for BNEZ). The controller binds registers before Run.
+type Sequencer struct {
+	clone *rowclone.Engine
+
+	rows    [NumMicroRegs]dram.RowAddr
+	bound   [NumMicroRegs]bool
+	counter [NumMicroRegs]int64
+
+	// MaxSteps bounds execution to catch runaway loops; 0 means default.
+	MaxSteps int
+
+	stats SequencerStats
+}
+
+// SequencerStats counts executed micro-operations.
+type SequencerStats struct {
+	Programs   int64
+	Steps      int64
+	Copies     int64
+	CopyErrors int64
+	Branches   int64
+	Latency    dram.Picoseconds
+}
+
+// DefaultMaxSteps bounds one program run.
+const DefaultMaxSteps = 1 << 20
+
+// NewSequencer builds a sequencer over a RowClone engine.
+func NewSequencer(clone *rowclone.Engine) *Sequencer {
+	return &Sequencer{clone: clone, MaxSteps: DefaultMaxSteps}
+}
+
+// BindRow loads a row address into a micro-register.
+func (s *Sequencer) BindRow(reg uint8, addr dram.RowAddr) error {
+	if reg >= NumMicroRegs {
+		return fmt.Errorf("%w: R%d", ErrBadRegister, reg)
+	}
+	s.rows[reg] = addr
+	s.bound[reg] = true
+	return nil
+}
+
+// BindCounter loads a scalar counter into a micro-register.
+func (s *Sequencer) BindCounter(reg uint8, v int64) error {
+	if reg >= NumMicroRegs {
+		return fmt.Errorf("%w: R%d", ErrBadRegister, reg)
+	}
+	s.counter[reg] = v
+	return nil
+}
+
+// Row returns the row address bound to a register.
+func (s *Sequencer) Row(reg uint8) (dram.RowAddr, bool) {
+	if reg >= NumMicroRegs || !s.bound[reg] {
+		return dram.RowAddr{}, false
+	}
+	return s.rows[reg], true
+}
+
+// Counter returns the scalar value of a register.
+func (s *Sequencer) Counter(reg uint8) int64 {
+	if reg >= NumMicroRegs {
+		return 0
+	}
+	return s.counter[reg]
+}
+
+// Stats returns accumulated execution statistics.
+func (s *Sequencer) Stats() SequencerStats { return s.stats }
+
+// RunResult reports one program execution.
+type RunResult struct {
+	Steps      int
+	Copies     int
+	CopyErrors int
+	Latency    dram.Picoseconds
+}
+
+// Run executes the program until DONE. AAP copies rows through the RowClone
+// engine (inheriting its error injection); BNEZ decrements its counter
+// register and branches while non-zero.
+func (s *Sequencer) Run(prog []Instruction) (RunResult, error) {
+	var res RunResult
+	maxSteps := s.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	pc := 0
+	for {
+		if res.Steps >= maxSteps {
+			return res, fmt.Errorf("%w after %d steps", ErrStepBudget, res.Steps)
+		}
+		if pc < 0 || pc >= len(prog) {
+			return res, fmt.Errorf("%w: pc=%d len=%d", ErrNoTerminator, pc, len(prog))
+		}
+		in := prog[pc]
+		res.Steps++
+		s.stats.Steps++
+		switch in.Op {
+		case OpDONE:
+			s.stats.Programs++
+			s.stats.Copies += int64(res.Copies)
+			s.stats.CopyErrors += int64(res.CopyErrors)
+			s.stats.Latency += res.Latency
+			return res, nil
+		case OpNOP:
+			pc++
+		case OpAAP:
+			src := uint8(in.B)
+			if !s.bound[in.A] {
+				return res, fmt.Errorf("%w: dst R%d", ErrUnboundReg, in.A)
+			}
+			if src >= NumMicroRegs || !s.bound[src] {
+				return res, fmt.Errorf("%w: src R%d", ErrUnboundReg, src)
+			}
+			erred, lat, err := s.clone.Copy(s.rows[src], s.rows[in.A])
+			if err != nil {
+				return res, err
+			}
+			res.Copies++
+			res.Latency += lat
+			if erred {
+				res.CopyErrors++
+			}
+			pc++
+		case OpBNEZ:
+			s.stats.Branches++
+			if s.counter[in.A] > 0 {
+				s.counter[in.A]--
+			}
+			if s.counter[in.A] != 0 {
+				target := pc + 1 + int(in.B)
+				if target < 0 || target >= len(prog) {
+					return res, fmt.Errorf("%w: pc=%d offset=%d", ErrBranchRange, pc, in.B)
+				}
+				pc = target
+			} else {
+				pc++
+			}
+		default:
+			return res, fmt.Errorf("%w: opcode %d", ErrBadMnemonic, in.Op)
+		}
+	}
+}

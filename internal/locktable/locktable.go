@@ -1,0 +1,240 @@
+// Package locktable implements the DRAM-Locker lock-table: a small SRAM
+// structure at the memory controller recording the physical row addresses
+// that must not be activated (paper §IV-A/B).
+//
+// Unlike the count-tables of counter-based RowHammer trackers, the
+// lock-table stores no activation counters — only row addresses plus a
+// small re-lock countdown — which is where the paper's 56KB SRAM / 0.02%
+// area overhead comes from (Table I).
+package locktable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+)
+
+// Errors returned by table operations.
+var (
+	ErrFull      = errors.New("locktable: table full")
+	ErrNotLocked = errors.New("locktable: row is not locked")
+	ErrLocked    = errors.New("locktable: row already locked")
+)
+
+// EntryBytes is the SRAM cost of one lock-table entry: a 32-bit physical
+// row address, a 16-bit re-lock countdown and a valid/state byte.
+const EntryBytes = 7
+
+// Entry is one lock-table record.
+type Entry struct {
+	Row dram.RowAddr
+	// Pending indicates the row was unlocked by a SWAP and will re-lock
+	// when Countdown reaches zero.
+	Pending bool
+	// Countdown is the number of R/W instructions remaining until re-lock
+	// when Pending.
+	Countdown int
+}
+
+// Config sizes the table.
+type Config struct {
+	// CapacityEntries bounds the number of simultaneously tracked rows.
+	// The paper's 56KB SRAM at 7B/entry is 8192 entries.
+	CapacityEntries int
+}
+
+// DefaultConfig returns the paper's 56KB SRAM sizing.
+func DefaultConfig() Config { return Config{CapacityEntries: 56 * 1024 / EntryBytes} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CapacityEntries <= 0 {
+		return fmt.Errorf("locktable: CapacityEntries must be positive, got %d", c.CapacityEntries)
+	}
+	return nil
+}
+
+// Stats aggregates table activity.
+type Stats struct {
+	Lookups     int64
+	Hits        int64
+	Locks       int64
+	Unlocks     int64
+	Relocks     int64
+	MaxOccupied int
+}
+
+// Table is the lock-table. It is a plain associative map bounded by
+// capacity; a hardware implementation would be a set-associative SRAM, but
+// lookup semantics are identical.
+type Table struct {
+	cfg     Config
+	entries map[int]*Entry // geometry linear index -> entry
+	geom    dram.Geometry
+	stats   Stats
+}
+
+// New creates an empty table for rows of the given geometry.
+func New(geom dram.Geometry, cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{cfg: cfg, entries: make(map[int]*Entry), geom: geom}, nil
+}
+
+// Capacity returns the configured entry capacity.
+func (t *Table) Capacity() int { return t.cfg.CapacityEntries }
+
+// Len returns the number of occupied entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// SRAMBytes returns the SRAM footprint of the configured capacity.
+func (t *Table) SRAMBytes() int { return t.cfg.CapacityEntries * EntryBytes }
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Lock inserts a row into the table in the locked state.
+func (t *Table) Lock(row dram.RowAddr) error {
+	if !t.geom.Valid(row) {
+		return fmt.Errorf("locktable: invalid row %v", row)
+	}
+	idx := t.geom.LinearIndex(row)
+	if e, ok := t.entries[idx]; ok {
+		if !e.Pending {
+			return fmt.Errorf("%w: %v", ErrLocked, row)
+		}
+		// Re-arming a pending entry locks it immediately.
+		e.Pending = false
+		e.Countdown = 0
+		t.stats.Locks++
+		return nil
+	}
+	if len(t.entries) >= t.cfg.CapacityEntries {
+		return fmt.Errorf("%w: capacity %d", ErrFull, t.cfg.CapacityEntries)
+	}
+	t.entries[idx] = &Entry{Row: row}
+	t.stats.Locks++
+	if len(t.entries) > t.stats.MaxOccupied {
+		t.stats.MaxOccupied = len(t.entries)
+	}
+	return nil
+}
+
+// IsLocked reports whether a row is currently locked (present and not
+// pending re-lock). Every call models one SRAM lookup.
+func (t *Table) IsLocked(row dram.RowAddr) bool {
+	t.stats.Lookups++
+	e, ok := t.entries[t.geom.LinearIndex(row)]
+	if ok && !e.Pending {
+		t.stats.Hits++
+		return true
+	}
+	return false
+}
+
+// Contains reports whether the row has any entry, locked or pending.
+func (t *Table) Contains(row dram.RowAddr) bool {
+	_, ok := t.entries[t.geom.LinearIndex(row)]
+	return ok
+}
+
+// Unlock transitions a locked row to the pending state with the given
+// re-lock countdown (the paper re-locks after 1k R/W instructions).
+func (t *Table) Unlock(row dram.RowAddr, countdown int) error {
+	e, ok := t.entries[t.geom.LinearIndex(row)]
+	if !ok || e.Pending {
+		return fmt.Errorf("%w: %v", ErrNotLocked, row)
+	}
+	e.Pending = true
+	e.Countdown = countdown
+	t.stats.Unlocks++
+	return nil
+}
+
+// Remove deletes a row's entry entirely.
+func (t *Table) Remove(row dram.RowAddr) error {
+	idx := t.geom.LinearIndex(row)
+	if _, ok := t.entries[idx]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotLocked, row)
+	}
+	delete(t.entries, idx)
+	return nil
+}
+
+// Retarget atomically moves an entry from one row to another, preserving
+// state. Used after a SWAP when the protected data now lives elsewhere
+// (paper Fig. 4(d): the lock-table is updated to the row that holds the
+// data).
+func (t *Table) Retarget(from, to dram.RowAddr) error {
+	if !t.geom.Valid(to) {
+		return fmt.Errorf("locktable: invalid row %v", to)
+	}
+	fromIdx := t.geom.LinearIndex(from)
+	e, ok := t.entries[fromIdx]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotLocked, from)
+	}
+	toIdx := t.geom.LinearIndex(to)
+	if _, exists := t.entries[toIdx]; exists {
+		return fmt.Errorf("%w: %v", ErrLocked, to)
+	}
+	delete(t.entries, fromIdx)
+	e.Row = to
+	t.entries[toIdx] = e
+	return nil
+}
+
+// TickRW advances every pending countdown by one R/W instruction and
+// re-locks entries whose countdown expires. It returns the rows that
+// re-locked on this tick.
+func (t *Table) TickRW() []dram.RowAddr {
+	var relocked []dram.RowAddr
+	for _, e := range t.entries {
+		if !e.Pending {
+			continue
+		}
+		e.Countdown--
+		if e.Countdown <= 0 {
+			e.Pending = false
+			e.Countdown = 0
+			t.stats.Relocks++
+			relocked = append(relocked, e.Row)
+		}
+	}
+	sort.Slice(relocked, func(i, j int) bool {
+		return t.geom.LinearIndex(relocked[i]) < t.geom.LinearIndex(relocked[j])
+	})
+	return relocked
+}
+
+// LockedRows returns all currently locked (non-pending) rows in
+// deterministic order.
+func (t *Table) LockedRows() []dram.RowAddr {
+	var out []dram.RowAddr
+	for _, e := range t.entries {
+		if !e.Pending {
+			out = append(out, e.Row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return t.geom.LinearIndex(out[i]) < t.geom.LinearIndex(out[j])
+	})
+	return out
+}
+
+// PendingRows returns all pending (unlocked awaiting re-lock) rows.
+func (t *Table) PendingRows() []dram.RowAddr {
+	var out []dram.RowAddr
+	for _, e := range t.entries {
+		if e.Pending {
+			out = append(out, e.Row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return t.geom.LinearIndex(out[i]) < t.geom.LinearIndex(out[j])
+	})
+	return out
+}

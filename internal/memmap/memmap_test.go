@@ -1,0 +1,219 @@
+package memmap
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+func newRig(t *testing.T, opts Options) (*dram.Device, *quant.Model, *Layout) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := quant.NewModel(nn.NewResNet20(4, 0.125, 5))
+	l, err := New(qm, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, qm, l
+}
+
+func TestPlacementStrideLeavesGaps(t *testing.T) {
+	_, _, l := newRig(t, DefaultOptions())
+	rows := l.WeightRows()
+	if len(rows) < 2 {
+		t.Skip("model too small for this geometry")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bank != rows[i-1].Bank {
+			continue
+		}
+		if rows[i].Row-rows[i-1].Row < 2 {
+			t.Fatalf("rows %v and %v adjacent; stride 2 must leave gaps", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestAggressorRowsAreNeighborsNotWeights(t *testing.T) {
+	dev, _, l := newRig(t, DefaultOptions())
+	geom := dev.Geometry()
+	aggs := l.AggressorRows(1)
+	if len(aggs) == 0 {
+		t.Fatal("no aggressor rows found")
+	}
+	for _, a := range aggs {
+		if l.IsWeightRow(a) {
+			t.Fatalf("aggressor %v is itself a weight row", a)
+		}
+		// Every aggressor is adjacent to at least one weight row.
+		adjacent := false
+		for _, n := range geom.Neighbors(a, 1) {
+			if l.IsWeightRow(n) {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("aggressor %v not adjacent to any weight row", a)
+		}
+	}
+}
+
+func TestEveryWeightRowIsCovered(t *testing.T) {
+	dev, _, l := newRig(t, DefaultOptions())
+	geom := dev.Geometry()
+	aggSet := make(map[int]bool)
+	for _, a := range l.AggressorRows(1) {
+		aggSet[geom.LinearIndex(a)] = true
+	}
+	for _, wr := range l.WeightRows() {
+		for _, n := range geom.Neighbors(wr, 1) {
+			if !l.IsWeightRow(n) && !aggSet[geom.LinearIndex(n)] {
+				t.Fatalf("neighbor %v of weight row %v missing from aggressor set", n, wr)
+			}
+		}
+	}
+}
+
+func TestWriteAllStoresQuantizedBytes(t *testing.T) {
+	dev, qm, l := newRig(t, DefaultOptions())
+	// Check the first few weights byte-for-byte.
+	for w := 0; w < 16 && w < qm.TotalWeights(); w++ {
+		row, col, err := l.rowAndCol(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := dev.PeekRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, li := qm.Locate(w)
+		if int8(data[col]) != qm.Params[pi].Get(li) {
+			t.Fatalf("weight %d: DRAM %d != model %d", w, int8(data[col]), qm.Params[pi].Get(li))
+		}
+	}
+}
+
+func TestSyncFromDRAMPropagatesFlips(t *testing.T) {
+	dev, qm, l := newRig(t, DefaultOptions())
+	const target = 5
+	row, bit, err := l.LocationOfBit(target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, li := qm.Locate(target)
+	before := qm.Params[pi].Get(li)
+	beforeFloat := qm.Params[pi].Param.W.Data[li]
+
+	if err := dev.FlipBit(row, bit); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := l.SyncFromDRAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	after := qm.Params[pi].Get(li)
+	if after == before {
+		t.Fatal("model value unchanged after DRAM flip")
+	}
+	if int(after)-int(before) != quant.BitDelta(before, 7) {
+		t.Fatalf("delta %d, want MSB delta %d", int(after)-int(before), quant.BitDelta(before, 7))
+	}
+	if qm.Params[pi].Param.W.Data[li] == beforeFloat {
+		t.Fatal("float view not refreshed")
+	}
+	// Sync again: nothing more to do.
+	changed, _ = l.SyncFromDRAM()
+	if changed != 0 {
+		t.Fatalf("second sync changed %d", changed)
+	}
+}
+
+func TestLocationOfBitConsistentWithPhys(t *testing.T) {
+	dev, qm, l := newRig(t, DefaultOptions())
+	mapper := dram.NewAddrMapper(dev.Geometry())
+	for w := 0; w < qm.TotalWeights(); w += 997 {
+		phys, err := l.PhysOfWeight(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, col, err := mapper.Translate(phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row2, bit, err := l.LocationOfBit(w, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row2 != row || bit != col*8+3 {
+			t.Fatalf("weight %d: (%v,%d) vs (%v,%d)", w, row2, bit, row, col*8+3)
+		}
+	}
+}
+
+func TestAvoidExcludesRows(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := quant.NewModel(nn.NewResNet20(4, 0.125, 5))
+	opts := DefaultOptions()
+	opts.Avoid = func(a dram.RowAddr) bool { return a.Row%4 == 0 }
+	l, err := New(qm, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range l.WeightRows() {
+		if r.Row%4 == 0 {
+			t.Fatalf("avoided row %v was allocated", r)
+		}
+	}
+}
+
+func TestGeometryExhaustion(t *testing.T) {
+	tiny := dram.Geometry{Ranks: 1, BanksPerRank: 1, SubarraysPerBank: 1, RowsPerSubarray: 4, RowBytes: 16}
+	dev, err := dram.NewDevice(tiny, dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := quant.NewModel(nn.NewResNet20(4, 0.25, 5))
+	if _, err := New(qm, dev, DefaultOptions()); err == nil {
+		t.Fatal("oversized model must fail placement")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	geom := dram.SmallGeometry()
+	bad := []Options{
+		{RowStride: 0},
+		{RowStride: 1, StartBank: -1},
+		{RowStride: 1, StartRow: 1 << 20},
+	}
+	for i, o := range bad {
+		if err := o.Validate(geom); err == nil {
+			t.Errorf("options %d must fail", i)
+		}
+	}
+}
+
+func TestWeightsInRowBounds(t *testing.T) {
+	dev, qm, l := newRig(t, DefaultOptions())
+	rb := dev.Geometry().RowBytes
+	total := 0
+	for i := range l.WeightRows() {
+		lo, hi := l.WeightsInRow(i)
+		if hi-lo > rb {
+			t.Fatalf("row %d holds %d weights > rowBytes", i, hi-lo)
+		}
+		total += hi - lo
+	}
+	if total != qm.TotalWeights() {
+		t.Fatalf("rows cover %d weights, want %d", total, qm.TotalWeights())
+	}
+}

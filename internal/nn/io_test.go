@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := newToySource(32, 8)
+	m := NewResNet20(2, 0.25, 77)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	Fit(m, src, cfg)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewResNet20(2, 0.25, 999) // different init, same architecture
+	if err := LoadCheckpoint(m2, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same weights, same BN stats: identical inference outputs.
+	rng := stats.NewRNG(5)
+	x := tensor.New(4, 3, 8, 8)
+	x.RandNormal(rng, 1)
+	a := m.Forward(x, false)
+	b := m2.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("logit %d: %g != %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	m := NewResNet20(2, 0.25, 1)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongWidth := NewResNet20(2, 0.5, 1)
+	if err := LoadCheckpoint(wrongWidth, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading into a wider model must fail")
+	}
+	wrongArch := NewVGG11(2, 0.25, 1)
+	if err := LoadCheckpoint(wrongArch, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading into a different architecture must fail")
+	}
+}
+
+func TestCheckpointCorruptHeader(t *testing.T) {
+	m := NewResNet20(2, 0.25, 1)
+	if err := LoadCheckpoint(m, strings.NewReader("XXXX garbage")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if err := LoadCheckpoint(m, strings.NewReader("DL")); err == nil {
+		t.Fatal("truncated magic must fail")
+	}
+}
+
+func TestCheckpointTruncatedPayload(t *testing.T) {
+	m := NewResNet20(2, 0.25, 1)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if err := LoadCheckpoint(NewResNet20(2, 0.25, 1), bytes.NewReader(half)); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+}

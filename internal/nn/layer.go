@@ -1,0 +1,574 @@
+// Package nn implements the DNN substrate of the reproduction: layers with
+// explicit forward/backward passes, the ResNet-20 and VGG-11 architectures
+// the paper evaluates, an SGD trainer, and cross-entropy loss. Gradients
+// with respect to weights — required by the progressive bit search of the
+// Bit-Flip Attack — come out of the same backward pass used for training.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Param is one learnable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	// NoDecay excludes the parameter from weight decay (biases, BN).
+	NoDecay bool
+	// Quantizable marks weight matrices eligible for 8-bit quantization
+	// and therefore exposed to the bit-flip attack surface.
+	Quantizable bool
+}
+
+// newParam allocates a parameter and its gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the layer output; train toggles training behaviour
+	// (BatchNorm statistics). Implementations cache what Backward needs.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/dout and returns dL/din, accumulating dL/dW
+	// into the layer's parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params lists learnable parameters (may be empty).
+	Params() []*Param
+	// Name identifies the layer instance.
+	Name() string
+}
+
+// --- Conv2D -------------------------------------------------------------------
+
+// Conv2D is a 2-D convolution with square kernels, implemented by im2col
+// lowering to matrix multiplication.
+type Conv2D struct {
+	LayerName           string
+	InC, OutC           int
+	Kernel, Stride, Pad int
+	Bias                bool
+
+	Weight *Param // (OutC, InC*K*K)
+	B      *Param // (OutC)
+
+	// cached forward state
+	cols       *tensor.Tensor
+	inShape    []int
+	outH, outW int
+}
+
+// NewConv2D constructs a convolution layer with Kaiming init.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int, bias bool, rng *stats.RNG) *Conv2D {
+	c := &Conv2D{
+		LayerName: name, InC: inC, OutC: outC,
+		Kernel: kernel, Stride: stride, Pad: pad, Bias: bias,
+	}
+	c.Weight = newParam(name+".weight", outC, inC*kernel*kernel)
+	c.Weight.Quantizable = true
+	c.Weight.W.KaimingInit(rng, inC*kernel*kernel)
+	if bias {
+		c.B = newParam(name+".bias", outC)
+		c.B.NoDecay = true
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.B != nil {
+		return []*Param{c.Weight, c.B}
+	}
+	return []*Param{c.Weight}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", c.LayerName, c.InC, x.Shape))
+	}
+	n := x.Shape[0]
+	cols, outH, outW := tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	c.cols = cols
+	c.inShape = append([]int(nil), x.Shape...)
+	c.outH, c.outW = outH, outW
+	// (N*oh*ow, inC*k*k) x (inC*k*k, outC) = cols * Wᵀ
+	out2 := tensor.MatMulTransB(cols, c.Weight.W) // (N*oh*ow, outC)
+	// Rearrange to (N, outC, oh, ow).
+	out := tensor.New(n, c.OutC, outH, outW)
+	hw := outH * outW
+	for img := 0; img < n; img++ {
+		for p := 0; p < hw; p++ {
+			src := (img*hw + p) * c.OutC
+			for oc := 0; oc < c.OutC; oc++ {
+				out.Data[(img*c.OutC+oc)*hw+p] = out2.Data[src+oc]
+			}
+		}
+	}
+	if c.B != nil {
+		for img := 0; img < n; img++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.B.W.Data[oc]
+				base := (img*c.OutC + oc) * hw
+				for p := 0; p < hw; p++ {
+					out.Data[base+p] += bias
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	hw := c.outH * c.outW
+	// Rearrange grad (N, outC, oh, ow) to (N*oh*ow, outC).
+	g2 := tensor.New(n*hw, c.OutC)
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := (img*c.OutC + oc) * hw
+			for p := 0; p < hw; p++ {
+				g2.Data[(img*hw+p)*c.OutC+oc] = grad.Data[base+p]
+			}
+		}
+	}
+	// dW = g2ᵀ * cols  -> (outC, inC*k*k)
+	dw := tensor.MatMulTransA(g2, c.cols)
+	c.Weight.Grad.Add(dw)
+	// dCols = g2 * W -> (N*oh*ow, inC*k*k)
+	dcols := tensor.MatMul(g2, c.Weight.W)
+	dx := tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3],
+		c.Kernel, c.Kernel, c.Stride, c.Pad)
+	if c.B != nil {
+		rows := n * hw
+		for r := 0; r < rows; r++ {
+			row := g2.Data[r*c.OutC : (r+1)*c.OutC]
+			for oc, v := range row {
+				c.B.Grad.Data[oc] += v
+			}
+		}
+	}
+	return dx
+}
+
+// --- Linear -------------------------------------------------------------------
+
+// Linear is a fully connected layer y = xW^T + b.
+type Linear struct {
+	LayerName string
+	In, Out   int
+	Weight    *Param // (Out, In)
+	B         *Param // (Out)
+
+	x *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer.
+func NewLinear(name string, in, out int, rng *stats.RNG) *Linear {
+	l := &Linear{LayerName: name, In: in, Out: out}
+	l.Weight = newParam(name+".weight", out, in)
+	l.Weight.Quantizable = true
+	l.Weight.W.KaimingInit(rng, in)
+	l.B = newParam(name+".bias", out)
+	l.B.NoDecay = true
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.LayerName }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.B} }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.LayerName, l.In, x.Shape))
+	}
+	l.x = x
+	out := tensor.MatMulTransB(x, l.Weight.W) // (N, Out)
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.B.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW = gradᵀ x -> (Out, In)
+	dw := tensor.MatMulTransA(grad, l.x)
+	l.Weight.Grad.Add(dw)
+	n := grad.Shape[0]
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			l.B.Grad.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMul(grad, l.Weight.W) // (N, In)
+}
+
+// --- ReLU ---------------------------------------------------------------------
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	LayerName string
+	mask      []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// --- BatchNorm2D --------------------------------------------------------------
+
+// BatchNorm2D normalises per channel over (N, H, W) with learnable scale
+// and shift, tracking running statistics for inference.
+type BatchNorm2D struct {
+	LayerName string
+	C         int
+	Momentum  float64
+	Eps       float64
+	// FreezeStats suppresses running-statistics updates during train-mode
+	// forwards. The bit-flip attack sets this while computing gradients so
+	// that probing the model does not perturb its inference behaviour.
+	FreezeStats bool
+
+	Gamma *Param
+	Beta  *Param
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	// cached forward state
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+}
+
+// NewBatchNorm2D constructs a batch normalisation layer.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		LayerName: name, C: c, Momentum: 0.1, Eps: 1e-5,
+		Gamma: newParam(name+".gamma", c), Beta: newParam(name+".beta", c),
+		RunningMean: make([]float64, c), RunningVar: make([]float64, c),
+	}
+	bn.Gamma.NoDecay = true
+	bn.Beta.NoDecay = true
+	bn.Gamma.W.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.LayerName }
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != bn.C {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", bn.LayerName, bn.C, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	out := tensor.New(n, c, h, w)
+	bn.inShape = append([]int(nil), x.Shape...)
+	if train {
+		bn.xhat = tensor.New(n, c, h, w)
+		if cap(bn.invStd) < c {
+			bn.invStd = make([]float64, c)
+		}
+		bn.invStd = bn.invStd[:c]
+		cnt := float64(n * hw)
+		for ch := 0; ch < c; ch++ {
+			var mean float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for p := 0; p < hw; p++ {
+					mean += float64(x.Data[base+p])
+				}
+			}
+			mean /= cnt
+			var variance float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for p := 0; p < hw; p++ {
+					d := float64(x.Data[base+p]) - mean
+					variance += d * d
+				}
+			}
+			variance /= cnt
+			if !bn.FreezeStats {
+				bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mean
+				bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*variance
+			}
+			inv := 1 / math.Sqrt(variance+bn.Eps)
+			bn.invStd[ch] = inv
+			g := float64(bn.Gamma.W.Data[ch])
+			b := float64(bn.Beta.W.Data[ch])
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for p := 0; p < hw; p++ {
+					xh := (float64(x.Data[base+p]) - mean) * inv
+					bn.xhat.Data[base+p] = float32(xh)
+					out.Data[base+p] = float32(g*xh + b)
+				}
+			}
+		}
+		return out
+	}
+	// Inference path uses running statistics.
+	for ch := 0; ch < c; ch++ {
+		inv := 1 / math.Sqrt(bn.RunningVar[ch]+bn.Eps)
+		mean := bn.RunningMean[ch]
+		g := float64(bn.Gamma.W.Data[ch])
+		b := float64(bn.Beta.W.Data[ch])
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for p := 0; p < hw; p++ {
+				out.Data[base+p] = float32(g*(float64(x.Data[base+p])-mean)*inv + b)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (training-mode gradient).
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := bn.inShape[0], bn.inShape[1]
+	hw := bn.inShape[2] * bn.inShape[3]
+	cnt := float64(n * hw)
+	dx := tensor.New(bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3])
+	for ch := 0; ch < c; ch++ {
+		var sumG, sumGX float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for p := 0; p < hw; p++ {
+				g := float64(grad.Data[base+p])
+				sumG += g
+				sumGX += g * float64(bn.xhat.Data[base+p])
+			}
+		}
+		bn.Beta.Grad.Data[ch] += float32(sumG)
+		bn.Gamma.Grad.Data[ch] += float32(sumGX)
+		gamma := float64(bn.Gamma.W.Data[ch])
+		inv := bn.invStd[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for p := 0; p < hw; p++ {
+				g := float64(grad.Data[base+p])
+				xh := float64(bn.xhat.Data[base+p])
+				dx.Data[base+p] = float32(gamma * inv * (g - sumG/cnt - xh*sumGX/cnt))
+			}
+		}
+	}
+	return dx
+}
+
+// --- Pooling ------------------------------------------------------------------
+
+// MaxPool2 is a 2x2 max pooling with stride 2. When the spatial map is
+// already down to a single row or column the layer passes through
+// unchanged, so fixed architectures (VGG's five pool stages) accept small
+// inputs.
+type MaxPool2 struct {
+	LayerName string
+	argmax    []int
+	inShape   []int
+	identity  bool
+}
+
+// NewMaxPool2 constructs the pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{LayerName: name} }
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return m.LayerName }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	m.inShape = append([]int(nil), x.Shape...)
+	if h < 2 || w < 2 {
+		m.identity = true
+		return x
+	}
+	m.identity = false
+	oh, ow := h/2, w/2
+	out := tensor.New(n, c, oh, ow)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (img*c + ch) * h * w
+			outBase := (img*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := inBase + (2*oy)*w + 2*ox
+					bv := x.Data[best]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := inBase + (2*oy+dy)*w + 2*ox + dx
+							if x.Data[idx] > bv {
+								bv = x.Data[idx]
+								best = idx
+							}
+						}
+					}
+					o := outBase + oy*ow + ox
+					out.Data[o] = bv
+					m.argmax[o] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.identity {
+		return grad
+	}
+	dx := tensor.New(m.inShape[0], m.inShape[1], m.inShape[2], m.inShape[3])
+	for o, src := range m.argmax {
+		dx.Data[src] += grad.Data[o]
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel map to a single value, producing
+// (N, C) from (N, C, H, W).
+type GlobalAvgPool struct {
+	LayerName string
+	inShape   []int
+}
+
+// NewGlobalAvgPool constructs the pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{LayerName: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.LayerName }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(n, c)
+	hw := h * w
+	inv := 1 / float32(hw)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * hw
+			var s float32
+			for p := 0; p < hw; p++ {
+				s += x.Data[base+p]
+			}
+			out.Data[img*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(n, c, h, w)
+	hw := h * w
+	inv := 1 / float32(hw)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[img*c+ch] * inv
+			base := (img*c + ch) * hw
+			for p := 0; p < hw; p++ {
+				dx.Data[base+p] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes (N, C, H, W) to (N, C*H*W).
+type Flatten struct {
+	LayerName string
+	inShape   []int
+}
+
+// NewFlatten constructs the reshape layer.
+func NewFlatten(name string) *Flatten { return &Flatten{LayerName: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.LayerName }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}

@@ -1,0 +1,376 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits (N, C) against integer labels, and the gradient dL/dlogits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	grad := tensor.New(n, c)
+	var loss float64
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range %d", y, c))
+		}
+		loss += (logSum - float64(row[y]-maxv)) * inv
+		grow := grad.Data[i*c : (i+1)*c]
+		for j := range grow {
+			p := math.Exp(float64(row[j]-maxv)) / sum
+			grow[j] = float32(p * inv)
+		}
+		grow[y] -= float32(inv)
+	}
+	return loss, grad
+}
+
+// SGD is stochastic gradient descent with momentum and weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param][]float32
+}
+
+// NewSGD constructs the optimiser.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param][]float32)}
+}
+
+// Step applies one update to all parameters from their gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float32, p.W.Len())
+			s.velocity[p] = v
+		}
+		wd := float32(s.WeightDecay)
+		if p.NoDecay {
+			wd = 0
+		}
+		mu := float32(s.Momentum)
+		lr := float32(s.LR)
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + wd*p.W.Data[i]
+			v[i] = mu*v[i] + g
+			p.W.Data[i] -= lr * v[i]
+		}
+	}
+}
+
+// TrainConfig parameterises Fit.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// LRDropEvery halves the learning rate every this many epochs
+	// (0 disables).
+	LRDropEvery int
+	Seed        uint64
+	// Regularizer, if non-nil, adds extra gradient terms after each
+	// backward pass (e.g. PiecewiseClusteringReg for the Table II
+	// defense).
+	Regularizer func(params []*Param)
+	// Verbose prints per-epoch progress via the Logf callback.
+	Logf func(format string, args ...any)
+}
+
+// PiecewiseClusteringReg returns the piece-wise clustering regularizer of
+// He et al. CVPR'20: for each quantizable weight tensor, positive weights
+// are pulled toward their mean and negative weights toward theirs, making
+// the distribution bimodal and the model markedly more resistant to
+// bit-flips. lambda is the penalty strength.
+func PiecewiseClusteringReg(lambda float64) func(params []*Param) {
+	return func(params []*Param) {
+		for _, p := range params {
+			if !p.Quantizable {
+				continue
+			}
+			var posSum, negSum float64
+			var posN, negN int
+			for _, w := range p.W.Data {
+				if w >= 0 {
+					posSum += float64(w)
+					posN++
+				} else {
+					negSum += float64(w)
+					negN++
+				}
+			}
+			var posMean, negMean float32
+			if posN > 0 {
+				posMean = float32(posSum / float64(posN))
+			}
+			if negN > 0 {
+				negMean = float32(negSum / float64(negN))
+			}
+			l := float32(2 * lambda)
+			for i, w := range p.W.Data {
+				if w >= 0 {
+					p.Grad.Data[i] += l * (w - posMean)
+				} else {
+					p.Grad.Data[i] += l * (w - negMean)
+				}
+			}
+		}
+	}
+}
+
+// DefaultTrainConfig returns a configuration suitable for the synthetic
+// CIFAR-like datasets.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:      6,
+		BatchSize:   32,
+		LR:          0.05,
+		Momentum:    0.9,
+		WeightDecay: 5e-4,
+		LRDropEvery: 3,
+		Seed:        7,
+	}
+}
+
+// Batch is one minibatch of images and labels.
+type Batch struct {
+	X *tensor.Tensor // (N, C, H, W)
+	Y []int
+}
+
+// BatchSource yields minibatches; internal/dataset implements it.
+type BatchSource interface {
+	// NumExamples is the dataset size.
+	NumExamples() int
+	// Slice materialises examples [i, j) as one batch.
+	Slice(i, j int) Batch
+}
+
+// Fit trains the model on train data with SGD, returning the final
+// training loss.
+func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		panic("nn: TrainConfig needs positive Epochs and BatchSize")
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	rng := stats.NewRNG(cfg.Seed)
+	n := train.NumExamples()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
+			opt.LR /= 2
+		}
+		// Shuffled batch order (the source slices sequentially; we shuffle
+		// the starting offsets of the batches).
+		starts := make([]int, 0, (n+cfg.BatchSize-1)/cfg.BatchSize)
+		for i := 0; i < n; i += cfg.BatchSize {
+			starts = append(starts, i)
+		}
+		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+		var epochLoss float64
+		for _, st := range starts {
+			end := st + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			b := train.Slice(st, end)
+			m.ZeroGrad()
+			logits := m.Forward(b.X, true)
+			loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+			m.Backward(grad)
+			if cfg.Regularizer != nil {
+				cfg.Regularizer(m.Params())
+			}
+			opt.Step(m.Params())
+			epochLoss += loss * float64(end-st)
+		}
+		lastLoss = epochLoss / float64(n)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d loss %.4f lr %.4f", epoch+1, cfg.Epochs, lastLoss, opt.LR)
+		}
+	}
+	return lastLoss
+}
+
+// FitProjected trains with projected forward passes (straight-through
+// estimator): before each forward+backward, project replaces quantizable
+// weights with their projected image (e.g. binarized values) and returns a
+// restore closure; gradients computed against the projected weights are
+// then applied to the float master weights. This is how binary-weight
+// networks (and RA-BNN) are actually trained — post-hoc binarization of a
+// float model destroys it.
+func FitProjected(m *Model, train BatchSource, cfg TrainConfig, project func(params []*Param) (restore func())) float64 {
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		panic("nn: TrainConfig needs positive Epochs and BatchSize")
+	}
+	if project == nil {
+		panic("nn: FitProjected needs a projection")
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	rng := stats.NewRNG(cfg.Seed)
+	n := train.NumExamples()
+	params := m.Params()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
+			opt.LR /= 2
+		}
+		starts := make([]int, 0, (n+cfg.BatchSize-1)/cfg.BatchSize)
+		for i := 0; i < n; i += cfg.BatchSize {
+			starts = append(starts, i)
+		}
+		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+		var epochLoss float64
+		for _, st := range starts {
+			end := st + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			b := train.Slice(st, end)
+			m.ZeroGrad()
+			restore := project(params)
+			logits := m.Forward(b.X, true)
+			loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+			m.Backward(grad)
+			restore()
+			if cfg.Regularizer != nil {
+				cfg.Regularizer(params)
+			}
+			opt.Step(params)
+			epochLoss += loss * float64(end-st)
+		}
+		lastLoss = epochLoss / float64(n)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d loss %.4f lr %.4f", epoch+1, cfg.Epochs, lastLoss, opt.LR)
+		}
+	}
+	return lastLoss
+}
+
+// BinaryProjection returns a FitProjected projection that binarizes
+// quantizable weights to sign(w) * mean|w| per tensor.
+func BinaryProjection() func(params []*Param) (restore func()) {
+	var saved [][]float32
+	return func(params []*Param) func() {
+		if saved == nil {
+			saved = make([][]float32, len(params))
+			for i, p := range params {
+				if p.Quantizable {
+					saved[i] = make([]float32, p.W.Len())
+				}
+			}
+		}
+		for i, p := range params {
+			if !p.Quantizable {
+				continue
+			}
+			copy(saved[i], p.W.Data)
+			var sum float64
+			for _, w := range p.W.Data {
+				if w < 0 {
+					sum -= float64(w)
+				} else {
+					sum += float64(w)
+				}
+			}
+			scale := float32(sum / float64(p.W.Len()))
+			for j, w := range p.W.Data {
+				if w < 0 {
+					p.W.Data[j] = -scale
+				} else {
+					p.W.Data[j] = scale
+				}
+			}
+		}
+		return func() {
+			for i, p := range params {
+				if p.Quantizable {
+					copy(p.W.Data, saved[i])
+				}
+			}
+		}
+	}
+}
+
+// Evaluate returns the classification accuracy of the model on a source,
+// processing batchSize examples at a time in inference mode.
+func Evaluate(m *Model, data BatchSource, batchSize int) float64 {
+	n := data.NumExamples()
+	if n == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	correct := 0
+	for i := 0; i < n; i += batchSize {
+		end := i + batchSize
+		if end > n {
+			end = n
+		}
+		b := data.Slice(i, end)
+		logits := m.Forward(b.X, false)
+		pred := tensor.ArgMaxRow(logits)
+		for j, p := range pred {
+			if p == b.Y[j] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// BatchLoss computes the mean cross-entropy of the model on one batch in
+// inference mode (used by the attack's candidate evaluation).
+func BatchLoss(m *Model, b Batch) float64 {
+	logits := m.Forward(b.X, false)
+	loss, _ := SoftmaxCrossEntropy(logits, b.Y)
+	return loss
+}
+
+// GradientPass runs one forward+backward over the batch and leaves dL/dW
+// in the parameter gradients. BatchNorm running statistics are frozen for
+// the duration so that probing the model does not perturb its inference
+// behaviour. The attacker uses this to rank candidate bits.
+func GradientPass(m *Model, b Batch) float64 {
+	bns := m.BatchNorms()
+	prev := make([]bool, len(bns))
+	for i, bn := range bns {
+		prev[i] = bn.FreezeStats
+		bn.FreezeStats = true
+	}
+	defer func() {
+		for i, bn := range bns {
+			bn.FreezeStats = prev[i]
+		}
+	}()
+	m.ZeroGrad()
+	logits := m.Forward(b.X, true)
+	loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+	m.Backward(grad)
+	return loss
+}

@@ -1,0 +1,230 @@
+// Package quant implements the 8-bit weight quantization the paper's
+// evaluation assumes ("weights are quantized to 8-bit width", §V) and the
+// bit-level accessors the Bit-Flip Attack manipulates.
+//
+// Quantization is symmetric per-tensor: q = clamp(round(w/s), -127..127)
+// with s = max|w|/127, stored as two's-complement int8. The dequantized
+// weights s*q are what the network computes with, so flipping a stored bit
+// changes inference exactly the way a RowHammer flip in DRAM would.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Bits is the quantized weight width.
+const Bits = 8
+
+// QMax is the maximum magnitude of a quantized weight.
+const QMax = 127
+
+// Quantize converts a float weight to int8 under scale s.
+func Quantize(w float32, s float32) int8 {
+	if s == 0 {
+		return 0
+	}
+	q := math.Round(float64(w) / float64(s))
+	if q > QMax {
+		q = QMax
+	}
+	if q < -QMax {
+		q = -QMax
+	}
+	return int8(q)
+}
+
+// Dequantize converts an int8 weight back to float under scale s.
+func Dequantize(q int8, s float32) float32 { return float32(q) * s }
+
+// FlipBit flips bit k (0 = LSB, 7 = sign) of a two's-complement int8.
+func FlipBit(q int8, k int) int8 {
+	if k < 0 || k >= Bits {
+		panic(fmt.Sprintf("quant: bit %d out of range", k))
+	}
+	return int8(uint8(q) ^ (1 << uint(k)))
+}
+
+// BitDelta returns the signed change in quantized value from flipping bit
+// k of q: FlipBit(q,k) - q as an int.
+func BitDelta(q int8, k int) int {
+	return int(FlipBit(q, k)) - int(q)
+}
+
+// QuantizedParam is the quantized image of one weight tensor.
+type QuantizedParam struct {
+	Param *nn.Param
+	Scale float32
+	Q     []int8
+	// Bits is the stored width: 8 for int8 weights, 1 for binary weights
+	// (Q in {-1, +1}, one attackable sign bit).
+	Bits int
+}
+
+// BitDelta returns the signed change in quantized value from flipping bit
+// k of weight i under this parameter's bit width.
+func (qp *QuantizedParam) BitDelta(i, k int) int {
+	if qp.Bits == 1 {
+		return int(-2 * qp.Q[i])
+	}
+	return BitDelta(qp.Q[i], k)
+}
+
+// NumWeights returns the number of quantized weights.
+func (qp *QuantizedParam) NumWeights() int { return len(qp.Q) }
+
+// Apply writes the dequantized weights back into the parameter tensor.
+func (qp *QuantizedParam) Apply() {
+	for i, q := range qp.Q {
+		qp.Param.W.Data[i] = Dequantize(q, qp.Scale)
+	}
+}
+
+// Get returns the quantized value at index i.
+func (qp *QuantizedParam) Get(i int) int8 { return qp.Q[i] }
+
+// Flip flips bit k of weight i and refreshes the float view of that
+// single weight. For binary parameters the only bit (k=0) negates the
+// sign.
+func (qp *QuantizedParam) Flip(i, k int) {
+	if qp.Bits == 1 {
+		if k != 0 {
+			panic(fmt.Sprintf("quant: binary weight has only bit 0, got %d", k))
+		}
+		qp.Q[i] = -qp.Q[i]
+	} else {
+		qp.Q[i] = FlipBit(qp.Q[i], k)
+	}
+	qp.Param.W.Data[i] = Dequantize(qp.Q[i], qp.Scale)
+}
+
+// Model is a quantized view over a network's attack surface: every
+// quantizable parameter with its integer image, plus bookkeeping to map a
+// global weight index to (param, weight) and back.
+type Model struct {
+	Net    *nn.Model
+	Params []*QuantizedParam
+	// Bits is the per-weight storage width (8 or 1).
+	Bits int
+	// offsets[i] is the global weight index of Params[i]'s first weight.
+	offsets []int
+	total   int
+}
+
+// NewModel quantizes the network's attack surface in place to 8-bit
+// weights: each quantizable parameter is snapped to its int8 grid, so
+// inference runs on exactly the values stored in (simulated) DRAM.
+func NewModel(net *nn.Model) *Model { return NewModelBits(net, Bits) }
+
+// NewModelBits quantizes to the given width: 8 (int8) or 1 (binary sign
+// weights with a per-tensor mean-magnitude scale, the "binary weight"
+// defense of Table II).
+func NewModelBits(net *nn.Model, bits int) *Model {
+	if bits != 8 && bits != 1 {
+		panic(fmt.Sprintf("quant: unsupported width %d", bits))
+	}
+	m := &Model{Net: net, Bits: bits}
+	for _, p := range net.QuantizableParams() {
+		qp := &QuantizedParam{Param: p, Q: make([]int8, p.W.Len()), Bits: bits}
+		if bits == 1 {
+			var sum float64
+			for _, w := range p.W.Data {
+				if w < 0 {
+					sum -= float64(w)
+				} else {
+					sum += float64(w)
+				}
+			}
+			qp.Scale = float32(sum / float64(p.W.Len()))
+			for i, w := range p.W.Data {
+				if w < 0 {
+					qp.Q[i] = -1
+				} else {
+					qp.Q[i] = 1
+				}
+			}
+		} else {
+			qp.Scale = p.W.MaxAbs() / QMax
+			for i, w := range p.W.Data {
+				qp.Q[i] = Quantize(w, qp.Scale)
+			}
+		}
+		qp.Apply()
+		m.offsets = append(m.offsets, m.total)
+		m.total += len(qp.Q)
+		m.Params = append(m.Params, qp)
+	}
+	return m
+}
+
+// TotalWeights returns the number of quantized weights across all params.
+func (m *Model) TotalWeights() int { return m.total }
+
+// TotalBits returns the number of attackable bits.
+func (m *Model) TotalBits() int { return m.total * m.Bits }
+
+// Locate maps a global weight index to (param index, local weight index).
+func (m *Model) Locate(globalW int) (int, int) {
+	if globalW < 0 || globalW >= m.total {
+		panic(fmt.Sprintf("quant: weight index %d out of range %d", globalW, m.total))
+	}
+	lo, hi := 0, len(m.offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.offsets[mid] <= globalW {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, globalW - m.offsets[lo]
+}
+
+// GlobalIndex maps (param index, local weight index) to the global index.
+func (m *Model) GlobalIndex(param, local int) int { return m.offsets[param] + local }
+
+// FlipGlobal flips bit k of the global weight index and refreshes floats.
+func (m *Model) FlipGlobal(globalW, k int) {
+	pi, li := m.Locate(globalW)
+	m.Params[pi].Flip(li, k)
+}
+
+// Snapshot captures all quantized weights for later restore (attacks use
+// this to undo trial flips).
+func (m *Model) Snapshot() [][]int8 {
+	out := make([][]int8, len(m.Params))
+	for i, qp := range m.Params {
+		out[i] = append([]int8(nil), qp.Q...)
+	}
+	return out
+}
+
+// Restore rewrites all quantized weights from a snapshot and refreshes the
+// float views.
+func (m *Model) Restore(snap [][]int8) {
+	if len(snap) != len(m.Params) {
+		panic("quant: snapshot shape mismatch")
+	}
+	for i, qp := range m.Params {
+		copy(qp.Q, snap[i])
+		qp.Apply()
+	}
+}
+
+// HammingDistance counts differing bits between the current weights and a
+// snapshot (the "# bit-flips" the paper reports).
+func (m *Model) HammingDistance(snap [][]int8) int {
+	d := 0
+	for i, qp := range m.Params {
+		for j, q := range qp.Q {
+			x := uint8(q) ^ uint8(snap[i][j])
+			for x != 0 {
+				d += int(x & 1)
+				x >>= 1
+			}
+		}
+	}
+	return d
+}

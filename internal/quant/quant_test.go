@@ -1,0 +1,235 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func TestQuantizeDequantizeBounds(t *testing.T) {
+	s := float32(0.01)
+	for _, w := range []float32{-1.27, -0.5, 0, 0.004, 0.005, 1.27, 5} {
+		q := Quantize(w, s)
+		if q > QMax || q < -QMax {
+			t.Fatalf("q(%g) = %d outside ±127", w, q)
+		}
+	}
+	if Quantize(5, 0.01) != 127 {
+		t.Fatal("positive clamp failed")
+	}
+	if Quantize(-5, 0.01) != -127 {
+		t.Fatal("negative clamp failed")
+	}
+	if Quantize(0.3, 0) != 0 {
+		t.Fatal("zero scale must give zero")
+	}
+}
+
+func TestQuantizationErrorBounded(t *testing.T) {
+	f := func(w float32, seed uint8) bool {
+		if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+			return true
+		}
+		// Clamp to a plausible weight range.
+		if w > 10 {
+			w = 10
+		}
+		if w < -10 {
+			w = -10
+		}
+		s := float32(10.0 / QMax)
+		q := Quantize(w, s)
+		back := Dequantize(q, s)
+		return math.Abs(float64(back-w)) <= float64(s)/2+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(q int8, k uint8) bool {
+		bit := int(k) % Bits
+		return FlipBit(FlipBit(q, bit), bit) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipMSBIsLargeDelta(t *testing.T) {
+	// Flipping the sign bit of a two's-complement int8 moves the value by
+	// exactly ±128 — the catastrophic flip BFA exploits.
+	for _, q := range []int8{0, 1, -1, 100, -100} {
+		d := BitDelta(q, 7)
+		if d != 128 && d != -128 {
+			t.Fatalf("MSB delta of %d = %d, want ±128", q, d)
+		}
+	}
+	if d := BitDelta(0, 0); d != 1 {
+		t.Fatalf("LSB delta of 0 = %d, want 1", d)
+	}
+}
+
+func newTinyNet() *nn.Model { return nn.NewResNet20(4, 0.125, 3) }
+
+func TestNewModelSnapsWeightsToGrid(t *testing.T) {
+	net := newTinyNet()
+	qm := NewModel(net)
+	if qm.Bits != 8 {
+		t.Fatalf("bits = %d", qm.Bits)
+	}
+	if qm.TotalWeights() == 0 {
+		t.Fatal("no weights quantized")
+	}
+	if qm.TotalBits() != qm.TotalWeights()*8 {
+		t.Fatal("bit count wrong")
+	}
+	for _, qp := range qm.Params {
+		for i, q := range qp.Q {
+			want := Dequantize(q, qp.Scale)
+			if qp.Param.W.Data[i] != want {
+				t.Fatalf("%s[%d]: float %g != dequant %g", qp.Param.Name, i, qp.Param.W.Data[i], want)
+			}
+		}
+	}
+}
+
+func TestBinaryModel(t *testing.T) {
+	net := newTinyNet()
+	qm := NewModelBits(net, 1)
+	if qm.Bits != 1 {
+		t.Fatalf("bits = %d", qm.Bits)
+	}
+	for _, qp := range qm.Params {
+		if qp.Scale <= 0 {
+			t.Fatalf("%s scale = %g", qp.Param.Name, qp.Scale)
+		}
+		for i, q := range qp.Q {
+			if q != 1 && q != -1 {
+				t.Fatalf("binary weight = %d", q)
+			}
+			if qp.BitDelta(i, 0) != int(-2*q) {
+				t.Fatal("binary delta wrong")
+			}
+		}
+	}
+	// Flip negates.
+	qp := qm.Params[0]
+	before := qp.Q[0]
+	qp.Flip(0, 0)
+	if qp.Q[0] != -before {
+		t.Fatal("binary flip must negate")
+	}
+}
+
+func TestLocateGlobalIndexInverse(t *testing.T) {
+	qm := NewModel(newTinyNet())
+	f := func(w uint32) bool {
+		g := int(w) % qm.TotalWeights()
+		pi, li := qm.Locate(g)
+		return qm.GlobalIndex(pi, li) == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary conditions: first and last weight of each param.
+	for pi, qp := range qm.Params {
+		g := qm.GlobalIndex(pi, 0)
+		p2, l2 := qm.Locate(g)
+		if p2 != pi || l2 != 0 {
+			t.Fatalf("locate(first of %d) = (%d,%d)", pi, p2, l2)
+		}
+		g = qm.GlobalIndex(pi, len(qp.Q)-1)
+		p2, l2 = qm.Locate(g)
+		if p2 != pi || l2 != len(qp.Q)-1 {
+			t.Fatalf("locate(last of %d) = (%d,%d)", pi, p2, l2)
+		}
+	}
+}
+
+func TestFlipGlobalChangesInference(t *testing.T) {
+	qm := NewModel(newTinyNet())
+	pi, li := qm.Locate(0)
+	before := qm.Params[pi].Q[li]
+	qm.FlipGlobal(0, 7)
+	after := qm.Params[pi].Q[li]
+	if before == after {
+		t.Fatal("flip did not change the weight")
+	}
+	wantFloat := Dequantize(after, qm.Params[pi].Scale)
+	if qm.Params[pi].Param.W.Data[li] != wantFloat {
+		t.Fatal("float view not refreshed")
+	}
+}
+
+func TestSnapshotRestoreAndHamming(t *testing.T) {
+	qm := NewModel(newTinyNet())
+	snap := qm.Snapshot()
+	if qm.HammingDistance(snap) != 0 {
+		t.Fatal("fresh snapshot distance must be 0")
+	}
+	qm.FlipGlobal(3, 7)
+	qm.FlipGlobal(10, 0)
+	if got := qm.HammingDistance(snap); got != 2 {
+		t.Fatalf("hamming = %d, want 2", got)
+	}
+	qm.Restore(snap)
+	if qm.HammingDistance(snap) != 0 {
+		t.Fatal("restore must return to snapshot")
+	}
+	// Float views must also be restored.
+	for _, qp := range qm.Params {
+		for i, q := range qp.Q {
+			if qp.Param.W.Data[i] != Dequantize(q, qp.Scale) {
+				t.Fatal("float view stale after restore")
+			}
+		}
+	}
+}
+
+func TestBitDeltaMatchesFlip(t *testing.T) {
+	f := func(q int8, k uint8) bool {
+		bit := int(k) % Bits
+		return int(FlipBit(q, bit))-int(q) == BitDelta(q, bit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizationPreservesAccuracyApproximately(t *testing.T) {
+	// 8-bit symmetric quantization should change logits only slightly:
+	// compare pre/post forward outputs.
+	net := newTinyNet()
+	x := makeInput()
+	before := net.Forward(x, false).Clone()
+	NewModel(net)
+	after := net.Forward(x, false)
+	var maxDiff float64
+	for i := range before.Data {
+		d := math.Abs(float64(before.Data[i] - after.Data[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	var scale float64
+	for _, v := range before.Data {
+		if math.Abs(float64(v)) > scale {
+			scale = math.Abs(float64(v))
+		}
+	}
+	if maxDiff > 0.25*(scale+1) {
+		t.Fatalf("quantization moved logits too much: %g vs scale %g", maxDiff, scale)
+	}
+}
+
+func makeInput() *tensor.Tensor {
+	x := tensor.New(2, 3, 8, 8)
+	x.RandNormal(stats.NewRNG(77), 1)
+	return x
+}

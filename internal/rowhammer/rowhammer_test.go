@@ -1,0 +1,252 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func newRig(t *testing.T, trh int) (*dram.Device, *Engine) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TRH = trh
+	eng, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, eng
+}
+
+// hammer activates the row n times through the command interface.
+func hammer(t *testing.T, dev *dram.Device, a dram.RowAddr, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := dev.Activate(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Precharge(a.Bank); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNoFlipAtThreshold(t *testing.T) {
+	dev, eng := newRig(t, 20)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	victim := dram.RowAddr{Bank: 0, Row: 11}
+	if err := eng.RegisterTarget(victim, 5); err != nil {
+		t.Fatal(err)
+	}
+	hammer(t, dev, agg, 20)
+	if set, _ := dev.PeekBit(victim, 5); set {
+		t.Fatal("flip at exactly TRH activations; threshold must be exceeded")
+	}
+	if eng.History().TotalFlips != 0 {
+		t.Fatal("no flips expected")
+	}
+}
+
+func TestFlipPastThresholdHitsBothNeighbors(t *testing.T) {
+	dev, eng := newRig(t, 20)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	up := dram.RowAddr{Bank: 0, Row: 9}
+	down := dram.RowAddr{Bank: 0, Row: 11}
+	eng.RegisterTarget(up, 3)
+	eng.RegisterTarget(down, 4)
+	hammer(t, dev, agg, 21)
+	if set, _ := dev.PeekBit(up, 3); !set {
+		t.Fatal("upper victim must flip")
+	}
+	if set, _ := dev.PeekBit(down, 4); !set {
+		t.Fatal("lower victim must flip")
+	}
+	if got := eng.History().ThresholdCrosses; got != 1 {
+		t.Fatalf("threshold crosses = %d, want 1", got)
+	}
+}
+
+func TestCrossingFiresOncePerWindow(t *testing.T) {
+	dev, eng := newRig(t, 10)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	victim := dram.RowAddr{Bank: 0, Row: 11}
+	eng.RegisterTarget(victim, 0)
+	hammer(t, dev, agg, 40) // far past threshold in one window
+	if eng.History().ThresholdCrosses != 1 {
+		t.Fatalf("crosses = %d, want 1 (single crossing per window)", eng.History().ThresholdCrosses)
+	}
+	// The single crossing flipped the bit exactly once.
+	if set, _ := dev.PeekBit(victim, 0); !set {
+		t.Fatal("victim must be flipped once")
+	}
+}
+
+func TestWindowResetClearsCounts(t *testing.T) {
+	dev, eng := newRig(t, 10)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	hammer(t, dev, agg, 8)
+	if eng.Count(agg) != 8 {
+		t.Fatalf("count = %d, want 8", eng.Count(agg))
+	}
+	eng.ResetWindow(dev.Now())
+	if eng.Count(agg) != 0 {
+		t.Fatal("reset must clear counts")
+	}
+	// After reset the threshold distance is full again.
+	victim := dram.RowAddr{Bank: 0, Row: 11}
+	eng.RegisterTarget(victim, 1)
+	hammer(t, dev, agg, 10)
+	if set, _ := dev.PeekBit(victim, 1); set {
+		t.Fatal("flip before re-crossing the threshold")
+	}
+}
+
+func TestRefreshWindowExpiresAutomatically(t *testing.T) {
+	dev, eng := newRig(t, 5)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	hammer(t, dev, agg, 4)
+	// Advance past the refresh window; next activation must land in a
+	// fresh window with count 1.
+	dev.AdvanceClock(dev.Timing().TREFW + 1)
+	hammer(t, dev, agg, 1)
+	if got := eng.Count(agg); got != 1 {
+		t.Fatalf("count after window expiry = %d, want 1", got)
+	}
+	if eng.History().Windows == 0 {
+		t.Fatal("window rollover not recorded")
+	}
+}
+
+func TestUntargetedFlipsAreRandomButDeterministic(t *testing.T) {
+	run := func() []FlipEvent {
+		dev, eng := newRig(t, 10)
+		hammer(t, dev, dram.RowAddr{Bank: 0, Row: 10}, 11)
+		return eng.Flips()
+	}
+	a := run()
+	b := run()
+	if len(a) == 0 {
+		t.Fatal("expected untargeted flips")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic flip count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Bit != b[i].Bit || a[i].Victim != b[i].Victim {
+			t.Fatal("flip positions must be seed-deterministic")
+		}
+	}
+}
+
+func TestBlastRadius2HitsDistance2(t *testing.T) {
+	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TRH = 10
+	cfg.BlastRadius = 2
+	cfg.DistantFlipProb = 1.0
+	eng, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := dram.RowAddr{Bank: 0, Row: 12}
+	eng.RegisterTarget(far, 7)
+	hammer(t, dev, dram.RowAddr{Bank: 0, Row: 10}, 11)
+	if set, _ := dev.PeekBit(far, 7); !set {
+		t.Fatal("Half-Double distance-2 victim must flip with prob 1")
+	}
+}
+
+func TestResetRowNeutralizesAccumulation(t *testing.T) {
+	dev, eng := newRig(t, 10)
+	agg := dram.RowAddr{Bank: 0, Row: 10}
+	victim := dram.RowAddr{Bank: 0, Row: 11}
+	eng.RegisterTarget(victim, 2)
+	hammer(t, dev, agg, 9)
+	eng.ResetRow(agg) // defense mitigation
+	hammer(t, dev, agg, 2)
+	if set, _ := dev.PeekBit(victim, 2); set {
+		t.Fatal("mitigated row must not flip at 9+2 activations")
+	}
+}
+
+func TestHottestRowsOrdering(t *testing.T) {
+	dev, eng := newRig(t, 1000)
+	a := dram.RowAddr{Bank: 0, Row: 10}
+	b := dram.RowAddr{Bank: 0, Row: 20}
+	hammer(t, dev, a, 5)
+	hammer(t, dev, b, 9)
+	hot := eng.HottestRows(2)
+	if len(hot) != 2 || hot[0] != b || hot[1] != a {
+		t.Fatalf("hottest = %v, want [%v %v]", hot, b, a)
+	}
+}
+
+func TestRegisterTargetValidation(t *testing.T) {
+	_, eng := newRig(t, 10)
+	if err := eng.RegisterTarget(dram.RowAddr{Bank: 99, Row: 0}, 0); err == nil {
+		t.Fatal("invalid row must be rejected")
+	}
+	if err := eng.RegisterTarget(dram.RowAddr{Bank: 0, Row: 0}, 1<<30); err == nil {
+		t.Fatal("out-of-range bit must be rejected")
+	}
+	// Duplicate registrations collapse.
+	v := dram.RowAddr{Bank: 0, Row: 3}
+	eng.RegisterTarget(v, 5)
+	eng.RegisterTarget(v, 5)
+	dev, eng2 := newRig(t, 5)
+	eng2.RegisterTarget(v, 5)
+	eng2.RegisterTarget(v, 5)
+	hammer(t, dev, dram.RowAddr{Bank: 0, Row: 2}, 6)
+	if set, _ := dev.PeekBit(v, 5); !set {
+		t.Fatal("flip expected")
+	}
+	// A second flip of the same bit would restore it to 0; dedup ensures
+	// exactly one flip happened.
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{TRH: 0, BlastRadius: 1},
+		{TRH: 10, BlastRadius: 0},
+		{TRH: 10, BlastRadius: 3},
+		{TRH: 10, BlastRadius: 1, DistantFlipProb: 1.5},
+		{TRH: 10, BlastRadius: 1, FlipsPerCrossing: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPublishedThresholdsMatchPaper(t *testing.T) {
+	ths := PublishedThresholds()
+	want := map[string]int{
+		"DDR3 (old)":   139_000,
+		"DDR3 (new)":   22_400,
+		"DDR4 (old)":   17_500,
+		"DDR4 (new)":   10_000,
+		"LPDDR4 (old)": 16_800,
+		"LPDDR4 (new)": 4_800,
+	}
+	if len(ths) != len(want) {
+		t.Fatalf("got %d generations, want %d", len(ths), len(want))
+	}
+	for _, th := range ths {
+		if want[th.Generation] != th.TRH {
+			t.Errorf("%s: TRH %d, want %d", th.Generation, th.TRH, want[th.Generation])
+		}
+	}
+	// The downward trend the paper highlights: LPDDR4(new) needs ~4.5x
+	// fewer activations than DDR3(new).
+	ratio := float64(want["DDR3 (new)"]) / float64(want["LPDDR4 (new)"])
+	if ratio < 4 || ratio > 5 {
+		t.Fatalf("DDR3(new)/LPDDR4(new) ratio = %.2f, want ~4.5", ratio)
+	}
+}

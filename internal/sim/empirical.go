@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/defense"
+	"repro/internal/dram"
+	"repro/internal/rowhammer"
+)
+
+// EmpiricalPoint is one measured latency sample: unlike the closed-form
+// model in fig7.go, these numbers come from executing the mechanisms — the
+// lock-table denying real activations, SHADOW performing real shuffles —
+// against the device model inside one refresh window.
+type EmpiricalPoint struct {
+	BFA     int
+	Latency dram.Picoseconds
+}
+
+// EmpiricalConfig parameterises the measured Fig. 7(a) companion.
+type EmpiricalConfig struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// ProtectedRows is the number of victim rows whose aggressors the
+	// attacker rotates over.
+	ProtectedRows int
+	// ShadowGroup is the SHADOW protected-group size (matches
+	// LatencyConfig.ProtectedRows in spirit but kept small so the
+	// in-window execution stays fast).
+	ShadowGroup int
+	Seed        uint64
+}
+
+// DefaultEmpiricalConfig returns a measurement setup small enough to
+// execute per point but structurally faithful.
+func DefaultEmpiricalConfig() EmpiricalConfig {
+	return EmpiricalConfig{
+		Geometry:      dram.SmallGeometry(),
+		Timing:        dram.DDR4Timing(),
+		ProtectedRows: 8,
+		ShadowGroup:   50,
+		Seed:          0xe3p1,
+	}
+}
+
+// EmpiricalShadow measures SHADOW's mitigation latency for an attack
+// stream of nBFA activations rotating over the aggressors of the
+// protected rows, at device threshold trh.
+func EmpiricalShadow(cfg EmpiricalConfig, trh, nBFA int) (EmpiricalPoint, error) {
+	dev, err := dram.NewDevice(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return EmpiricalPoint{}, err
+	}
+	hcfg := rowhammer.DefaultConfig()
+	hcfg.TRH = trh
+	eng, err := rowhammer.New(dev, hcfg)
+	if err != nil {
+		return EmpiricalPoint{}, err
+	}
+	shCfg := defense.DefaultShadowConfig(trh)
+	shCfg.GroupSize = cfg.ShadowGroup
+	sh, err := defense.NewShadow(eng, cfg.Geometry, shCfg)
+	if err != nil {
+		return EmpiricalPoint{}, err
+	}
+	aggressors := attackRows(cfg)
+	var extra dram.Picoseconds
+	for i := 0; i < nBFA; i++ {
+		agg := aggressors[i%len(aggressors)]
+		dec := sh.OnActivate(agg, false)
+		extra += dec.ExtraLatency
+		if !dec.Allow {
+			continue
+		}
+		if _, err := dev.Activate(agg); err != nil {
+			return EmpiricalPoint{}, err
+		}
+		if _, err := dev.Precharge(agg.Bank); err != nil {
+			return EmpiricalPoint{}, err
+		}
+	}
+	return EmpiricalPoint{BFA: nBFA, Latency: extra}, nil
+}
+
+// EmpiricalLocker measures DRAM-Locker's mitigation latency for the same
+// attack stream: the aggressor rows are locked, every attempt costs one
+// lock-table lookup, and the periodic re-lock cycle's swap traffic is
+// charged from the controller's own accounting.
+func EmpiricalLocker(cfg EmpiricalConfig, nBFA int) (EmpiricalPoint, error) {
+	dev, err := dram.NewDevice(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return EmpiricalPoint{}, err
+	}
+	if _, err := rowhammer.New(dev, rowhammer.DefaultConfig()); err != nil {
+		return EmpiricalPoint{}, err
+	}
+	ctl, err := controller.New(dev, controller.DefaultConfig())
+	if err != nil {
+		return EmpiricalPoint{}, err
+	}
+	aggressors := attackRows(cfg)
+	for _, a := range aggressors {
+		if err := ctl.LockRow(a); err != nil {
+			return EmpiricalPoint{}, fmt.Errorf("sim: locking %v: %w", a, err)
+		}
+	}
+	var extra dram.Picoseconds
+	for i := 0; i < nBFA; i++ {
+		_, lat, err := ctl.HammerAttempt(aggressors[i%len(aggressors)])
+		if err != nil {
+			return EmpiricalPoint{}, err
+		}
+		extra += lat
+	}
+	extra += ctl.Stats().SwapLatency
+	return EmpiricalPoint{BFA: nBFA, Latency: extra}, nil
+}
+
+// attackRows builds the rotating aggressor set: the deduplicated neighbors
+// of interleaved victim rows in bank 0 (stride-2 victims share aggressors).
+func attackRows(cfg EmpiricalConfig) []dram.RowAddr {
+	seen := make(map[int]bool)
+	var out []dram.RowAddr
+	for i := 0; i < cfg.ProtectedRows; i++ {
+		victim := dram.RowAddr{Bank: 0, Row: 1 + 2*i}
+		for _, n := range cfg.Geometry.Neighbors(victim, 1) {
+			li := cfg.Geometry.LinearIndex(n)
+			if !seen[li] {
+				seen[li] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// EmpiricalComparison measures both mechanisms over a BFA sweep. The
+// returned curves carry the same qualitative content as Fig. 7(a): SHADOW
+// latency grows with attack intensity and shrinks with threshold,
+// DRAM-Locker stays near the lookup floor.
+type EmpiricalComparison struct {
+	ShadowTRH map[int][]EmpiricalPoint
+	Locker    []EmpiricalPoint
+}
+
+// Empirical runs the comparison for nBFA = step..max in steps.
+func Empirical(cfg EmpiricalConfig, max, step int, thresholds []int) (*EmpiricalComparison, error) {
+	if max <= 0 || step <= 0 {
+		return nil, fmt.Errorf("sim: max and step must be positive")
+	}
+	out := &EmpiricalComparison{ShadowTRH: make(map[int][]EmpiricalPoint)}
+	for _, trh := range thresholds {
+		for n := step; n <= max; n += step {
+			pt, err := EmpiricalShadow(cfg, trh, n)
+			if err != nil {
+				return nil, err
+			}
+			out.ShadowTRH[trh] = append(out.ShadowTRH[trh], pt)
+		}
+	}
+	for n := step; n <= max; n += step {
+		pt, err := EmpiricalLocker(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		out.Locker = append(out.Locker, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+func TestEmpiricalShadowGrowsWithIntensity(t *testing.T) {
+	cfg := DefaultEmpiricalConfig()
+	var prev EmpiricalPoint
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		pt, err := EmpiricalShadow(cfg, 100, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Latency < prev.Latency {
+			t.Fatalf("measured latency fell at n=%d", n)
+		}
+		prev = pt
+	}
+	if prev.Latency == 0 {
+		t.Fatal("SHADOW never paid any shuffle latency")
+	}
+}
+
+func TestEmpiricalShadowSlopeInverseInThreshold(t *testing.T) {
+	cfg := DefaultEmpiricalConfig()
+	lo, err := EmpiricalShadow(cfg, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EmpiricalShadow(cfg, 400, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Latency <= hi.Latency {
+		t.Fatalf("TRH=100 latency (%v) must exceed TRH=400 (%v)", lo.Latency, hi.Latency)
+	}
+}
+
+func TestEmpiricalLockerBelowShadow(t *testing.T) {
+	cfg := DefaultEmpiricalConfig()
+	for _, n := range []int{1000, 4000} {
+		dl, err := EmpiricalLocker(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := EmpiricalShadow(cfg, 100, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The measured mechanisms must agree with the analytic model's
+		// headline: the lock-table's lookup-and-deny is far cheaper than
+		// SHADOW's shuffle traffic.
+		if dl.Latency >= sh.Latency {
+			t.Fatalf("n=%d: locker %v not below shadow %v", n, dl.Latency, sh.Latency)
+		}
+	}
+}
+
+func TestEmpiricalLockerIsLookupBound(t *testing.T) {
+	cfg := DefaultEmpiricalConfig()
+	pt, err := EmpiricalLocker(cfg, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All attempts denied: latency = 2000 lookups, no swap traffic.
+	want := 2000 * cfg.Timing.LockLookup
+	if pt.Latency != want {
+		t.Fatalf("latency %v, want pure lookup cost %v", pt.Latency, want)
+	}
+}
+
+func TestEmpiricalComparison(t *testing.T) {
+	cfg := DefaultEmpiricalConfig()
+	cmp, err := Empirical(cfg, 2000, 1000, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Locker) != 2 || len(cmp.ShadowTRH[100]) != 2 || len(cmp.ShadowTRH[200]) != 2 {
+		t.Fatalf("unexpected curve sizes: %+v", cmp)
+	}
+	if _, err := Empirical(cfg, 0, 1, nil); err == nil {
+		t.Fatal("zero max must fail")
+	}
+}

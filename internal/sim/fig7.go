@@ -1,0 +1,279 @@
+// Package sim implements the system-level models behind the paper's
+// Fig. 7: (a) mitigation latency per refresh window as a function of
+// attack intensity, and (b) the sustained defense time until an attacker's
+// cumulative flip probability exceeds 1%.
+//
+// The latency model is command-level (replacing the paper's gem5+CACTI
+// stack): every quantity is derived from DDR4 timing parameters and the
+// mitigation mechanics, with the calibration constants documented next to
+// each formula and recorded in EXPERIMENTS.md.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/rowclone"
+)
+
+// LatencyConfig parameterises the Fig. 7(a) model.
+type LatencyConfig struct {
+	Timing dram.Timing
+	// ProtectedRows is the size of the protection working set (weight-
+	// adjacent rows for DRAM-Locker, potential target rows for SHADOW).
+	// The default (1000) corresponds to a VGG-scale model footprint.
+	ProtectedRows int
+	// RelockInterval is DRAM-Locker's re-lock cadence in R/W instructions.
+	RelockInterval int
+	// PendingRows is the typical number of concurrently unlocked
+	// (pending re-lock) rows per re-lock cycle in DRAM-Locker.
+	PendingRows int
+	// ShadowCeilingFactor bounds SHADOW: its shuffle throughput is
+	// exceeded once one row sees CeilingFactor*TRH activations per window.
+	ShadowCeilingFactor int
+}
+
+// DefaultLatencyConfig returns the Fig. 7(a) operating point.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		Timing:              dram.DDR4Timing(),
+		ProtectedRows:       1000,
+		RelockInterval:      1000,
+		PendingRows:         64,
+		ShadowCeilingFactor: 40,
+	}
+}
+
+// Validate checks the configuration.
+func (c LatencyConfig) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.ProtectedRows <= 0 || c.RelockInterval <= 0 || c.PendingRows <= 0 || c.ShadowCeilingFactor <= 0 {
+		return fmt.Errorf("sim: LatencyConfig fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// LatencyPoint is one (x, y) sample of a Fig. 7(a) curve.
+type LatencyPoint struct {
+	BFA int
+	// Latency is the mitigation latency accumulated in one refresh window.
+	Latency dram.Picoseconds
+	// Compromised is true for SHADOW points beyond its defense threshold
+	// (the paper halts the curve there).
+	Compromised bool
+}
+
+// ShadowLatency returns SHADOW's per-window mitigation latency at the given
+// attack intensity (activations per refresh window) for device threshold
+// trh.
+//
+// Mechanics: SHADOW must shuffle each potential target row before it
+// accumulates trh activations (period trh/2 for a 2x safety factor), and a
+// shuffle trigger relocates the whole protected group of rows (SHADOW's
+// "unintelligent" shuffling), each relocation being a full three-copy row
+// exchange: latency = (n / (trh/2)) * group * tSwap.
+// Its defense threshold is ceilingFactor*trh activations per window —
+// beyond that the shuffle throughput is exceeded, integrity is lost, and
+// delay escalation halts (the curve plateaus, as in the paper).
+func ShadowLatency(cfg LatencyConfig, trh, nBFA int) LatencyPoint {
+	pt := LatencyPoint{BFA: nBFA}
+	ceiling := cfg.ShadowCeilingFactor * trh
+	n := nBFA
+	if n > ceiling {
+		n = ceiling
+		pt.Compromised = true
+	}
+	period := trh / 2
+	if period < 1 {
+		period = 1
+	}
+	shuffles := int64(n / period)
+	perShuffle := int64(cfg.ProtectedRows) * int64(cfg.Timing.SwapLatency())
+	pt.Latency = dram.Picoseconds(shuffles * perShuffle)
+	return pt
+}
+
+// LockerLatency returns DRAM-Locker's per-window mitigation latency at the
+// given attack intensity.
+//
+// Mechanics: every attacker R/W instruction costs one lock-table lookup
+// (the instruction itself is then skipped, so no array latency); every
+// RelockInterval instructions the controller runs a re-lock cycle that
+// swaps back the pending rows (three RowClone copies each). There is no
+// defense threshold: the lock holds at any intensity.
+func LockerLatency(cfg LatencyConfig, nBFA int) LatencyPoint {
+	lookups := dram.Picoseconds(int64(nBFA) * int64(cfg.Timing.LockLookup))
+	cycles := int64(nBFA / cfg.RelockInterval)
+	swaps := cycles * int64(cfg.PendingRows)
+	swapLat := dram.Picoseconds(swaps * int64(cfg.Timing.SwapLatency()))
+	return LatencyPoint{BFA: nBFA, Latency: lookups + swapLat}
+}
+
+// Fig7aCurve is one labelled latency curve.
+type Fig7aCurve struct {
+	Label  string
+	TRH    int
+	Points []LatencyPoint
+}
+
+// Fig7a computes the full figure: SHADOW at TRH 1k/2k/4k/8k and
+// DRAM-Locker at its worst case TRH=1k, for nBFA = 0..maxBFA in steps.
+func Fig7a(cfg LatencyConfig, maxBFA, step int) ([]Fig7aCurve, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxBFA <= 0 || step <= 0 {
+		return nil, fmt.Errorf("sim: maxBFA and step must be positive")
+	}
+	var curves []Fig7aCurve
+	for _, trh := range []int{1000, 2000, 4000, 8000} {
+		c := Fig7aCurve{Label: fmt.Sprintf("SHADOW%d", trh), TRH: trh}
+		for n := 0; n <= maxBFA; n += step {
+			c.Points = append(c.Points, ShadowLatency(cfg, trh, n))
+		}
+		curves = append(curves, c)
+	}
+	dl := Fig7aCurve{Label: "DL", TRH: 1000}
+	for n := 0; n <= maxBFA; n += step {
+		dl.Points = append(dl.Points, LockerLatency(cfg, n))
+	}
+	curves = append(curves, dl)
+	return curves, nil
+}
+
+// --- Fig. 7(b): defense time -------------------------------------------------
+
+// DefenseTimeConfig parameterises the defense-duration model.
+type DefenseTimeConfig struct {
+	Timing dram.Timing
+	// CopyErrorProb is the per-row-copy error probability (paper assumes
+	// 10% for this experiment).
+	CopyErrorProb float64
+	// TargetProb is the cumulative attacker success probability defining
+	// "defense holds" (paper: 1%).
+	TargetProb float64
+	// UnlockRatePerDay is the rate of legitimate SWAP (unlock) events on
+	// the victim-adjacent locked row. Locked rows are chosen *because*
+	// they are cold (paper §IV-A), so this is small.
+	UnlockRatePerDay float64
+	// ExposureAlignProb is the probability that, given a silently
+	// erroneous SWAP, the attacker's continuous hammering both coincides
+	// with the brief exposure (the ~50us re-lock window out of the 64ms
+	// refresh window, ~7.8e-4) and defeats the residual redirect
+	// bookkeeping. Calibrated so DRAM-Locker at TRH=1k sustains >500
+	// days, the paper's reported operating point.
+	ExposureAlignProb float64
+	// ShadowEvadePerWindow is the per-refresh-window probability that the
+	// attacker defeats SHADOW's randomized shuffle (guesses the shuffle
+	// destination and completes the hammer inside the window) at TRH=1k.
+	// Calibrated so SHADOW at TRH=1k holds for tens of days.
+	ShadowEvadePerWindow float64
+}
+
+// DefaultDefenseTimeConfig returns the calibrated Fig. 7(b) model.
+func DefaultDefenseTimeConfig() DefenseTimeConfig {
+	return DefenseTimeConfig{
+		Timing:               dram.DDR4Timing(),
+		CopyErrorProb:        0.10,
+		TargetProb:           0.01,
+		UnlockRatePerDay:     24,     // one legitimate unlock per hour
+		ExposureAlignProb:    2.7e-5, // see field comment
+		ShadowEvadePerWindow: 1.23e-10,
+	}
+}
+
+// Validate checks the configuration.
+func (c DefenseTimeConfig) Validate() error {
+	if c.CopyErrorProb < 0 || c.CopyErrorProb > 1 {
+		return fmt.Errorf("sim: CopyErrorProb must be in [0,1]")
+	}
+	if c.TargetProb <= 0 || c.TargetProb >= 1 {
+		return fmt.Errorf("sim: TargetProb must be in (0,1)")
+	}
+	if c.UnlockRatePerDay <= 0 || c.ExposureAlignProb <= 0 || c.ShadowEvadePerWindow <= 0 {
+		return fmt.Errorf("sim: rates must be positive")
+	}
+	return c.Timing.Validate()
+}
+
+// WindowsPerDay returns refresh windows per day under the configured
+// timing (64ms windows -> 1.35e6 windows/day).
+func (c DefenseTimeConfig) WindowsPerDay() float64 {
+	return (24 * 3600) / c.Timing.TREFW.Seconds()
+}
+
+// SilentExposureProb returns the probability that one SWAP silently
+// exposes the protected row: at least two of the three copies must err
+// (the data stays in place while the redirect bookkeeping believes it
+// moved; a single-copy error corrupts data but does not expose the row).
+func SilentExposureProb(perCopy float64) float64 {
+	e := perCopy
+	return 3*e*e*(1-e) + e*e*e
+}
+
+// LockerDefenseDays returns how many days DRAM-Locker sustains the attack
+// at device threshold trh before the attacker's cumulative success
+// probability reaches TargetProb.
+//
+// Per-day success probability:
+//
+//	p/day = UnlockRate * P(silent exposure) * P(align) * min(1, 1000/trh)
+//
+// The last factor is the chance the attacker completes trh activations
+// inside the fixed-size exposure window (~1000 activations fit), which is
+// what makes higher thresholds *easier* to defend — the paper's Fig. 7(b)
+// trend.
+func LockerDefenseDays(cfg DefenseTimeConfig, trh int) float64 {
+	pFit := 1000.0 / float64(trh)
+	if pFit > 1 {
+		pFit = 1
+	}
+	perDay := cfg.UnlockRatePerDay * SilentExposureProb(cfg.CopyErrorProb) *
+		cfg.ExposureAlignProb * pFit
+	return cfg.TargetProb / perDay
+}
+
+// ShadowDefenseDays returns SHADOW's sustained defense time at device
+// threshold trh:
+//
+//	p/day = WindowsPerDay * ShadowEvadePerWindow * (1000/trh)
+//
+// Higher thresholds shrink the attacker's per-window evasion chance
+// (fewer complete hammer rounds fit), so defense time grows linearly in
+// trh — but from a far lower base than DRAM-Locker because every refresh
+// window is an independent evasion opportunity.
+func ShadowDefenseDays(cfg DefenseTimeConfig, trh int) float64 {
+	perDay := cfg.WindowsPerDay() * cfg.ShadowEvadePerWindow * 1000 / float64(trh)
+	return cfg.TargetProb / perDay
+}
+
+// Fig7bBar is one bar of the defense-time chart.
+type Fig7bBar struct {
+	Threshold  int
+	ShadowDays float64
+	LockerDays float64
+}
+
+// Fig7b computes the defense-time comparison at thresholds 1k/2k/4k/8k.
+func Fig7b(cfg DefenseTimeConfig) ([]Fig7bBar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Fig7bBar
+	for _, trh := range []int{1000, 2000, 4000, 8000} {
+		out = append(out, Fig7bBar{
+			Threshold:  trh,
+			ShadowDays: ShadowDefenseDays(cfg, trh),
+			LockerDays: LockerDefenseDays(cfg, trh),
+		})
+	}
+	return out, nil
+}
+
+// SwapErrorProbability re-exports the three-copy SWAP failure law so the
+// Fig. 7 models and the RowClone engine cannot drift apart.
+func SwapErrorProbability(perCopy float64) float64 {
+	return rowclone.SwapErrorProb(perCopy)
+}

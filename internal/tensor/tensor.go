@@ -1,0 +1,332 @@
+// Package tensor provides the dense float32 tensors and kernels that the
+// DNN substrate (internal/nn) is built on: matrix multiplication, im2col
+// convolution lowering, pooling, and elementwise operations, all in pure Go
+// with deterministic results.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps data with a shape; the slice is used directly.
+func FromData(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Len() != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape of equal length.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	out := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if out.Len() != t.Len() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes length", t.Shape, shape))
+	}
+	return out
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// At returns the element at the given indices (bounds-checked; for tests
+// and small-scale code, not inner loops).
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d (%v)", x, i, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandNormal fills the tensor with Normal(0, std) values.
+func (t *Tensor) RandNormal(rng *stats.RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.Normal(0, std))
+	}
+}
+
+// KaimingInit fills a weight tensor with He-normal initialisation using
+// fanIn input connections.
+func (t *Tensor) KaimingInit(rng *stats.RNG, fanIn int) {
+	std := math.Sqrt(2 / float64(fanIn))
+	t.RandNormal(rng, std)
+}
+
+// Add accumulates src into t elementwise.
+func (t *Tensor) Add(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: Add length mismatch")
+	}
+	for i, v := range src.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MaxAbs returns the maximum absolute value.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MatMul computes C = A(mxk) * B(kxn) into a new (mxn) tensor, using an
+// ikj loop order so the inner loop streams both B and C rows.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+	return c
+}
+
+func matMulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k x m) and B is (k x n),
+// giving C (m x n): C[i,j] = sum_p A[p,i] * B[p,j]. Used for weight
+// gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C[m,n] = sum_p A[m,p] * B[n,p] (B transposed).
+// Used for input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+// Im2Col lowers an input image batch (N, C, H, W) into a matrix of shape
+// (N*outH*outW, C*kh*kw) for convolution by matmul. Padding is zero-fill.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(n*outH*outW, c*kh*kw)
+	colStride := c * kh * kw
+	for img := 0; img < n; img++ {
+		xoff := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((img*outH+oy)*outW + ox) * colStride
+				for ch := 0; ch < c; ch++ {
+					choff := xoff + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						dst := row + (ch*kh+ky)*kw
+						if iy < 0 || iy >= h {
+							continue // zeros already
+						}
+						srcRow := choff + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cols.Data[dst+kx] = x.Data[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols, outH, outW
+}
+
+// Col2Im scatters a column matrix (as produced by Im2Col) back into an
+// image batch of shape (N, C, H, W), accumulating overlaps. It is the
+// adjoint of Im2Col and is used for convolution input gradients.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	x := New(n, c, h, w)
+	colStride := c * kh * kw
+	for img := 0; img < n; img++ {
+		xoff := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((img*outH+oy)*outW + ox) * colStride
+				for ch := 0; ch < c; ch++ {
+					choff := xoff + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := row + (ch*kh+ky)*kw
+						dstRow := choff + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							x.Data[dstRow+ix] += cols.Data[src+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// ArgMaxRow returns the index of the maximum element in each row of a 2-D
+// tensor (class predictions from logits).
+func ArgMaxRow(t *Tensor) []int {
+	if len(t.Shape) != 2 {
+		panic("tensor: ArgMaxRow needs a 2-D tensor")
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
