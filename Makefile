@@ -1,0 +1,31 @@
+# Shared developer / CI entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets so local `make ci` reproduces the gate.
+
+GO ?= go
+
+.PHONY: build test race bench-smoke vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race smoke on the concurrent packages: the engine worker pool and the
+# trace replay layer.
+race:
+	$(GO) test -race ./internal/engine/ ./internal/trace/
+
+# One iteration of every benchmark (regenerates the paper tables without
+# timing noise mattering).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: vet fmt-check build test race

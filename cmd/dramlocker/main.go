@@ -1,116 +1,137 @@
-// Command dramlocker runs the paper's experiments and prints paper-style
-// tables and curve data.
+// Command dramlocker regenerates the paper's tables and figures by
+// running experiment jobs through the internal/engine worker pool.
 //
 // Usage:
 //
 //	dramlocker -exp table1
 //	dramlocker -exp fig8a -preset small
-//	dramlocker -exp all -preset tiny
+//	dramlocker -exp 'fig8*' -preset tiny,small -workers 8
+//	dramlocker -exp all -preset tiny -json
+//	dramlocker -list
 //
-// Experiments: fig1a fig1b mc table1 fig7a fig7b fig8a fig8b fig8pta
-// table2 all. Presets: tiny small paper (see internal/experiments).
+// Experiments: fig1a fig1b mc table1 fig7a fig7b defense fig8a fig8b
+// fig8pta table2 perf all, or any glob over the full job names
+// ("<preset>/<experiment>", e.g. "tiny/fig8a"). Presets: tiny small
+// paper (see internal/experiments). -workers 0 uses every CPU; -workers 1
+// reproduces the old serial behavior.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1a fig1b mc table1 fig7a fig7b fig8a fig8b fig8pta table2 all)")
-	preset := flag.String("preset", "small", "scale preset (tiny small paper)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids or globs (fig1a fig1b mc table1 fig7a fig7b defense fig8a fig8b fig8pta table2 perf all)")
+	preset := flag.String("preset", "small", "comma-separated scale presets (tiny small paper)")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = number of CPUs, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit the structured JSON report instead of text")
+	list := flag.Bool("list", false, "list the registered jobs and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	flag.Parse()
 
-	p, err := experiments.PresetByName(*preset)
-	if err != nil {
+	if err := run(*exp, *preset, *workers, *jsonOut, *list, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = []string{"fig1b", "mc", "table1", "fig7a", "fig7b", "fig1a", "fig8a", "fig8b", "fig8pta", "table2", "perf"}
-	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := run(id, p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s (preset %s, %v) ===\n%s\n", id, p.Name, time.Since(start).Round(time.Millisecond), out)
+		os.Exit(1)
 	}
 }
 
-func run(id string, p experiments.Preset) (string, error) {
-	switch id {
-	case "fig1a":
-		r, err := experiments.Fig1a(p)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig1a(r), nil
-	case "fig1b":
-		rows, err := experiments.Fig1b()
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig1b(rows), nil
-	case "mc":
-		rows, err := experiments.MonteCarlo(p)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatMonteCarlo(rows), nil
-	case "table1":
-		return experiments.FormatTable1(experiments.Table1()), nil
-	case "fig7a":
-		curves, err := experiments.Fig7aData()
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig7a(curves), nil
-	case "fig7b":
-		bars, err := experiments.Fig7bData()
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig7b(bars), nil
-	case "fig8a":
-		r, err := experiments.Fig8(p, experiments.ArchResNet20, 10)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig8(r), nil
-	case "fig8b":
-		r, err := experiments.Fig8(p, experiments.ArchVGG11, 100)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig8(r), nil
-	case "fig8pta":
-		r, err := experiments.Fig8PTA(p)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatFig8PTA(r), nil
-	case "table2":
-		rows, err := experiments.Table2(p, experiments.DefaultTable2Config(p))
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatTable2(rows), nil
-	case "perf":
-		r, err := experiments.Perf(p)
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatPerf(r), nil
-	default:
-		return "", fmt.Errorf("unknown experiment %q", id)
+func run(exp, preset string, workers int, jsonOut, list, quiet bool) error {
+	presets := dedupe(splitList(preset))
+	if len(presets) == 0 {
+		return fmt.Errorf("no preset given (want a comma-separated subset of %s)",
+			strings.Join(experiments.PresetNames(), ","))
 	}
+	reg := engine.NewRegistry()
+	for _, name := range presets {
+		p, err := experiments.PresetByName(name)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RegisterJobs(reg, p); err != nil {
+			return err
+		}
+	}
+
+	if list {
+		for _, j := range reg.Jobs() {
+			fmt.Printf("%-16s %s\n", j.Name, j.Title)
+		}
+		return nil
+	}
+
+	opts := engine.Options{
+		Workers: workers,
+		Filter:  jobFilter(exp),
+		// The cache dedupes the preset-free experiments (fig1b, table1,
+		// fig7a, fig7b) across a multi-preset run.
+		Cache: engine.NewCache(),
+	}
+	if !quiet {
+		opts.OnDone = func(r engine.Result) {
+			status := "done"
+			if r.Failed() {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "%-8s %-16s %v\n", status, r.Name, r.Duration.Round(time.Millisecond))
+		}
+	}
+
+	rep, err := engine.Run(reg, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		buf, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+	} else {
+		fmt.Print(rep.Text())
+	}
+	return rep.Err()
+}
+
+// jobFilter turns the -exp flag into engine filter patterns. Bare
+// experiment ids (no '/') apply across every registered preset.
+func jobFilter(exp string) []string {
+	var pats []string
+	for _, pat := range splitList(exp) {
+		if pat != "all" && !strings.Contains(pat, "/") {
+			pat = "*/" + pat
+		}
+		pats = append(pats, pat)
+	}
+	return pats
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// dedupe drops repeated items, keeping first-seen order.
+func dedupe(items []string) []string {
+	seen := make(map[string]bool, len(items))
+	var out []string
+	for _, it := range items {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	return out
 }

@@ -9,6 +9,14 @@
 // and figure of the paper. See README.md for a guided tour, DESIGN.md for
 // the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
 //
+// Experiments execute through internal/engine: each (preset, experiment)
+// pair is a named, self-contained job ("tiny/fig8a") in a registry, run
+// on a runtime.NumCPU()-bounded worker pool with deterministic per-job
+// seeding, per-job timing/error capture, glob filtering, and result
+// caching keyed by the preset hash. Reports render as text or JSON and
+// are identical regardless of worker count. cmd/dramlocker is the CLI
+// front end (-exp, -preset, -workers, -json, -list).
+//
 // The root package holds the benchmark harness (bench_test.go): one
 // testing.B benchmark per paper table/figure plus ablation benches for the
 // design choices called out in DESIGN.md §5.

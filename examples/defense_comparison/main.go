@@ -1,139 +1,34 @@
 // Defense comparison: runs the same single-sided RowHammer campaign
 // against every implemented mitigation — no defense, PARA, counter-per-row,
-// Graphene, Hydra, CounterTree, TWiCE, RRS, SHADOW, and DRAM-Locker — and
-// reports whether the victim bit flipped and what each mechanism spent.
+// Graphene, Hydra, CounterTree, TWiCE, RRS, SHADOW, and DRAM-Locker — as
+// an engine job and reports whether the victim bit flipped and what each
+// mechanism spent. The campaign itself lives in
+// experiments.DefenseComparison; this example consumes it through the
+// job registry like any other experiment.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/controller"
-	"repro/internal/defense"
-	"repro/internal/dram"
-	"repro/internal/rowhammer"
-)
-
-const (
-	trh         = 200 // device hammer threshold
-	activations = 2000
+	"repro/internal/engine"
+	"repro/internal/experiments"
 )
 
 func main() {
-	fmt.Printf("single-sided campaign: %d activations on one aggressor, device T_RH=%d\n\n", activations, trh)
-	fmt.Printf("%-16s %8s %12s %14s %10s\n", "defense", "flipped", "mitigations", "extra latency", "denied")
-
-	for _, name := range []string{
-		"None", "PARA", "CounterPerRow", "Graphene", "Hydra",
-		"CounterTree", "TWiCE", "RRS", "SHADOW",
-	} {
-		flipped, st, err := runBaseline(name)
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		fmt.Printf("%-16s %8v %12d %14v %10d\n",
-			name, flipped, st.Mitigations, st.ExtraLatency, st.Denials)
+	reg := engine.NewRegistry()
+	// Small's TRH of 200 gives the classic 2000-activation campaign.
+	if err := experiments.RegisterJobs(reg, experiments.Small()); err != nil {
+		log.Fatal(err)
 	}
-
-	// DRAM-Locker goes through the real controller.
-	flipped, denied, lat, err := runLocker()
+	rep, err := engine.Run(reg, engine.Options{Filter: []string{"*/defense"}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-16s %8v %12d %14v %10d\n", "DRAM-Locker", flipped, 0, lat, denied)
-	fmt.Println("\nnote: counter-based mechanisms mitigate reactively (work scales with the")
-	fmt.Println("attack); the lock-table denies proactively at pure lookup cost.")
-}
-
-// rig builds a fresh device + engine with a registered victim bit.
-func rig() (*dram.Device, *rowhammer.Engine, dram.RowAddr, dram.RowAddr, error) {
-	dev, err := dram.NewDevice(dram.SmallGeometry(), dram.DDR4Timing())
-	if err != nil {
-		return nil, nil, dram.RowAddr{}, dram.RowAddr{}, err
+	if err := rep.Err(); err != nil {
+		log.Fatal(err)
 	}
-	cfg := rowhammer.DefaultConfig()
-	cfg.TRH = trh
-	eng, err := rowhammer.New(dev, cfg)
-	if err != nil {
-		return nil, nil, dram.RowAddr{}, dram.RowAddr{}, err
+	for _, r := range rep.Results {
+		fmt.Print(r.Text)
 	}
-	agg := dram.RowAddr{Bank: 0, Row: 10}
-	victim := dram.RowAddr{Bank: 0, Row: 11}
-	if err := eng.RegisterTarget(victim, 0); err != nil {
-		return nil, nil, dram.RowAddr{}, dram.RowAddr{}, err
-	}
-	return dev, eng, agg, victim, nil
-}
-
-func buildDefense(name string, dev *dram.Device, eng *rowhammer.Engine) (defense.Defense, error) {
-	geom := dev.Geometry()
-	switch name {
-	case "None":
-		return defense.NewNone(), nil
-	case "PARA":
-		return defense.NewPARA(eng, 0.02, 1)
-	case "CounterPerRow":
-		return defense.NewCounterPerRow(eng, geom, trh/2)
-	case "Graphene":
-		return defense.NewGraphene(eng, geom, trh, 16)
-	case "Hydra":
-		return defense.NewHydra(eng, geom, trh/2, 8)
-	case "CounterTree":
-		return defense.NewCounterTree(eng, geom, trh/2, 6)
-	case "TWiCE":
-		return defense.NewTWiCE(eng, geom, trh/2)
-	case "RRS":
-		return defense.NewRowSwap(eng, geom, trh/2, false, 2)
-	case "SHADOW":
-		return defense.NewShadow(eng, geom, defense.DefaultShadowConfig(trh))
-	default:
-		return nil, fmt.Errorf("unknown defense %q", name)
-	}
-}
-
-func runBaseline(name string) (bool, defense.Stats, error) {
-	dev, eng, agg, victim, err := rig()
-	if err != nil {
-		return false, defense.Stats{}, err
-	}
-	d, err := buildDefense(name, dev, eng)
-	if err != nil {
-		return false, defense.Stats{}, err
-	}
-	for i := 0; i < activations; i++ {
-		dec := d.OnActivate(agg, false)
-		if !dec.Allow {
-			continue
-		}
-		if _, err := dev.Activate(agg); err != nil {
-			return false, defense.Stats{}, err
-		}
-		if _, err := dev.Precharge(agg.Bank); err != nil {
-			return false, defense.Stats{}, err
-		}
-	}
-	flipped, err := dev.PeekBit(victim, 0)
-	return flipped, d.Stats(), err
-}
-
-func runLocker() (flipped bool, denied int64, lat dram.Picoseconds, err error) {
-	dev, _, agg, victim, err := rig()
-	if err != nil {
-		return false, 0, 0, err
-	}
-	ctl, err := controller.New(dev, controller.DefaultConfig())
-	if err != nil {
-		return false, 0, 0, err
-	}
-	if err := ctl.LockRow(agg); err != nil {
-		return false, 0, 0, err
-	}
-	for i := 0; i < activations; i++ {
-		if _, _, err := ctl.HammerAttempt(agg); err != nil {
-			return false, 0, 0, err
-		}
-	}
-	flipped, err = dev.PeekBit(victim, 0)
-	st := ctl.Stats()
-	return flipped, st.Denied, st.LookupLatency, err
 }

@@ -1,36 +1,29 @@
-// Overhead report: prints the Table I hardware-overhead comparison and the
-// §IV.D process-variation Monte-Carlo, the two "paper tables" that need no
-// DNN training.
+// Overhead report: runs the model-free "paper table" jobs — Table I,
+// the §IV.D process-variation Monte-Carlo and both Fig. 7 panels —
+// concurrently through the experiment engine.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
-	fmt.Print(experiments.FormatTable1(experiments.Table1()))
-	fmt.Println()
-
-	rows, err := experiments.MonteCarlo(experiments.Small())
+	reg := engine.NewRegistry()
+	if err := experiments.RegisterJobs(reg, experiments.Small()); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := engine.Run(reg, engine.Options{
+		Filter: []string{"*/table1", "*/mc", "*/fig7a", "*/fig7b"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatMonteCarlo(rows))
-	fmt.Println()
-
-	curves, err := experiments.Fig7aData()
-	if err != nil {
+	fmt.Print(rep.Text())
+	if err := rep.Err(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatFig7a(curves))
-	fmt.Println()
-
-	bars, err := experiments.Fig7bData()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(experiments.FormatFig7b(bars))
 }

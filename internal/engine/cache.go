@@ -1,0 +1,72 @@
+package engine
+
+import "sync"
+
+// Cache memoises successful job results across runs in the same process.
+// Keys come from Job.Key (experiment id + preset hash), so editing a
+// preset knob invalidates every cached result computed under it. The
+// cache also tracks in-flight computations: a keyed job whose key is
+// already being computed waits for that computation instead of
+// duplicating it (single-flight).
+type Cache struct {
+	mu       sync.Mutex
+	m        map[string]Result
+	inflight map[string]chan struct{}
+}
+
+// NewCache returns an empty result cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]Result), inflight: make(map[string]chan struct{})}
+}
+
+// Len reports how many results are cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// begin claims key for computation. It returns the cached result on a
+// hit; otherwise, if another goroutine is already computing the key, it
+// waits for that computation and retries. A (Result{}, false) return
+// means the caller owns the computation and must call finish(key, ...)
+// exactly once.
+func (c *Cache) begin(key string) (Result, bool) {
+	if c == nil || key == "" {
+		return Result{}, false
+	}
+	for {
+		c.mu.Lock()
+		if r, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			return r, true
+		}
+		ch, busy := c.inflight[key]
+		if !busy {
+			c.inflight[key] = make(chan struct{})
+			c.mu.Unlock()
+			return Result{}, false
+		}
+		c.mu.Unlock()
+		<-ch
+		// The computation finished: loop to pick up its result, or —
+		// if it failed (failures are not cached) — claim the key.
+	}
+}
+
+// finish records the computation claimed by begin. Failures are not
+// cached, so a flaky job re-runs; waiters are released either way.
+func (c *Cache) finish(key string, r Result) {
+	if c == nil || key == "" {
+		return
+	}
+	c.mu.Lock()
+	if r.Err == "" {
+		c.m[key] = r
+	}
+	if ch, ok := c.inflight[key]; ok {
+		delete(c.inflight, key)
+		close(ch)
+	}
+	c.mu.Unlock()
+}

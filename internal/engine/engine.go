@@ -1,0 +1,186 @@
+// Package engine schedules the repository's experiments as named,
+// independent jobs on a bounded worker pool.
+//
+// The harness in internal/experiments regenerates every table and figure
+// of the paper; each (preset, experiment) pair is registered here as one
+// Job. A Runner executes the selected jobs concurrently with up to
+// runtime.NumCPU() workers, captures per-job timing and errors, and
+// collects everything into a Report that renders as text or JSON. Jobs
+// must be self-contained — each builds its own victim model and
+// DefendedSystem — so any subset can run in parallel without shared
+// mutable state.
+//
+// Determinism: a job receives a Context whose Seed is derived from the
+// runner's BaseSeed and the job name, so a given (BaseSeed, job) pair
+// always sees the same RNG stream regardless of worker count or
+// scheduling order. Results are reported in registration order, never in
+// completion order.
+//
+// Caching: a Job may carry a Key (the experiments layer uses
+// "<experiment>@<preset hash>"). When the Runner is given a Cache,
+// successful results are memoised under that key and replayed on the next
+// run instead of recomputed.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"sort"
+	"sync"
+)
+
+// Context carries per-job execution metadata into a Job's Run function.
+type Context struct {
+	// Name is the registered job name, e.g. "small/fig8a".
+	Name string
+	// Seed is the deterministic per-job RNG seed: a hash of the
+	// runner's BaseSeed and Name. Two runs with the same BaseSeed hand
+	// every job the same seed no matter how many workers execute.
+	Seed uint64
+}
+
+// Output is what a job produces: a human-readable rendering and an
+// optional structured payload for the JSON report.
+type Output struct {
+	// Text is the paper-style table or curve data.
+	Text string
+	// Data is marshalled into the JSON report verbatim.
+	Data any
+}
+
+// Job is one independent, schedulable unit of work.
+type Job struct {
+	// Name is the unique identifier, conventionally "<preset>/<experiment>".
+	Name string
+	// Title is a one-line human description shown by listings.
+	Title string
+	// Key is the result-cache key; empty disables caching for this job.
+	// The experiments layer keys by experiment id + preset hash so a
+	// preset change invalidates the cached result.
+	Key string
+	// Run executes the job. It must be safe to call concurrently with
+	// every other registered job's Run.
+	Run func(Context) (Output, error)
+}
+
+// Registry holds an ordered set of uniquely named jobs.
+type Registry struct {
+	mu     sync.Mutex
+	jobs   []Job
+	byName map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Register adds a job. Names must be unique and Run non-nil.
+func (r *Registry) Register(j Job) error {
+	if j.Name == "" {
+		return fmt.Errorf("engine: job has no name")
+	}
+	if j.Run == nil {
+		return fmt.Errorf("engine: job %q has no Run function", j.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[j.Name]; dup {
+		return fmt.Errorf("engine: duplicate job %q", j.Name)
+	}
+	r.byName[j.Name] = len(r.jobs)
+	r.jobs = append(r.jobs, j)
+	return nil
+}
+
+// Jobs returns the registered jobs in registration order.
+func (r *Registry) Jobs() []Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Job, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// Names returns the registered job names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.jobs))
+	for i, j := range r.jobs {
+		names[i] = j.Name
+	}
+	return names
+}
+
+// Len reports how many jobs are registered.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// Select returns the jobs matched by the filter patterns, in registration
+// order. Each pattern is an exact name, a path.Match glob ("*/fig8*"), or
+// the keyword "all". Empty patterns select everything. Unknown patterns —
+// ones matching no job — are reported as an error so typos fail loudly.
+func (r *Registry) Select(patterns []string) ([]Job, error) {
+	jobs := r.Jobs()
+	if len(patterns) == 0 {
+		return jobs, nil
+	}
+	picked := make([]bool, len(jobs))
+	for _, pat := range patterns {
+		if pat == "" || pat == "all" {
+			for i := range picked {
+				picked[i] = true
+			}
+			continue
+		}
+		hit := false
+		for i, j := range jobs {
+			ok, err := path.Match(pat, j.Name)
+			if err != nil {
+				return nil, fmt.Errorf("engine: bad filter %q: %w", pat, err)
+			}
+			if ok || pat == j.Name {
+				picked[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			return nil, fmt.Errorf("engine: filter %q matches no job (have: %v)", pat, r.Names())
+		}
+	}
+	var out []Job
+	for i, j := range jobs {
+		if picked[i] {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// JobSeed derives the deterministic per-job seed from a base seed and the
+// job name (FNV-1a over both).
+func JobSeed(base uint64, name string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(base >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// SortedNames returns job names sorted lexically (for stable listings).
+func SortedNames(jobs []Job) []string {
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// textOf strips the timing-dependent parts of a report so two runs can be
+// compared for determinism.
+func textOf(rep *Report) string {
+	var b strings.Builder
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%s seed=%d err=%q\n%s\n", r.Name, r.Seed, r.Err, r.Text)
+	}
+	return b.String()
+}
+
+func TestRegistryRejectsBadJobs(t *testing.T) {
+	reg := NewRegistry()
+	ok := Job{Name: "a", Run: func(Context) (Output, error) { return Output{}, nil }}
+	if err := reg.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(ok); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if err := reg.Register(Job{Run: ok.Run}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := reg.Register(Job{Name: "b"}); err == nil {
+		t.Fatal("nil Run must fail")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("len = %d", reg.Len())
+	}
+}
+
+func TestSelectFiltering(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"tiny/fig8a", "tiny/table2", "small/fig8a", "small/perf"} {
+		name := name
+		if err := reg.Register(Job{Name: name, Run: func(Context) (Output, error) {
+			return Output{Text: name}, nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		{nil, []string{"tiny/fig8a", "tiny/table2", "small/fig8a", "small/perf"}},
+		{[]string{"all"}, []string{"tiny/fig8a", "tiny/table2", "small/fig8a", "small/perf"}},
+		{[]string{"*/fig8a"}, []string{"tiny/fig8a", "small/fig8a"}},
+		{[]string{"small/perf"}, []string{"small/perf"}},
+		{[]string{"tiny/*", "small/perf"}, []string{"tiny/fig8a", "tiny/table2", "small/perf"}},
+	}
+	for _, c := range cases {
+		jobs, err := reg.Select(c.patterns)
+		if err != nil {
+			t.Fatalf("%v: %v", c.patterns, err)
+		}
+		var got []string
+		for _, j := range jobs {
+			got = append(got, j.Name)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("filter %v: got %v, want %v", c.patterns, got, c.want)
+		}
+	}
+	if _, err := reg.Select([]string{"*/nosuch"}); err == nil {
+		t.Fatal("unmatched filter must fail")
+	}
+}
+
+// seededRegistry builds jobs whose output depends only on ctx.Seed, so a
+// report's text is a fingerprint of the seeding and scheduling.
+func seededRegistry(t *testing.T, n int) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("job%02d", i)
+		err := reg.Register(Job{Name: name, Run: func(ctx Context) (Output, error) {
+			rng := rand.New(rand.NewSource(int64(ctx.Seed)))
+			return Output{Text: fmt.Sprintf("%s -> %d %d %d", ctx.Name, rng.Int63(), rng.Int63(), rng.Int63())}, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func TestConcurrentExecutionIsDeterministic(t *testing.T) {
+	reg := seededRegistry(t, 24)
+	serial, err := Run(reg, Options{Workers: 1, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		par, err := Run(reg, Options{Workers: 8, BaseSeed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if textOf(par) != textOf(serial) {
+			t.Fatalf("workers=8 run diverged from serial:\n%s\nvs\n%s", textOf(par), textOf(serial))
+		}
+	}
+	other, err := Run(reg, Options{Workers: 8, BaseSeed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if textOf(other) == textOf(serial) {
+		t.Fatal("different base seed must change the seeded outputs")
+	}
+}
+
+func TestResultsKeepRegistrationOrder(t *testing.T) {
+	reg := seededRegistry(t, 16)
+	rep, err := Run(reg, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rep.Results {
+		if want := fmt.Sprintf("job%02d", i); r.Name != want {
+			t.Fatalf("result %d is %s, want %s", i, r.Name, want)
+		}
+	}
+}
+
+func TestErrorAndPanicPropagation(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	must := func(j Job) {
+		if err := reg.Register(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Job{Name: "ok", Run: func(Context) (Output, error) { return Output{Text: "fine"}, nil }})
+	must(Job{Name: "fails", Run: func(Context) (Output, error) { return Output{}, boom }})
+	must(Job{Name: "panics", Run: func(Context) (Output, error) { panic("kaboom") }})
+
+	rep, err := Run(reg, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 2 {
+		t.Fatalf("failed = %d, want 2", rep.Failed())
+	}
+	if rep.Results[0].Failed() || rep.Results[0].Text != "fine" {
+		t.Fatalf("healthy job corrupted: %+v", rep.Results[0])
+	}
+	if rep.Results[1].Err != "boom" {
+		t.Fatalf("error not captured: %q", rep.Results[1].Err)
+	}
+	if !strings.Contains(rep.Results[2].Err, "kaboom") {
+		t.Fatalf("panic not captured: %q", rep.Results[2].Err)
+	}
+	joined := rep.Err()
+	if joined == nil {
+		t.Fatal("Report.Err must be non-nil")
+	}
+	for _, frag := range []string{"fails: boom", "panics:"} {
+		if !strings.Contains(joined.Error(), frag) {
+			t.Fatalf("joined error missing %q: %v", frag, joined)
+		}
+	}
+}
+
+func TestWorkerPoolRunsJobsInParallel(t *testing.T) {
+	const n = 4
+	reg := NewRegistry()
+	// Every job blocks until all n are running at once; the run can only
+	// finish if the pool really executes them concurrently.
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	for i := 0; i < n; i++ {
+		err := reg.Register(Job{Name: fmt.Sprintf("j%d", i), Run: func(ctx Context) (Output, error) {
+			barrier.Done()
+			done := make(chan struct{})
+			go func() { barrier.Wait(); close(done) }()
+			select {
+			case <-done:
+				return Output{Text: "met"}, nil
+			case <-time.After(10 * time.Second):
+				return Output{}, errors.New("barrier never met: jobs did not overlap")
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Run(reg, Options{Workers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != n {
+		t.Fatalf("workers = %d", rep.Workers)
+	}
+}
+
+func TestCacheReplaysResults(t *testing.T) {
+	reg := NewRegistry()
+	var runs, failRuns int32
+	var mu sync.Mutex
+	must := func(j Job) {
+		if err := reg.Register(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Job{Name: "cached", Key: "cached@deadbeef", Run: func(Context) (Output, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return Output{Text: "expensive"}, nil
+	}})
+	must(Job{Name: "failing", Key: "failing@deadbeef", Run: func(Context) (Output, error) {
+		mu.Lock()
+		failRuns++
+		mu.Unlock()
+		return Output{}, errors.New("transient")
+	}})
+	must(Job{Name: "unkeyed", Run: func(Context) (Output, error) { return Output{Text: "x"}, nil }})
+
+	cache := NewCache()
+	for pass := 0; pass < 2; pass++ {
+		rep, err := Run(reg, Options{Workers: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Text != "expensive" {
+			t.Fatalf("pass %d: text %q", pass, rep.Results[0].Text)
+		}
+		if want := pass == 1; rep.Results[0].Cached != want {
+			t.Fatalf("pass %d: cached = %v", pass, rep.Results[0].Cached)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("cached job ran %d times, want 1", runs)
+	}
+	if failRuns != 2 {
+		t.Fatalf("failing job ran %d times, want 2 (failures must not cache)", failRuns)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+func TestSameKeyJobsSingleFlight(t *testing.T) {
+	reg := NewRegistry()
+	var mu sync.Mutex
+	runs := 0
+	for i := 0; i < 4; i++ {
+		err := reg.Register(Job{Name: fmt.Sprintf("sf%d", i), Key: "shared@key", Run: func(Context) (Output, error) {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			time.Sleep(30 * time.Millisecond) // widen the overlap window
+			return Output{Text: "shared"}, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Run(reg, Options{Workers: 4, Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("shared-key job computed %d times, want 1 (single-flight)", runs)
+	}
+	cached := 0
+	for _, r := range rep.Results {
+		if r.Text != "shared" {
+			t.Fatalf("%s: text %q", r.Name, r.Text)
+		}
+		if r.Seed != JobSeed(0, r.Name) {
+			t.Fatalf("%s: replay must carry the job's own seed", r.Name)
+		}
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached != 3 {
+		t.Fatalf("cached = %d, want 3", cached)
+	}
+}
+
+func TestSameKeyFailuresDoNotDeadlockOrCache(t *testing.T) {
+	reg := NewRegistry()
+	var mu sync.Mutex
+	runs := 0
+	for i := 0; i < 3; i++ {
+		err := reg.Register(Job{Name: fmt.Sprintf("bad%d", i), Key: "doomed@key", Run: func(Context) (Output, error) {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			return Output{}, errors.New("always fails")
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Run(reg, Options{Workers: 3, Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 3 {
+		t.Fatalf("failed = %d, want 3", rep.Failed())
+	}
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3 (failures are never replayed)", runs)
+	}
+}
+
+func TestOnDoneObservesEveryJob(t *testing.T) {
+	reg := seededRegistry(t, 10)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	_, err := Run(reg, Options{Workers: 4, OnDone: func(r Result) {
+		mu.Lock()
+		seen[r.Name] = true
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("OnDone saw %d jobs, want 10", len(seen))
+	}
+}
+
+func TestJobSeedStableAndDistinct(t *testing.T) {
+	if JobSeed(1, "a") != JobSeed(1, "a") {
+		t.Fatal("seed must be deterministic")
+	}
+	if JobSeed(1, "a") == JobSeed(1, "b") {
+		t.Fatal("different jobs must get different seeds")
+	}
+	if JobSeed(1, "a") == JobSeed(2, "a") {
+		t.Fatal("different base seeds must differ")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	reg := NewRegistry()
+	must := func(j Job) {
+		if err := reg.Register(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Job{Name: "t1", Title: "table one", Run: func(Context) (Output, error) {
+		return Output{Text: "row A\n", Data: map[string]int{"rows": 1}}, nil
+	}})
+	must(Job{Name: "t2", Run: func(Context) (Output, error) { return Output{}, errors.New("nope") }})
+
+	rep, err := Run(reg, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Text()
+	for _, frag := range []string{"=== t1", "row A", "=== t2", "ERROR: nope", "2 jobs, 1 failed, 1 workers"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("report text missing %q:\n%s", frag, text)
+		}
+	}
+	buf, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"name": "t1"`, `"rows": 1`, `"error": "nope"`, `"workers": 1`} {
+		if !strings.Contains(string(buf), frag) {
+			t.Fatalf("JSON missing %q:\n%s", frag, buf)
+		}
+	}
+}

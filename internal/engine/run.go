@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures one Runner pass.
+type Options struct {
+	// Workers bounds pool size; <=0 means runtime.NumCPU().
+	Workers int
+	// Filter selects jobs by exact name or path.Match glob; empty runs
+	// everything (see Registry.Select).
+	Filter []string
+	// BaseSeed feeds the per-job seed derivation (JobSeed).
+	BaseSeed uint64
+	// Cache, when non-nil, replays previously computed results for jobs
+	// with a non-empty Key and stores new successes.
+	Cache *Cache
+	// OnDone, when non-nil, is invoked once per job as it finishes.
+	// Calls are serialised; the callback must not invoke the Runner
+	// re-entrantly.
+	OnDone func(Result)
+}
+
+// Run executes the selected jobs from reg on a bounded worker pool and
+// returns the Report. Job errors (including panics, which are recovered
+// and converted) do not abort the pass — every selected job runs, and the
+// failures surface in the Report and via Report.Err. The returned error
+// is reserved for configuration problems (bad filter).
+func Run(reg *Registry, opts Options) (*Report, error) {
+	jobs, err := reg.Select(opts.Filter)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	rep := &Report{Workers: workers, Results: make([]Result, len(jobs))}
+	start := time.Now()
+
+	var doneMu sync.Mutex
+	done := func(r Result) {
+		if opts.OnDone == nil {
+			return
+		}
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		opts.OnDone(r)
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				rep.Results[i] = runOne(jobs[i], opts)
+				done(rep.Results[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// runOne executes a single job with cache lookup and panic recovery.
+// The effective cache key folds in the BaseSeed so results computed under
+// one seeding regime are never replayed under another; jobs that share a
+// Key (preset-independent experiments) must produce identical output for
+// a given BaseSeed. Same-key jobs running concurrently are single-flight:
+// one computes, the others wait and replay.
+func runOne(j Job, opts Options) (res Result) {
+	res = Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
+
+	key := j.Key
+	if key != "" {
+		key = fmt.Sprintf("%s#%016x", j.Key, opts.BaseSeed)
+	}
+	if cached, hit := opts.Cache.begin(key); hit {
+		// Replay under this job's own identity; the payload is shared,
+		// the metadata is not.
+		cached.Name, cached.Title, cached.Seed, cached.Cached = j.Name, j.Title, res.Seed, true
+		return cached
+	}
+
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprintf("panic: %v", p)
+			res.Duration = time.Since(start)
+		}
+		opts.Cache.finish(key, res)
+	}()
+
+	out, err := j.Run(Context{Name: j.Name, Seed: res.Seed})
+	res.Duration = time.Since(start)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Text, res.Data = out.Text, out.Data
+	return res
+}

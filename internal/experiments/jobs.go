@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// JobNames lists the experiment ids registered per preset, in the order
+// the paper presents them (cheap model-free tables first, then the
+// training-heavy attack panels).
+func JobNames() []string {
+	return []string{
+		"fig1b", "mc", "table1", "fig7a", "fig7b", "defense",
+		"fig1a", "fig8a", "fig8b", "fig8pta", "table2", "perf",
+	}
+}
+
+// jobTitles maps experiment ids to one-line descriptions.
+var jobTitles = map[string]string{
+	"fig1a":   "Fig 1(a): targeted BFA vs random flips (VGG-11/100)",
+	"fig1b":   "Fig 1(b): RowHammer thresholds validated on the fault model",
+	"mc":      "§IV.D: erroneous-SWAP Monte-Carlo vs process variation",
+	"table1":  "Table I: hardware overhead comparison",
+	"fig7a":   "Fig 7(a): mitigation latency per Tref vs attack intensity",
+	"fig7b":   "Fig 7(b): sustained defense time",
+	"defense": "RowHammer mitigation comparison (single-sided campaign)",
+	"fig8a":   "Fig 8: BFA on ResNet-20/10 without and with DRAM-Locker",
+	"fig8b":   "Fig 8: BFA on VGG-11/100 without and with DRAM-Locker",
+	"fig8pta": "Fig 8 (PTA): page-table attack without and with DRAM-Locker",
+	"table2":  "Table II: software-defense comparison (ResNet-20/10)",
+	"perf":    "Workload overhead under attack (trace replay)",
+}
+
+// presetFree marks the experiments whose output ignores the preset
+// entirely (they take no scale knobs). Their cache keys omit the preset
+// hash, so a multi-preset run with a cache computes each of them once and
+// replays the result for the other presets.
+var presetFree = map[string]bool{
+	"fig1b": true, "table1": true, "fig7a": true, "fig7b": true,
+}
+
+// RegisterJobs registers one engine job per experiment at preset p, named
+// "<preset>/<experiment>" (e.g. "small/fig8a"). Every job trains its own
+// victim and builds its own DefendedSystem, so any subset may execute
+// concurrently. Cache keys embed the preset hash (except for the
+// preset-free experiments), so a preset change invalidates prior results.
+func RegisterJobs(reg *engine.Registry, p Preset) error {
+	hash := p.Hash()
+	for _, exp := range JobNames() {
+		run, err := jobRunner(exp, p)
+		if err != nil {
+			return err
+		}
+		key := exp + "@" + hash
+		if presetFree[exp] {
+			key = exp + "@-"
+		}
+		j := engine.Job{
+			Name:  p.Name + "/" + exp,
+			Title: jobTitles[exp],
+			Key:   key,
+			Run:   run,
+		}
+		if err := reg.Register(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jobRunner builds the Run closure for one experiment id. The closures
+// use the preset's own seeds (so engine output matches direct serial
+// calls exactly); ctx.Seed remains available for engine-level features.
+func jobRunner(exp string, p Preset) (func(engine.Context) (engine.Output, error), error) {
+	switch exp {
+	case "fig1a":
+		return func(engine.Context) (engine.Output, error) {
+			r, err := Fig1a(p)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig1a(r), Data: r}, nil
+		}, nil
+	case "fig1b":
+		return func(engine.Context) (engine.Output, error) {
+			rows, err := Fig1b()
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig1b(rows), Data: rows}, nil
+		}, nil
+	case "mc":
+		return func(engine.Context) (engine.Output, error) {
+			rows, err := MonteCarlo(p)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatMonteCarlo(rows), Data: rows}, nil
+		}, nil
+	case "table1":
+		return func(engine.Context) (engine.Output, error) {
+			reports := Table1()
+			return engine.Output{Text: FormatTable1(reports), Data: reports}, nil
+		}, nil
+	case "fig7a":
+		return func(engine.Context) (engine.Output, error) {
+			curves, err := Fig7aData()
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig7a(curves), Data: curves}, nil
+		}, nil
+	case "fig7b":
+		return func(engine.Context) (engine.Output, error) {
+			bars, err := Fig7bData()
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig7b(bars), Data: bars}, nil
+		}, nil
+	case "defense":
+		return func(engine.Context) (engine.Output, error) {
+			rows, err := DefenseComparison(p)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatDefenseComparison(p, rows), Data: rows}, nil
+		}, nil
+	case "fig8a":
+		return func(engine.Context) (engine.Output, error) {
+			r, err := Fig8(p, ArchResNet20, 10)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig8(r), Data: r}, nil
+		}, nil
+	case "fig8b":
+		return func(engine.Context) (engine.Output, error) {
+			r, err := Fig8(p, ArchVGG11, 100)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig8(r), Data: r}, nil
+		}, nil
+	case "fig8pta":
+		return func(engine.Context) (engine.Output, error) {
+			r, err := Fig8PTA(p)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatFig8PTA(r), Data: r}, nil
+		}, nil
+	case "table2":
+		return func(engine.Context) (engine.Output, error) {
+			rows, err := Table2(p, DefaultTable2Config(p))
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatTable2(rows), Data: rows}, nil
+		}, nil
+	case "perf":
+		return func(engine.Context) (engine.Output, error) {
+			r, err := Perf(p)
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Text: FormatPerf(r), Data: r}, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestRegisterJobsPopulatesRegistry(t *testing.T) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterJobs(reg, Small()); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range reg.Names() {
+		names[n] = true
+	}
+	for _, preset := range []string{"tiny", "small"} {
+		for _, exp := range JobNames() {
+			if !names[preset+"/"+exp] {
+				t.Fatalf("missing job %s/%s", preset, exp)
+			}
+		}
+	}
+	if reg.Len() != 2*len(JobNames()) {
+		t.Fatalf("len = %d", reg.Len())
+	}
+	// Re-registering the same preset collides on names.
+	if err := RegisterJobs(reg, Tiny()); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+}
+
+func TestJobTitlesCoverEveryJob(t *testing.T) {
+	for _, exp := range JobNames() {
+		if jobTitles[exp] == "" {
+			t.Fatalf("no title for %q", exp)
+		}
+	}
+}
+
+func TestPresetHash(t *testing.T) {
+	if Tiny().Hash() != Tiny().Hash() {
+		t.Fatal("hash must be stable")
+	}
+	if Tiny().Hash() == Small().Hash() {
+		t.Fatal("different presets must hash differently")
+	}
+	p := Tiny()
+	p.TRH++
+	if p.Hash() == Tiny().Hash() {
+		t.Fatal("changing a knob must change the hash")
+	}
+}
+
+func TestDefenseComparisonTiny(t *testing.T) {
+	p := Tiny()
+	rows, err := DefenseComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefenseNames())+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Defense != "None" || !rows[0].Flipped {
+		t.Fatalf("undefended campaign must flip the victim: %+v", rows[0])
+	}
+	last := rows[len(rows)-1]
+	if last.Defense != "DRAM-Locker" || last.Flipped {
+		t.Fatalf("DRAM-Locker must hold: %+v", last)
+	}
+	if last.Denied == 0 {
+		t.Fatal("DRAM-Locker denied nothing")
+	}
+	out := FormatDefenseComparison(p, rows)
+	for _, frag := range []string{"DRAM-Locker", "SHADOW", "flipped", "denied"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestEngineMatchesSerialExecution is the parallel-correctness check: the
+// cheap model-free jobs run through the engine with one worker and with
+// many, and both reports must render identically (modulo timing).
+func TestEngineMatchesSerialExecution(t *testing.T) {
+	filter := []string{"*/mc", "*/table1", "*/fig7a", "*/fig7b", "*/defense"}
+	run := func(workers int) string {
+		reg := engine.NewRegistry()
+		if err := RegisterJobs(reg, Tiny()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := engine.Run(reg, engine.Options{Workers: workers, Filter: filter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range rep.Results {
+			b.WriteString(r.Name)
+			b.WriteByte('\n')
+			b.WriteString(r.Text)
+		}
+		return b.String()
+	}
+	serial := run(1)
+	parallel := run(0) // NumCPU
+	if serial != parallel {
+		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestPresetFreeJobsShareCache: experiments that ignore the preset carry
+// preset-free cache keys, so a cached multi-preset run computes each once.
+func TestPresetFreeJobsShareCache(t *testing.T) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterJobs(reg, Small()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := engine.Run(reg, engine.Options{
+		Workers: 1, // serial, so the second preset's job sees the first's result
+		Filter:  []string{"*/table1", "*/fig7b"},
+		Cache:   engine.NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]engine.Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	for _, exp := range []string{"table1", "fig7b"} {
+		first, second := byName["tiny/"+exp], byName["small/"+exp]
+		if first.Cached {
+			t.Fatalf("%s: first run must compute", first.Name)
+		}
+		if !second.Cached {
+			t.Fatalf("%s: second preset must replay the cached result", second.Name)
+		}
+		if first.Text != second.Text {
+			t.Fatalf("%s: cached replay diverged", exp)
+		}
+	}
+	// Preset-dependent jobs must NOT share keys across presets.
+	if Tiny().Hash() == Small().Hash() {
+		t.Fatal("preset hashes collide")
+	}
+}
+
+// TestJobErrorSurfacesInReport wires a preset that cannot train (zero
+// test split would be caught earlier, so use an unknown-arch shim) — here
+// we simply check that a failing job run through the experiments registry
+// shape reports rather than aborts the sibling jobs.
+func TestJobErrorSurfacesInReport(t *testing.T) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(engine.Job{
+		Name: "tiny/broken",
+		Run: func(engine.Context) (engine.Output, error) {
+			return engine.Output{}, errTestBroken
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := engine.Run(reg, engine.Options{Filter: []string{"tiny/table1", "tiny/broken"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("failed = %d", rep.Failed())
+	}
+	if rep.Results[0].Failed() {
+		t.Fatalf("table1 must succeed: %+v", rep.Results[0])
+	}
+	if !strings.Contains(rep.Err().Error(), "tiny/broken") {
+		t.Fatalf("joined error: %v", rep.Err())
+	}
+}
+
+var errTestBroken = errBroken{}
+
+type errBroken struct{}
+
+func (errBroken) Error() string { return "synthetic failure" }

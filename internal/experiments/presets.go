@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/controller"
 	"repro/internal/dram"
@@ -100,6 +101,20 @@ func mediumGeometry() dram.Geometry {
 	}
 }
 
+// Hash fingerprints every knob of the preset. The engine layer uses it as
+// the result-cache key component, so changing any field — even one buried
+// in the geometry — invalidates cached results computed under it.
+func (p Preset) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", p)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// PresetNames lists the selectable presets in size order.
+func PresetNames() []string {
+	return []string{"tiny", "small", "paper"}
+}
+
 // PresetByName resolves "tiny", "small" or "paper".
 func PresetByName(name string) (Preset, error) {
 	switch name {
@@ -110,7 +125,7 @@ func PresetByName(name string) (Preset, error) {
 	case "paper":
 		return PaperScale(), nil
 	default:
-		return Preset{}, fmt.Errorf("experiments: unknown preset %q", name)
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (have %v)", name, PresetNames())
 	}
 }
 

@@ -31,6 +31,10 @@ type LatencyConfig struct {
 	// ShadowCeilingFactor bounds SHADOW: its shuffle throughput is
 	// exceeded once one row sees CeilingFactor*TRH activations per window.
 	ShadowCeilingFactor int
+	// Thresholds are the device TRH values swept for the SHADOW curves;
+	// DRAM-Locker's single curve is evaluated at the smallest (its worst
+	// case). Empty means PaperThresholds() (1k/2k/4k/8k).
+	Thresholds []int
 }
 
 // DefaultLatencyConfig returns the Fig. 7(a) operating point.
@@ -41,7 +45,13 @@ func DefaultLatencyConfig() LatencyConfig {
 		RelockInterval:      1000,
 		PendingRows:         64,
 		ShadowCeilingFactor: 40,
+		Thresholds:          PaperThresholds(),
 	}
+}
+
+// PaperThresholds returns the TRH sweep of Fig. 7 (1k, 2k, 4k, 8k).
+func PaperThresholds() []int {
+	return []int{1000, 2000, 4000, 8000}
 }
 
 // Validate checks the configuration.
@@ -51,6 +61,28 @@ func (c LatencyConfig) Validate() error {
 	}
 	if c.ProtectedRows <= 0 || c.RelockInterval <= 0 || c.PendingRows <= 0 || c.ShadowCeilingFactor <= 0 {
 		return fmt.Errorf("sim: LatencyConfig fields must be positive: %+v", c)
+	}
+	return validateThresholds(c.Thresholds)
+}
+
+// thresholdsOrDefault substitutes the paper sweep for an unset field, so
+// configs built as literals keep the pre-Thresholds behavior.
+func thresholdsOrDefault(trhs []int) []int {
+	if len(trhs) == 0 {
+		return PaperThresholds()
+	}
+	return trhs
+}
+
+// validateThresholds requires a positive, strictly increasing TRH sweep
+// (empty is allowed — it means the default).
+func validateThresholds(trhs []int) error {
+	prev := 0
+	for _, trh := range trhs {
+		if trh <= prev {
+			return fmt.Errorf("sim: Thresholds must be positive and strictly increasing, got %v", trhs)
+		}
+		prev = trh
 	}
 	return nil
 }
@@ -118,8 +150,9 @@ type Fig7aCurve struct {
 	Points []LatencyPoint
 }
 
-// Fig7a computes the full figure: SHADOW at TRH 1k/2k/4k/8k and
-// DRAM-Locker at its worst case TRH=1k, for nBFA = 0..maxBFA in steps.
+// Fig7a computes the full figure: SHADOW at each configured threshold and
+// DRAM-Locker at its worst case (the smallest threshold), for
+// nBFA = 0..maxBFA in steps.
 func Fig7a(cfg LatencyConfig, maxBFA, step int) ([]Fig7aCurve, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -127,15 +160,16 @@ func Fig7a(cfg LatencyConfig, maxBFA, step int) ([]Fig7aCurve, error) {
 	if maxBFA <= 0 || step <= 0 {
 		return nil, fmt.Errorf("sim: maxBFA and step must be positive")
 	}
+	trhs := thresholdsOrDefault(cfg.Thresholds)
 	var curves []Fig7aCurve
-	for _, trh := range []int{1000, 2000, 4000, 8000} {
+	for _, trh := range trhs {
 		c := Fig7aCurve{Label: fmt.Sprintf("SHADOW%d", trh), TRH: trh}
 		for n := 0; n <= maxBFA; n += step {
 			c.Points = append(c.Points, ShadowLatency(cfg, trh, n))
 		}
 		curves = append(curves, c)
 	}
-	dl := Fig7aCurve{Label: "DL", TRH: 1000}
+	dl := Fig7aCurve{Label: "DL", TRH: trhs[0]}
 	for n := 0; n <= maxBFA; n += step {
 		dl.Points = append(dl.Points, LockerLatency(cfg, n))
 	}
@@ -170,6 +204,9 @@ type DefenseTimeConfig struct {
 	// destination and completes the hammer inside the window) at TRH=1k.
 	// Calibrated so SHADOW at TRH=1k holds for tens of days.
 	ShadowEvadePerWindow float64
+	// Thresholds are the device TRH values the bars are computed at.
+	// Empty means PaperThresholds() (1k/2k/4k/8k).
+	Thresholds []int
 }
 
 // DefaultDefenseTimeConfig returns the calibrated Fig. 7(b) model.
@@ -181,6 +218,7 @@ func DefaultDefenseTimeConfig() DefenseTimeConfig {
 		UnlockRatePerDay:     24,     // one legitimate unlock per hour
 		ExposureAlignProb:    2.7e-5, // see field comment
 		ShadowEvadePerWindow: 1.23e-10,
+		Thresholds:           PaperThresholds(),
 	}
 }
 
@@ -194,6 +232,9 @@ func (c DefenseTimeConfig) Validate() error {
 	}
 	if c.UnlockRatePerDay <= 0 || c.ExposureAlignProb <= 0 || c.ShadowEvadePerWindow <= 0 {
 		return fmt.Errorf("sim: rates must be positive")
+	}
+	if err := validateThresholds(c.Thresholds); err != nil {
+		return err
 	}
 	return c.Timing.Validate()
 }
@@ -256,13 +297,13 @@ type Fig7bBar struct {
 	LockerDays float64
 }
 
-// Fig7b computes the defense-time comparison at thresholds 1k/2k/4k/8k.
+// Fig7b computes the defense-time comparison at the configured thresholds.
 func Fig7b(cfg DefenseTimeConfig) ([]Fig7bBar, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	var out []Fig7bBar
-	for _, trh := range []int{1000, 2000, 4000, 8000} {
+	for _, trh := range thresholdsOrDefault(cfg.Thresholds) {
 		out = append(out, Fig7bBar{
 			Threshold:  trh,
 			ShadowDays: ShadowDefenseDays(cfg, trh),

@@ -91,6 +91,49 @@ func TestFig7aCurveSet(t *testing.T) {
 	}
 }
 
+func TestFig7ThresholdsConfigurable(t *testing.T) {
+	cfg := DefaultLatencyConfig()
+	cfg.Thresholds = []int{500, 3000}
+	curves, err := Fig7a(cfg, 80000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d, want 2 SHADOW + 1 DL", len(curves))
+	}
+	if curves[0].Label != "SHADOW500" || curves[2].Label != "DL" {
+		t.Fatalf("labels: %s, %s", curves[0].Label, curves[2].Label)
+	}
+	if curves[2].TRH != 500 {
+		t.Fatalf("DL must use the smallest threshold, got %d", curves[2].TRH)
+	}
+
+	// An unset field keeps the pre-Thresholds behavior (paper sweep).
+	cfg.Thresholds = nil
+	curves, err = Fig7a(cfg, 80000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 5 {
+		t.Fatalf("default sweep gave %d curves", len(curves))
+	}
+
+	cfg.Thresholds = []int{2000, 1000} // not increasing
+	if _, err := Fig7a(cfg, 80000, 20000); err == nil {
+		t.Fatal("decreasing thresholds must fail")
+	}
+
+	dcfg := DefaultDefenseTimeConfig()
+	dcfg.Thresholds = []int{4000}
+	bars, err := Fig7b(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 1 || bars[0].Threshold != 4000 {
+		t.Fatalf("bars: %+v", bars)
+	}
+}
+
 func TestFig7aValidation(t *testing.T) {
 	if _, err := Fig7a(DefaultLatencyConfig(), 0, 10); err == nil {
 		t.Fatal("zero max must fail")
