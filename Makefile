@@ -11,15 +11,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Race smoke on the concurrent packages: the engine worker pool and the
-# trace replay layer.
+# Race smoke on the concurrent packages: the engine worker pool, sharded
+# scheduler and disk cache, plus the trace replay layer.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/trace/
+	$(GO) test -race ./internal/engine/... ./internal/trace/
 
-# One iteration of every benchmark (regenerates the paper tables without
-# timing noise mattering).
+# One iteration of every benchmark in every package (regenerates the
+# paper tables without timing noise mattering). Set BENCH_JSON=<file> to
+# also record the run as go-test JSON events — CI uploads that file as
+# the BENCH_*.json perf-trend artifact.
+BENCH_JSON ?=
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+ifeq ($(BENCH_JSON),)
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+else
+	$(GO) test -json -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_JSON)
+	@echo "bench JSON written to $(BENCH_JSON)"
+endif
 
 vet:
 	$(GO) vet ./...

@@ -1,5 +1,8 @@
 // Command dramlocker regenerates the paper's tables and figures by
-// running experiment jobs through the internal/engine worker pool.
+// running experiment jobs through the internal/engine worker pool. The
+// parameter-grid experiments (mc, table1, fig7a, fig7b, defense, table2)
+// execute as independent shards — per curve, threshold, mechanism or
+// defended model — interleaved on the same pool.
 //
 // Usage:
 //
@@ -7,6 +10,7 @@
 //	dramlocker -exp fig8a -preset small
 //	dramlocker -exp 'fig8*' -preset tiny,small -workers 8
 //	dramlocker -exp all -preset tiny -json
+//	dramlocker -exp all -preset paper -cache-dir ~/.cache/dramlocker
 //	dramlocker -list
 //
 // Experiments: fig1a fig1b mc table1 fig7a fig7b defense fig8a fig8b
@@ -14,6 +18,17 @@
 // ("<preset>/<experiment>", e.g. "tiny/fig8a"). Presets: tiny small
 // paper (see internal/experiments). -workers 0 uses every CPU; -workers 1
 // reproduces the old serial behavior.
+//
+// Caching: results are memoised per job and per shard under a key built
+// from the experiment id, the preset hash and the base seed. By default
+// the cache lives in process memory (deduping repeated and preset-free
+// jobs within one run). With -cache-dir it also persists as JSON lines
+// under that directory, so a re-run of the same presets — even from a new
+// process — replays every shard instead of recomputing; entries are
+// invalidated by preset changes (new hash → new key) and by code changes
+// (experiments.CacheVersion stamp). -no-cache disables caching entirely;
+// -require-cached turns a warm run into a gate (non-zero exit unless
+// every job replayed), which CI uses to guard the persistence path.
 package main
 
 import (
@@ -34,16 +49,35 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the structured JSON report instead of text")
 	list := flag.Bool("list", false, "list the registered jobs and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache as JSON lines under this directory (empty = in-memory only)")
+	noCache := flag.Bool("no-cache", false, "disable result caching entirely (recompute everything)")
+	requireCached := flag.Bool("require-cached", false, "fail unless every job is served from the cache (CI warm-run gate)")
 	flag.Parse()
 
-	if err := run(*exp, *preset, *workers, *jsonOut, *list, *quiet); err != nil {
+	if err := run(config{
+		exp: *exp, preset: *preset, workers: *workers,
+		jsonOut: *jsonOut, list: *list, quiet: *quiet,
+		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, preset string, workers int, jsonOut, list, quiet bool) error {
-	presets := dedupe(splitList(preset))
+// config carries the parsed flags.
+type config struct {
+	exp, preset   string
+	workers       int
+	jsonOut       bool
+	list          bool
+	quiet         bool
+	cacheDir      string
+	noCache       bool
+	requireCached bool
+}
+
+func run(cfg config) error {
+	presets := dedupe(splitList(cfg.preset))
 	if len(presets) == 0 {
 		return fmt.Errorf("no preset given (want a comma-separated subset of %s)",
 			strings.Join(experiments.PresetNames(), ","))
@@ -59,25 +93,36 @@ func run(exp, preset string, workers int, jsonOut, list, quiet bool) error {
 		}
 	}
 
-	if list {
+	if cfg.list {
 		for _, j := range reg.Jobs() {
-			fmt.Printf("%-16s %s\n", j.Name, j.Title)
+			kind := ""
+			if n := len(j.Shards); n > 0 {
+				kind = fmt.Sprintf(" [%d shards]", n)
+			}
+			fmt.Printf("%-16s %s%s\n", j.Name, j.Title, kind)
 		}
 		return nil
 	}
 
-	opts := engine.Options{
-		Workers: workers,
-		Filter:  jobFilter(exp),
-		// The cache dedupes the preset-free experiments (fig1b, table1,
-		// fig7a, fig7b) across a multi-preset run.
-		Cache: engine.NewCache(),
+	cache, err := buildCache(cfg)
+	if err != nil {
+		return err
 	}
-	if !quiet {
+	defer cache.Close()
+
+	opts := engine.Options{
+		Workers: cfg.workers,
+		Filter:  jobFilter(cfg.exp),
+		Cache:   cache,
+	}
+	if !cfg.quiet {
 		opts.OnDone = func(r engine.Result) {
 			status := "done"
-			if r.Failed() {
+			switch {
+			case r.Failed():
 				status = "FAILED"
+			case r.Cached:
+				status = "cached"
 			}
 			fmt.Fprintf(os.Stderr, "%-8s %-16s %v\n", status, r.Name, r.Duration.Round(time.Millisecond))
 		}
@@ -87,7 +132,7 @@ func run(exp, preset string, workers int, jsonOut, list, quiet bool) error {
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	if cfg.jsonOut {
 		buf, err := rep.JSON()
 		if err != nil {
 			return err
@@ -96,7 +141,33 @@ func run(exp, preset string, workers int, jsonOut, list, quiet bool) error {
 	} else {
 		fmt.Print(rep.Text())
 	}
-	return rep.Err()
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	if cfg.requireCached {
+		if computed := len(rep.Results) - rep.CachedCount(); computed > 0 {
+			return fmt.Errorf("-require-cached: %d of %d jobs were computed, not replayed from the cache",
+				computed, len(rep.Results))
+		}
+	}
+	return nil
+}
+
+// buildCache resolves the caching flags: disabled, in-memory (the
+// default, deduping within this run) or disk-backed (shared across runs
+// and processes, stamped with experiments.CacheVersion).
+func buildCache(cfg config) (*engine.Cache, error) {
+	switch {
+	case cfg.noCache:
+		if cfg.requireCached {
+			return nil, fmt.Errorf("-require-cached is meaningless with -no-cache")
+		}
+		return nil, nil
+	case cfg.cacheDir != "":
+		return engine.OpenDiskCache(cfg.cacheDir, experiments.CacheVersion)
+	default:
+		return engine.NewCache(), nil
+	}
 }
 
 // jobFilter turns the -exp flag into engine filter patterns. Bare

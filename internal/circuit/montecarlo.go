@@ -159,13 +159,29 @@ func MonteCarlo(p Params, variation float64, trials int, seed uint64) (Result, e
 	return res, nil
 }
 
+// PaperVariations returns the §IV.D process-variation sweep (±0/10/20%).
+func PaperVariations() []float64 {
+	return []float64{0.0, 0.10, 0.20}
+}
+
+// PaperPoint runs the i-th variation of the §IV.D sweep under the exact
+// seed PaperSweep would hand it, so computing points independently (e.g.
+// as shards) reproduces the sweep bit-for-bit.
+func PaperPoint(p Params, i, trials int, seed uint64) (Result, error) {
+	vs := PaperVariations()
+	if i < 0 || i >= len(vs) {
+		return Result{}, fmt.Errorf("circuit: sweep point %d out of range [0,%d)", i, len(vs))
+	}
+	return MonteCarlo(p, vs[i], trials, seed+uint64(i)*7919)
+}
+
 // PaperSweep reproduces the §IV.D experiment: 10,000 trials at +-0%, +-10%
 // and +-20% variation. The paper reports erroneous SWAP percentages of
 // 0%, 0.14% and 9.6% respectively.
 func PaperSweep(p Params, trials int, seed uint64) ([]Result, error) {
 	var out []Result
-	for i, v := range []float64{0.0, 0.10, 0.20} {
-		r, err := MonteCarlo(p, v, trials, seed+uint64(i)*7919)
+	for i := range PaperVariations() {
+		r, err := PaperPoint(p, i, trials, seed)
 		if err != nil {
 			return nil, err
 		}

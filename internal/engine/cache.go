@@ -2,19 +2,25 @@ package engine
 
 import "sync"
 
-// Cache memoises successful job results across runs in the same process.
-// Keys come from Job.Key (experiment id + preset hash), so editing a
-// preset knob invalidates every cached result computed under it. The
-// cache also tracks in-flight computations: a keyed job whose key is
-// already being computed waits for that computation instead of
-// duplicating it (single-flight).
+// Cache memoises successful job results across runs. Keys come from
+// Job.Key (experiment id + preset hash), so editing a preset knob
+// invalidates every cached result computed under it. The cache also
+// tracks in-flight computations: a keyed job whose key is already being
+// computed waits for that computation instead of duplicating it
+// (single-flight). A Cache from NewCache lives in one process; one from
+// OpenDiskCache is additionally backed by an append-only JSON-lines file
+// shared across processes.
 type Cache struct {
 	mu       sync.Mutex
 	m        map[string]Result
 	inflight map[string]chan struct{}
+	// store, when non-nil, receives every newly cached success (the
+	// persistent backend). Appends happen outside mu: the store has its
+	// own lock, and a slow disk must not stall in-memory lookups.
+	store *diskStore
 }
 
-// NewCache returns an empty result cache.
+// NewCache returns an empty in-process result cache.
 func NewCache() *Cache {
 	return &Cache{m: make(map[string]Result), inflight: make(map[string]chan struct{})}
 }
@@ -24,6 +30,34 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Close releases the persistent backend, if any. In-memory lookups keep
+// working; further successes are no longer persisted.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	s := c.store
+	c.store = nil
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.close()
+}
+
+// peek returns the cached result for key without claiming the key for
+// computation (no single-flight bookkeeping).
+func (c *Cache) peek(key string) (Result, bool) {
+	if c == nil || key == "" {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	return r, ok
 }
 
 // begin claims key for computation. It returns the cached result on a
@@ -54,14 +88,20 @@ func (c *Cache) begin(key string) (Result, bool) {
 	}
 }
 
-// finish records the computation claimed by begin. Failures are not
-// cached, so a flaky job re-runs; waiters are released either way.
+// finish records a computed result under key. Failures are not cached,
+// so a flaky job re-runs; waiters claimed via begin are released either
+// way. finish is also safe without a prior begin (sharded merges store
+// their assembled result directly).
 func (c *Cache) finish(key string, r Result) {
 	if c == nil || key == "" {
 		return
 	}
 	c.mu.Lock()
+	var store *diskStore
 	if r.Err == "" {
+		if _, dup := c.m[key]; !dup {
+			store = c.store
+		}
 		c.m[key] = r
 	}
 	if ch, ok := c.inflight[key]; ok {
@@ -69,4 +109,7 @@ func (c *Cache) finish(key string, r Result) {
 		close(ch)
 	}
 	c.mu.Unlock()
+	if store != nil {
+		store.append(key, r)
+	}
 }

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The persistent cache is one append-only JSON-lines file,
+// <dir>/results.jsonl. Each line is a diskEntry: a version stamp, the
+// cache key (already embedding experiment id, preset hash and base
+// seed), and the result. Invalidation is by construction, never by
+// mutation: a changed preset hashes to a new key, and a bumped code
+// version makes the loader skip every older line. Corrupt lines —
+// truncated tails from a killed process, editor damage, garbage — are
+// skipped on load, so damage degrades to cache misses, never to errors.
+//
+// Appends are serialised per process by diskStore.mu and written with
+// O_APPEND, so concurrent processes sharing one cache dir interleave
+// whole lines rather than corrupting each other.
+
+// diskFormatVersion stamps the file layout itself; bump on any change to
+// diskEntry. Callers compose their own code-version on top via the
+// version argument of OpenDiskCache.
+const diskFormatVersion = "rescache1"
+
+// diskCacheFile is the JSON-lines file name inside the cache dir.
+const diskCacheFile = "results.jsonl"
+
+// diskEntry is one persisted line.
+type diskEntry struct {
+	Version string          `json:"version"`
+	Key     string          `json:"key"`
+	Result  persistedResult `json:"result"`
+}
+
+// persistedResult mirrors Result with Data held as raw JSON, so a
+// replayed payload re-marshals byte-identically to the original (struct
+// field order preserved) and DecodeData can hand merges typed values.
+type persistedResult struct {
+	Name     string          `json:"name"`
+	Title    string          `json:"title,omitempty"`
+	Text     string          `json:"text,omitempty"`
+	Data     json.RawMessage `json:"data,omitempty"`
+	Err      string          `json:"error,omitempty"`
+	Seed     uint64          `json:"seed"`
+	Duration time.Duration   `json:"duration_ns"`
+}
+
+func toPersisted(r Result) (persistedResult, error) {
+	pr := persistedResult{
+		Name: r.Name, Title: r.Title, Text: r.Text,
+		Err: r.Err, Seed: r.Seed, Duration: r.Duration,
+	}
+	switch d := r.Data.(type) {
+	case nil:
+	case json.RawMessage:
+		pr.Data = d
+	default:
+		b, err := json.Marshal(d)
+		if err != nil {
+			return persistedResult{}, err
+		}
+		pr.Data = b
+	}
+	return pr, nil
+}
+
+func (pr persistedResult) toResult() Result {
+	r := Result{
+		Name: pr.Name, Title: pr.Title, Text: pr.Text,
+		Err: pr.Err, Seed: pr.Seed, Duration: pr.Duration,
+	}
+	if len(pr.Data) > 0 {
+		r.Data = json.RawMessage(pr.Data)
+	}
+	return r
+}
+
+// diskStore is the append side of the persistent backend.
+type diskStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	version string
+}
+
+// append persists one successful result. Failures to serialise or write
+// are swallowed: the result stays cached in memory and the run proceeds;
+// persistence is an optimisation, never a correctness dependency.
+func (s *diskStore) append(key string, r Result) {
+	if r.Err != "" {
+		return
+	}
+	pr, err := toPersisted(r)
+	if err != nil {
+		return
+	}
+	line, err := json.Marshal(diskEntry{Version: s.version, Key: key, Result: pr})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		s.f.Write(line)
+	}
+}
+
+func (s *diskStore) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// OpenDiskCache returns a Cache preloaded from dir (created if missing)
+// that persists every new success to <dir>/results.jsonl. version is the
+// caller's code-version stamp: entries written under a different version
+// are ignored on load, so bumping it after a change that affects
+// experiment output invalidates the whole directory without touching it.
+// Single-flight semantics and the in-memory fast path are identical to
+// NewCache. Close the cache when done to flush the backing file handle.
+func OpenDiskCache(dir, version string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("engine: disk cache needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: create cache dir: %w", err)
+	}
+	full := diskFormatVersion + "/" + version
+	path := filepath.Join(dir, diskCacheFile)
+
+	c := NewCache()
+	loadDiskCache(c, path, full)
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open cache file: %w", err)
+	}
+	c.store = &diskStore{f: f, version: full}
+	return c, nil
+}
+
+// loadDiskCache best-effort loads path into c. Every malformed, stale or
+// failed entry is treated as a miss: a missing file, a garbage file, a
+// truncated final line or a mid-file corruption all simply shrink the
+// warm set. Later lines win, matching append order.
+func loadDiskCache(c *Cache, path, version string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e diskEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		if e.Version != version || e.Key == "" || e.Result.Err != "" {
+			continue
+		}
+		c.m[e.Key] = e.Result.toResult()
+	}
+	// A scanner error (e.g. an over-long corrupt line) abandons the rest
+	// of the file; everything loaded so far stays usable.
+}

@@ -49,7 +49,12 @@ type Output struct {
 	Data any
 }
 
-// Job is one independent, schedulable unit of work.
+// Job is one independent, schedulable unit of work. A job is either
+// monolithic (Run set) or sharded (Shards + Merge set): a sharded job's
+// shards are scheduled as independent units on the same worker pool, and
+// once the last shard finishes Merge deterministically assembles the
+// shard outputs — in shard order, never completion order — into the
+// job's single Result, so reports are byte-identical at any worker count.
 type Job struct {
 	// Name is the unique identifier, conventionally "<preset>/<experiment>".
 	Name string
@@ -57,11 +62,39 @@ type Job struct {
 	Title string
 	// Key is the result-cache key; empty disables caching for this job.
 	// The experiments layer keys by experiment id + preset hash so a
-	// preset change invalidates the cached result.
+	// preset change invalidates the cached result. Sharded jobs
+	// additionally cache each shard under Key + "/" + shard name, so a
+	// partial re-run recomputes only the missing shards.
 	Key string
-	// Run executes the job. It must be safe to call concurrently with
-	// every other registered job's Run.
+	// Run executes a monolithic job. It must be safe to call concurrently
+	// with every other registered job's Run. Mutually exclusive with
+	// Shards.
 	Run func(Context) (Output, error)
+	// Shards, when non-empty, split the job into independently scheduled
+	// slices (per curve, per grid point). Every shard must be safe to run
+	// concurrently with every other shard and job.
+	Shards []Shard
+	// Merge combines the shard outputs (indexed like Shards) into the
+	// job's Output. It must be deterministic: shard Data may arrive as
+	// the live typed value or as json.RawMessage replayed from the
+	// persistent cache — decode it with DecodeData, which normalises
+	// both. Required when Shards is non-empty.
+	Merge func(Context, []Output) (Output, error)
+}
+
+// Shard is one independent slice of a sharded job.
+type Shard struct {
+	// Name suffixes the job name ("<job>/<shard>") for seeding and the
+	// cache key; it must be unique within the job and stable across runs.
+	Name string
+	// Run computes the shard. Output.Data is the payload handed to the
+	// job's Merge; it must be JSON-marshalable so it can persist.
+	Run func(Context) (Output, error)
+}
+
+// ShardedJob assembles a sharded Job (the grid-experiment constructor).
+func ShardedJob(name, title, key string, shards []Shard, merge func(Context, []Output) (Output, error)) Job {
+	return Job{Name: name, Title: title, Key: key, Shards: shards, Merge: merge}
 }
 
 // Registry holds an ordered set of uniquely named jobs.
@@ -76,12 +109,33 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]int)}
 }
 
-// Register adds a job. Names must be unique and Run non-nil.
+// Register adds a job. Names must be unique; a job carries either Run
+// (monolithic) or Shards+Merge (sharded), never both.
 func (r *Registry) Register(j Job) error {
 	if j.Name == "" {
 		return fmt.Errorf("engine: job has no name")
 	}
-	if j.Run == nil {
+	if len(j.Shards) > 0 {
+		if j.Run != nil {
+			return fmt.Errorf("engine: job %q sets both Run and Shards", j.Name)
+		}
+		if j.Merge == nil {
+			return fmt.Errorf("engine: sharded job %q has no Merge function", j.Name)
+		}
+		seen := make(map[string]bool, len(j.Shards))
+		for _, s := range j.Shards {
+			if s.Name == "" {
+				return fmt.Errorf("engine: job %q has an unnamed shard", j.Name)
+			}
+			if s.Run == nil {
+				return fmt.Errorf("engine: job %q shard %q has no Run function", j.Name, s.Name)
+			}
+			if seen[s.Name] {
+				return fmt.Errorf("engine: job %q has duplicate shard %q", j.Name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	} else if j.Run == nil {
 		return fmt.Errorf("engine: job %q has no Run function", j.Name)
 	}
 	r.mu.Lock()

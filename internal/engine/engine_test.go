@@ -370,7 +370,7 @@ func TestReportRendering(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := rep.Text()
-	for _, frag := range []string{"=== t1", "row A", "=== t2", "ERROR: nope", "2 jobs, 1 failed, 1 workers"} {
+	for _, frag := range []string{"=== t1", "row A", "=== t2", "ERROR: nope", "2 jobs, 1 failed, 0 cached, 1 workers"} {
 		if !strings.Contains(text, frag) {
 			t.Fatalf("report text missing %q:\n%s", frag, text)
 		}

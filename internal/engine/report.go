@@ -55,6 +55,18 @@ func (rep *Report) Failed() int {
 	return n
 }
 
+// CachedCount counts results replayed from the cache (for sharded jobs:
+// merged entirely from cached shards or replayed whole).
+func (rep *Report) CachedCount() int {
+	n := 0
+	for _, r := range rep.Results {
+		if r.Cached {
+			n++
+		}
+	}
+	return n
+}
+
 // JSON renders the report as indented JSON.
 func (rep *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(rep, "", "  ")
@@ -80,8 +92,8 @@ func (rep *Report) Text() string {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "%d jobs, %d failed, %d workers, wall %v (cpu %v)\n",
-		len(rep.Results), rep.Failed(), rep.Workers,
+	fmt.Fprintf(&b, "%d jobs, %d failed, %d cached, %d workers, wall %v (cpu %v)\n",
+		len(rep.Results), rep.Failed(), rep.CachedCount(), rep.Workers,
 		rep.Wall.Round(time.Millisecond), rep.CPUTime().Round(time.Millisecond))
 	return b.String()
 }

@@ -17,37 +17,31 @@ type Options struct {
 	// BaseSeed feeds the per-job seed derivation (JobSeed).
 	BaseSeed uint64
 	// Cache, when non-nil, replays previously computed results for jobs
-	// with a non-empty Key and stores new successes.
+	// with a non-empty Key and stores new successes. Use NewCache for a
+	// process-local cache or OpenDiskCache for one persisted across
+	// processes.
 	Cache *Cache
-	// OnDone, when non-nil, is invoked once per job as it finishes.
-	// Calls are serialised; the callback must not invoke the Runner
-	// re-entrantly.
+	// OnDone, when non-nil, is invoked once per job as it finishes (a
+	// sharded job reports once, after its merge). Calls are serialised;
+	// the callback must not invoke the Runner re-entrantly.
 	OnDone func(Result)
 }
 
 // Run executes the selected jobs from reg on a bounded worker pool and
-// returns the Report. Job errors (including panics, which are recovered
-// and converted) do not abort the pass — every selected job runs, and the
-// failures surface in the Report and via Report.Err. The returned error
-// is reserved for configuration problems (bad filter).
+// returns the Report. Monolithic jobs are one schedulable unit each;
+// sharded jobs contribute one unit per shard, all interleaved on the same
+// pool, with the last shard to finish running the job's merge. Job errors
+// (including panics, which are recovered and converted) do not abort the
+// pass — every selected job runs, and the failures surface in the Report
+// and via Report.Err. The returned error is reserved for configuration
+// problems (bad filter).
 func Run(reg *Registry, opts Options) (*Report, error) {
 	jobs, err := reg.Select(opts.Filter)
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
 
-	rep := &Report{Workers: workers, Results: make([]Result, len(jobs))}
-	start := time.Now()
+	rep := &Report{Results: make([]Result, len(jobs))}
 
 	var doneMu sync.Mutex
 	done := func(r Result) {
@@ -59,41 +53,92 @@ func Run(reg *Registry, opts Options) (*Report, error) {
 		opts.OnDone(r)
 	}
 
-	idxCh := make(chan int)
+	// Expand the selection into schedulable units. Whole sharded jobs
+	// already present in the cache replay here, before any unit is
+	// enqueued, so a fully warm run schedules nothing for them.
+	var units []func()
+	for i := range jobs {
+		i := i
+		j := jobs[i]
+		if len(j.Shards) == 0 {
+			units = append(units, func() {
+				rep.Results[i] = runOne(j, opts)
+				done(rep.Results[i])
+			})
+			continue
+		}
+		if cached, hit := opts.Cache.peek(seededKey(j.Key, opts.BaseSeed)); hit {
+			cached.Name, cached.Title, cached.Cached = j.Name, j.Title, true
+			cached.Seed = JobSeed(opts.BaseSeed, j.Name)
+			rep.Results[i] = cached
+			done(rep.Results[i])
+			continue
+		}
+		st := newShardState(len(j.Shards))
+		for si := range j.Shards {
+			si := si
+			units = append(units, func() {
+				if runShard(j, si, st, opts) {
+					rep.Results[i] = mergeShards(j, st, opts)
+					done(rep.Results[i])
+				}
+			})
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep.Workers = workers
+
+	start := time.Now()
+	unitCh := make(chan func())
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
-				rep.Results[i] = runOne(jobs[i], opts)
-				done(rep.Results[i])
+			for u := range unitCh {
+				u()
 			}
 		}()
 	}
-	for i := range jobs {
-		idxCh <- i
+	for _, u := range units {
+		unitCh <- u
 	}
-	close(idxCh)
+	close(unitCh)
 	wg.Wait()
 
 	rep.Wall = time.Since(start)
 	return rep, nil
 }
 
-// runOne executes a single job with cache lookup and panic recovery.
-// The effective cache key folds in the BaseSeed so results computed under
-// one seeding regime are never replayed under another; jobs that share a
-// Key (preset-independent experiments) must produce identical output for
-// a given BaseSeed. Same-key jobs running concurrently are single-flight:
-// one computes, the others wait and replay.
+// seededKey folds the BaseSeed into a cache key so results computed under
+// one seeding regime are never replayed under another. Empty keys stay
+// empty (caching disabled).
+func seededKey(key string, base uint64) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s#%016x", key, base)
+}
+
+// runOne executes a single monolithic job with cache lookup and panic
+// recovery. Jobs that share a Key (preset-independent experiments) must
+// produce identical output for a given BaseSeed. Same-key jobs running
+// concurrently are single-flight: one computes, the others wait and
+// replay.
 func runOne(j Job, opts Options) (res Result) {
 	res = Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
 
-	key := j.Key
-	if key != "" {
-		key = fmt.Sprintf("%s#%016x", j.Key, opts.BaseSeed)
-	}
+	key := seededKey(j.Key, opts.BaseSeed)
 	if cached, hit := opts.Cache.begin(key); hit {
 		// Replay under this job's own identity; the payload is shared,
 		// the metadata is not.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// benchGridFilter selects the model-free sharded grids (cheap enough for
+// -benchtime=1x smoke runs).
+var benchGridFilter = []string{"*/mc", "*/table1", "*/fig7a", "*/fig7b", "*/defense"}
+
+// BenchmarkShardedGridsCold runs the model-free parameter grids through
+// the engine with a fresh cache each pass.
+func BenchmarkShardedGridsCold(b *testing.B) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := engine.Run(reg, engine.Options{Filter: benchGridFilter, Cache: engine.NewCache()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedGridsWarm measures the steady state: every grid replays
+// from one shared cache (what a re-run of the paper tables costs).
+func BenchmarkShardedGridsWarm(b *testing.B) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		b.Fatal(err)
+	}
+	cache := engine.NewCache()
+	if _, err := engine.Run(reg, engine.Options{Filter: benchGridFilter, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := engine.Run(reg, engine.Options{Filter: benchGridFilter, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CachedCount() != len(rep.Results) {
+			b.Fatalf("warm pass computed %d jobs", len(rep.Results)-rep.CachedCount())
+		}
+	}
+}

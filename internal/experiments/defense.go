@@ -29,35 +29,54 @@ func DefenseNames() []string {
 	}
 }
 
+// DefenseGridNames lists every row of the comparison — the baselines plus
+// the DRAM-Locker controller — in report order. This is the shard axis of
+// the "defense" grid job.
+func DefenseGridNames() []string {
+	return append(DefenseNames(), "DRAM-Locker")
+}
+
+// DefenseRowFor runs the single-sided campaign against one mechanism on a
+// fresh device (one shard of the defense grid). Rows are independent, so
+// any subset may run concurrently; assembling DefenseGridNames rows in
+// order reproduces DefenseComparison exactly.
+func DefenseRowFor(p Preset, name string) (DefenseRow, error) {
+	trh := p.TRH
+	activations := 10 * trh
+	if name == "DRAM-Locker" {
+		flipped, denied, lat, err := runDefenseLocker(trh, activations)
+		if err != nil {
+			return DefenseRow{}, fmt.Errorf("experiments: defense DRAM-Locker: %w", err)
+		}
+		return DefenseRow{
+			Defense: name, Flipped: flipped,
+			ExtraLatency: lat, Denied: denied,
+		}, nil
+	}
+	flipped, st, err := runDefenseBaseline(name, trh, activations)
+	if err != nil {
+		return DefenseRow{}, fmt.Errorf("experiments: defense %s: %w", name, err)
+	}
+	return DefenseRow{
+		Defense: name, Flipped: flipped,
+		Mitigations: st.Mitigations, ExtraLatency: st.ExtraLatency,
+		Denied: st.Denials,
+	}, nil
+}
+
 // DefenseComparison runs the same single-sided RowHammer campaign —
 // 10*TRH activations on one aggressor at the preset's device threshold —
 // against every implemented mitigation plus the DRAM-Locker controller,
 // each on a fresh device.
 func DefenseComparison(p Preset) ([]DefenseRow, error) {
-	trh := p.TRH
-	activations := 10 * trh
-
 	var rows []DefenseRow
-	for _, name := range DefenseNames() {
-		flipped, st, err := runDefenseBaseline(name, trh, activations)
+	for _, name := range DefenseGridNames() {
+		row, err := DefenseRowFor(p, name)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: defense %s: %w", name, err)
+			return nil, err
 		}
-		rows = append(rows, DefenseRow{
-			Defense: name, Flipped: flipped,
-			Mitigations: st.Mitigations, ExtraLatency: st.ExtraLatency,
-			Denied: st.Denials,
-		})
+		rows = append(rows, row)
 	}
-
-	flipped, denied, lat, err := runDefenseLocker(trh, activations)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: defense DRAM-Locker: %w", err)
-	}
-	rows = append(rows, DefenseRow{
-		Defense: "DRAM-Locker", Flipped: flipped,
-		ExtraLatency: lat, Denied: denied,
-	})
 	return rows, nil
 }
 

@@ -6,6 +6,14 @@ import (
 	"repro/internal/engine"
 )
 
+// CacheVersion stamps every result persisted by the on-disk cache
+// (engine.OpenDiskCache). Bump it whenever a change could alter any
+// experiment's output — a formula fix, a formatting tweak, a new shard
+// layout — so stale entries written by older code are skipped on load.
+// Preset knob changes need no bump: they alter the preset hash inside the
+// cache key.
+const CacheVersion = "exp1"
+
 // JobNames lists the experiment ids registered per preset, in the order
 // the paper presents them (cheap model-free tables first, then the
 // training-heavy attack panels).
@@ -35,32 +43,33 @@ var jobTitles = map[string]string{
 // presetFree marks the experiments whose output ignores the preset
 // entirely (they take no scale knobs). Their cache keys omit the preset
 // hash, so a multi-preset run with a cache computes each of them once and
-// replays the result for the other presets.
+// replays the result for the other presets — shard by shard for the grid
+// jobs.
 var presetFree = map[string]bool{
 	"fig1b": true, "table1": true, "fig7a": true, "fig7b": true,
 }
 
 // RegisterJobs registers one engine job per experiment at preset p, named
-// "<preset>/<experiment>" (e.g. "small/fig8a"). Every job trains its own
-// victim and builds its own DefendedSystem, so any subset may execute
-// concurrently. Cache keys embed the preset hash (except for the
-// preset-free experiments), so a preset change invalidates prior results.
+// "<preset>/<experiment>" (e.g. "small/fig8a"). The parameter-grid
+// experiments (mc, table1, fig7a, fig7b, defense, table2) register as
+// sharded jobs — per variation point, framework, curve, threshold,
+// mechanism or defended model — and the rest as monoliths. Every job (and
+// shard) trains its own victim and builds its own DefendedSystem, so any
+// subset may execute concurrently. Cache keys embed the preset hash
+// (except for the preset-free experiments), so a preset change
+// invalidates prior results.
 func RegisterJobs(reg *engine.Registry, p Preset) error {
 	hash := p.Hash()
 	for _, exp := range JobNames() {
-		run, err := jobRunner(exp, p)
+		j, err := jobSpec(exp, p)
 		if err != nil {
 			return err
 		}
-		key := exp + "@" + hash
+		j.Name = p.Name + "/" + exp
+		j.Title = jobTitles[exp]
+		j.Key = exp + "@" + hash
 		if presetFree[exp] {
-			key = exp + "@-"
-		}
-		j := engine.Job{
-			Name:  p.Name + "/" + exp,
-			Title: jobTitles[exp],
-			Key:   key,
-			Run:   run,
+			j.Key = exp + "@-"
 		}
 		if err := reg.Register(j); err != nil {
 			return err
@@ -69,105 +78,49 @@ func RegisterJobs(reg *engine.Registry, p Preset) error {
 	return nil
 }
 
-// jobRunner builds the Run closure for one experiment id. The closures
-// use the preset's own seeds (so engine output matches direct serial
-// calls exactly); ctx.Seed remains available for engine-level features.
-func jobRunner(exp string, p Preset) (func(engine.Context) (engine.Output, error), error) {
+// monolith wraps a serial experiment into a single-unit engine.Job. The
+// closures use the preset's own seeds (so engine output matches direct
+// serial calls exactly); ctx.Seed remains available for engine-level
+// features.
+func monolith[T any](run func() (T, error), format func(T) string) engine.Job {
+	return engine.Job{Run: func(engine.Context) (engine.Output, error) {
+		v, err := run()
+		if err != nil {
+			return engine.Output{}, err
+		}
+		return engine.Output{Text: format(v), Data: v}, nil
+	}}
+}
+
+// jobSpec builds the execution shape (monolithic Run or Shards+Merge) for
+// one experiment id; RegisterJobs stamps name, title and cache key.
+func jobSpec(exp string, p Preset) (engine.Job, error) {
 	switch exp {
 	case "fig1a":
-		return func(engine.Context) (engine.Output, error) {
-			r, err := Fig1a(p)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig1a(r), Data: r}, nil
-		}, nil
+		return monolith(func() (*Fig1aResult, error) { return Fig1a(p) }, FormatFig1a), nil
 	case "fig1b":
-		return func(engine.Context) (engine.Output, error) {
-			rows, err := Fig1b()
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig1b(rows), Data: rows}, nil
-		}, nil
+		return monolith(Fig1b, FormatFig1b), nil
 	case "mc":
-		return func(engine.Context) (engine.Output, error) {
-			rows, err := MonteCarlo(p)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatMonteCarlo(rows), Data: rows}, nil
-		}, nil
+		return mcJob(p), nil
 	case "table1":
-		return func(engine.Context) (engine.Output, error) {
-			reports := Table1()
-			return engine.Output{Text: FormatTable1(reports), Data: reports}, nil
-		}, nil
+		return table1Job(), nil
 	case "fig7a":
-		return func(engine.Context) (engine.Output, error) {
-			curves, err := Fig7aData()
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig7a(curves), Data: curves}, nil
-		}, nil
+		return fig7aJob(), nil
 	case "fig7b":
-		return func(engine.Context) (engine.Output, error) {
-			bars, err := Fig7bData()
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig7b(bars), Data: bars}, nil
-		}, nil
+		return fig7bJob(), nil
 	case "defense":
-		return func(engine.Context) (engine.Output, error) {
-			rows, err := DefenseComparison(p)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatDefenseComparison(p, rows), Data: rows}, nil
-		}, nil
+		return defenseJob(p), nil
 	case "fig8a":
-		return func(engine.Context) (engine.Output, error) {
-			r, err := Fig8(p, ArchResNet20, 10)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig8(r), Data: r}, nil
-		}, nil
+		return monolith(func() (*Fig8Result, error) { return Fig8(p, ArchResNet20, 10) }, FormatFig8), nil
 	case "fig8b":
-		return func(engine.Context) (engine.Output, error) {
-			r, err := Fig8(p, ArchVGG11, 100)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig8(r), Data: r}, nil
-		}, nil
+		return monolith(func() (*Fig8Result, error) { return Fig8(p, ArchVGG11, 100) }, FormatFig8), nil
 	case "fig8pta":
-		return func(engine.Context) (engine.Output, error) {
-			r, err := Fig8PTA(p)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatFig8PTA(r), Data: r}, nil
-		}, nil
+		return monolith(func() (*Fig8PTAResult, error) { return Fig8PTA(p) }, FormatFig8PTA), nil
 	case "table2":
-		return func(engine.Context) (engine.Output, error) {
-			rows, err := Table2(p, DefaultTable2Config(p))
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatTable2(rows), Data: rows}, nil
-		}, nil
+		return table2Job(p), nil
 	case "perf":
-		return func(engine.Context) (engine.Output, error) {
-			r, err := Perf(p)
-			if err != nil {
-				return engine.Output{}, err
-			}
-			return engine.Output{Text: FormatPerf(r), Data: r}, nil
-		}, nil
+		return monolith(func() (*PerfResult, error) { return Perf(p) }, FormatPerf), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q", exp)
+		return engine.Job{}, fmt.Errorf("experiments: unknown experiment %q", exp)
 	}
 }

@@ -159,6 +159,131 @@ func TestPresetFreeJobsShareCache(t *testing.T) {
 	}
 }
 
+// TestShardedGridsMatchSerialMonoliths is the sharding acceptance check:
+// every grid experiment run through the engine must render byte-identical
+// to the pre-shard serial code path (the direct monolithic calls), at a
+// parallel worker count.
+func TestShardedGridsMatchSerialMonoliths(t *testing.T) {
+	p := Tiny()
+
+	mc, err := MonteCarlo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7a, err := Fig7aData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7b, err := Fig7bData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defense, err := DefenseComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"tiny/mc":      FormatMonteCarlo(mc),
+		"tiny/table1":  FormatTable1(Table1()),
+		"tiny/fig7a":   FormatFig7a(fig7a),
+		"tiny/fig7b":   FormatFig7b(fig7b),
+		"tiny/defense": FormatDefenseComparison(p, defense),
+	}
+
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, p); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := engine.Run(reg, engine.Options{
+		Workers: 8,
+		Filter:  []string{"*/mc", "*/table1", "*/fig7a", "*/fig7b", "*/defense"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if want[r.Name] == "" {
+			t.Fatalf("unexpected result %s", r.Name)
+		}
+		if r.Text != want[r.Name] {
+			t.Errorf("%s: sharded output diverged from serial monolith:\n--- sharded ---\n%s\n--- serial ---\n%s",
+				r.Name, r.Text, want[r.Name])
+		}
+	}
+}
+
+// TestGridJobsAreSharded pins the grid structure: the sharded experiments
+// must expose one shard per curve / grid point / table row.
+func TestGridJobsAreSharded(t *testing.T) {
+	reg := engine.NewRegistry()
+	if err := RegisterJobs(reg, Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	wantShards := map[string]int{
+		"tiny/mc":      3,  // variation points
+		"tiny/table1":  10, // frameworks
+		"tiny/fig7a":   5,  // 4 SHADOW curves + DRAM-Locker
+		"tiny/fig7b":   4,  // thresholds
+		"tiny/defense": 10, // 9 baselines + DRAM-Locker
+		"tiny/table2":  7,  // defended models
+	}
+	for _, j := range reg.Jobs() {
+		if n, ok := wantShards[j.Name]; ok {
+			if len(j.Shards) != n {
+				t.Errorf("%s: %d shards, want %d", j.Name, len(j.Shards), n)
+			}
+		} else if len(j.Shards) != 0 {
+			t.Errorf("%s: unexpectedly sharded (%d shards)", j.Name, len(j.Shards))
+		}
+	}
+}
+
+// TestWarmDiskCacheServesEveryShard is the persistence acceptance check:
+// a second run over a fresh cache opened on the same directory — a new
+// process, effectively — must replay every job from disk, byte-identical,
+// with 100% cache hits.
+func TestWarmDiskCacheServesEveryShard(t *testing.T) {
+	dir := t.TempDir()
+	filter := []string{"*/mc", "*/table1", "*/fig7a", "*/fig7b", "*/defense"}
+	pass := func(requireAllCached bool) *engine.Report {
+		t.Helper()
+		cache, err := engine.OpenDiskCache(dir, CacheVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cache.Close()
+		reg := engine.NewRegistry()
+		if err := RegisterJobs(reg, Tiny()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := engine.Run(reg, engine.Options{Workers: 4, Filter: filter, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if requireAllCached && rep.CachedCount() != len(rep.Results) {
+			t.Fatalf("warm run served %d of %d jobs from cache", rep.CachedCount(), len(rep.Results))
+		}
+		return rep
+	}
+	cold := pass(false)
+	if cold.CachedCount() != 0 {
+		t.Fatalf("cold run claims %d cached jobs", cold.CachedCount())
+	}
+	warm := pass(true)
+	for i, r := range warm.Results {
+		if r.Text != cold.Results[i].Text {
+			t.Errorf("%s: warm replay diverged:\n--- warm ---\n%s\n--- cold ---\n%s",
+				r.Name, r.Text, cold.Results[i].Text)
+		}
+	}
+}
+
 // TestJobErrorSurfacesInReport wires a preset that cannot train (zero
 // test split would be caught earlier, so use an unknown-arch shim) — here
 // we simply check that a failing job run through the experiments registry

@@ -1,0 +1,137 @@
+// Sharded parameter grids: the Fig. 7 threshold sweep, the defense
+// comparison and the table generators run as engine.ShardedJobs — one
+// shard per curve / grid point / table row — instead of monoliths. Shards
+// schedule independently on the engine worker pool and cache
+// individually, so a warm run replays per point and a parameter change
+// recomputes only the affected shards. Every merge assembles shard
+// payloads in shard order through one JSON round-trip (engine.DecodeData),
+// which keeps the report byte-identical to the serial monolith at any
+// worker count and across cold/warm runs.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/engine"
+	"repro/internal/overhead"
+	"repro/internal/sim"
+)
+
+// mergeRows builds the deterministic merge shared by every grid job:
+// decode one payload per shard, assemble the slice in shard order, format.
+func mergeRows[T any](format func([]T) string) func(engine.Context, []engine.Output) (engine.Output, error) {
+	return func(_ engine.Context, outs []engine.Output) (engine.Output, error) {
+		rows := make([]T, len(outs))
+		for i, o := range outs {
+			if err := engine.DecodeData(o.Data, &rows[i]); err != nil {
+				return engine.Output{}, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return engine.Output{Text: format(rows), Data: rows}, nil
+	}
+}
+
+// payloadShard wraps a typed shard computation into an engine.Shard.
+func payloadShard[T any](name string, run func() (T, error)) engine.Shard {
+	return engine.Shard{
+		Name: name,
+		Run: func(engine.Context) (engine.Output, error) {
+			v, err := run()
+			if err != nil {
+				return engine.Output{}, err
+			}
+			return engine.Output{Data: v}, nil
+		},
+	}
+}
+
+// mcJob shards the §IV.D Monte-Carlo over the process-variation grid.
+func mcJob(p Preset) engine.Job {
+	var shards []engine.Shard
+	for i, v := range circuit.PaperVariations() {
+		i := i
+		shards = append(shards, payloadShard(
+			fmt.Sprintf("var=%g", v),
+			func() (MonteCarloRow, error) { return MonteCarloRowFor(p, i) },
+		))
+	}
+	return engine.Job{Shards: shards, Merge: mergeRows(FormatMonteCarlo)}
+}
+
+// table1Job shards Table I over the compared frameworks.
+func table1Job() engine.Job {
+	cfg := overhead.DefaultConfig()
+	var shards []engine.Shard
+	for _, name := range overhead.Table1Frameworks() {
+		name := name
+		shards = append(shards, payloadShard(
+			name,
+			func() (overhead.Report, error) { return overhead.Table1Report(cfg, name) },
+		))
+	}
+	return engine.Job{Shards: shards, Merge: mergeRows(FormatTable1)}
+}
+
+// fig7aJob shards the Fig. 7(a) threshold sweep per curve: one SHADOW
+// curve per device threshold plus the DRAM-Locker curve.
+func fig7aJob() engine.Job {
+	cfg := sim.DefaultLatencyConfig()
+	var shards []engine.Shard
+	for _, trh := range sim.PaperThresholds() {
+		trh := trh
+		shards = append(shards, payloadShard(
+			fmt.Sprintf("shadow-trh=%d", trh),
+			func() (sim.Fig7aCurve, error) { return sim.ShadowCurve(cfg, trh, fig7aMaxBFA, fig7aStep) },
+		))
+	}
+	shards = append(shards, payloadShard(
+		"locker",
+		func() (sim.Fig7aCurve, error) { return sim.LockerCurve(cfg, fig7aMaxBFA, fig7aStep) },
+	))
+	return engine.Job{Shards: shards, Merge: mergeRows(FormatFig7a)}
+}
+
+// fig7bJob shards the Fig. 7(b) defense-time bars per device threshold.
+func fig7bJob() engine.Job {
+	cfg := sim.DefaultDefenseTimeConfig()
+	var shards []engine.Shard
+	for _, trh := range sim.PaperThresholds() {
+		trh := trh
+		shards = append(shards, payloadShard(
+			fmt.Sprintf("trh=%d", trh),
+			func() (sim.Fig7bBar, error) { return sim.Fig7bBarAt(cfg, trh) },
+		))
+	}
+	return engine.Job{Shards: shards, Merge: mergeRows(FormatFig7b)}
+}
+
+// defenseJob shards the RowHammer mitigation comparison per mechanism.
+func defenseJob(p Preset) engine.Job {
+	var shards []engine.Shard
+	for _, name := range DefenseGridNames() {
+		name := name
+		shards = append(shards, payloadShard(
+			name,
+			func() (DefenseRow, error) { return DefenseRowFor(p, name) },
+		))
+	}
+	merge := func(rows []DefenseRow) string { return FormatDefenseComparison(p, rows) }
+	return engine.Job{Shards: shards, Merge: mergeRows(merge)}
+}
+
+// table2Job shards the software-defense comparison per defended model.
+// Each shard trains its own victim, so the heavy Table II rows spread
+// across the pool instead of serialising in one job.
+func table2Job(p Preset) engine.Job {
+	cfg := DefaultTable2Config(p)
+	var shards []engine.Shard
+	for _, m := range Table2Models() {
+		m := m
+		shards = append(shards, payloadShard(
+			m.ID,
+			func() (Table2Row, error) { return m.Run(p, cfg) },
+		))
+	}
+	return engine.Job{Shards: shards, Merge: mergeRows(FormatTable2)}
+}

@@ -80,122 +80,154 @@ func (r *reconstructionExecutor) TryFlip(globalW, k int) (attack.FlipOutcome, er
 	return attack.FlipOutcome{Succeeded: true}, nil
 }
 
-// Table2 measures every defense row on ResNet-20 / CIFAR-10-like data.
-// Training-based defenses run under direct flip execution (they do not
-// change the memory system); DRAM-Locker runs on the full DRAM stack with
-// an ideal (error-free) SWAP, the paper's Table II setting.
-func Table2(p Preset, cfg Table2Config) ([]Table2Row, error) {
+// Table2Model is one row of the Table II grid: a stable shard id plus the
+// builder that trains the defended model and attacks it to collapse.
+// Every builder trains its own victim, so rows are independent and any
+// subset may run concurrently.
+type Table2Model struct {
+	ID  string
+	Run func(p Preset, cfg Table2Config) (Table2Row, error)
+}
+
+// Table2Models lists the compared defenses in paper order — the shard
+// axis of the table2 grid job.
+func Table2Models() []Table2Model {
+	return []Table2Model{
+		{"baseline", table2Baseline},
+		{"clustering", table2Clustering},
+		{"binary", table2Binary},
+		{"capacity", table2Capacity},
+		{"reconstruction", table2Reconstruction},
+		{"rabnn", table2RABNN},
+		{"dramlocker", table2DRAMLocker},
+	}
+}
+
+// table2AttackToCollapse drives the BFA until the model collapses or the
+// flip budget runs out.
+func table2AttackToCollapse(p Preset, cfg Table2Config, v *Victim, exec attack.FlipExecutor) (int, float64, error) {
 	bcfg := attack.DefaultBFAConfig()
 	bcfg.CandidatesPerIter = p.Candidates
+	return attack.BFAUntilCollapse(v.QM, v.AttackBatch, v.Eval, exec, bcfg, cfg.CollapseAcc, cfg.MaxFlips)
+}
 
-	attackToCollapse := func(v *Victim, exec attack.FlipExecutor) (int, float64, error) {
-		return attack.BFAUntilCollapse(v.QM, v.AttackBatch, v.Eval, exec, bcfg, cfg.CollapseAcc, cfg.MaxFlips)
-	}
-
-	var rows []Table2Row
-
-	// Baseline ResNet-20 (8-bit).
+// table2Baseline: undefended ResNet-20 (8-bit).
+func table2Baseline(p Preset, cfg Table2Config) (Table2Row, error) {
 	base, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err := attackToCollapse(base, &attack.DirectExecutor{QM: base.QM})
+	flips, post, err := table2AttackToCollapse(p, cfg, base, &attack.DirectExecutor{QM: base.QM})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "Baseline ResNet-20", CleanAcc: base.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
-	})
+	}, nil
+}
 
-	// Piece-wise clustering (He et al. CVPR'20).
+// table2Clustering: piece-wise clustering (He et al. CVPR'20).
+func table2Clustering(p Preset, cfg Table2Config) (Table2Row, error) {
 	pwc, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0,
 		nn.PiecewiseClusteringReg(cfg.ClusteringLambda))
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err = attackToCollapse(pwc, &attack.DirectExecutor{QM: pwc.QM})
+	flips, post, err := table2AttackToCollapse(p, cfg, pwc, &attack.DirectExecutor{QM: pwc.QM})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "Piece-wise Clustering", CleanAcc: pwc.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
 		Note: "clustering regularizer during training",
-	})
+	}, nil
+}
 
-	// Binary weights (He et al. CVPR'20).
+// table2Binary: binary weights (He et al. CVPR'20).
+func table2Binary(p Preset, cfg Table2Config) (Table2Row, error) {
 	bin, err := TrainVictim(p, ArchResNet20, 10, 1, 1.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err = attackToCollapse(bin, &attack.DirectExecutor{QM: bin.QM})
+	flips, post, err := table2AttackToCollapse(p, cfg, bin, &attack.DirectExecutor{QM: bin.QM})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "Binary weight", CleanAcc: bin.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
 		Note: "1-bit sign weights",
-	})
+	}, nil
+}
 
-	// Model capacity x16 (Rakin et al.): 16x parameters = 4x width.
+// table2Capacity: model capacity x16 (Rakin et al.): 16x parameters = 4x
+// width.
+func table2Capacity(p Preset, cfg Table2Config) (Table2Row, error) {
 	wide, err := TrainVictim(p, ArchResNet20, 10, 8, 4.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err = attackToCollapse(wide, &attack.DirectExecutor{QM: wide.QM})
+	flips, post, err := table2AttackToCollapse(p, cfg, wide, &attack.DirectExecutor{QM: wide.QM})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "Model Capacity x16", CleanAcc: wide.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
 		Note: "4x channel width",
-	})
+	}, nil
+}
 
-	// Weight reconstruction (Li et al. DAC'20): redundancy + repair.
+// table2Reconstruction: weight reconstruction (Li et al. DAC'20):
+// redundancy + repair.
+func table2Reconstruction(p Preset, cfg Table2Config) (Table2Row, error) {
 	rec, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err = attackToCollapse(rec, &reconstructionExecutor{
+	flips, post, err := table2AttackToCollapse(p, cfg, rec, &reconstructionExecutor{
 		qm:              rec.QM,
 		repairThreshold: 64,
 		residual:        8,
 	})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "Weight Reconstruction", CleanAcc: rec.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
 		Note: "emulated as outlier repair with residual error",
-	})
+	}, nil
+}
 
-	// RA-BNN (Rakin et al.): binary weights at doubled width.
+// table2RABNN: RA-BNN (Rakin et al.): binary weights at doubled width.
+func table2RABNN(p Preset, cfg Table2Config) (Table2Row, error) {
 	rabnn, err := TrainVictim(p, ArchResNet20, 10, 1, 2.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	flips, post, err = attackToCollapse(rabnn, &attack.DirectExecutor{QM: rabnn.QM})
+	flips, post, err := table2AttackToCollapse(p, cfg, rabnn, &attack.DirectExecutor{QM: rabnn.QM})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "RA-BNN", CleanAcc: rabnn.CleanAcc,
 		PostAttackAcc: post, BitFlips: flips,
 		Note: "binary weights, 2x width",
-	})
+	}, nil
+}
 
-	// DRAM-Locker: full stack, ideal SWAP (no process-variation errors).
+// table2DRAMLocker: full stack, ideal SWAP (no process-variation errors).
+func table2DRAMLocker(p Preset, cfg Table2Config) (Table2Row, error) {
 	dl, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
 	sys, err := BuildSystem(p, dl, true, 0)
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
 	res, err := attack.BFA(dl.QM, dl.AttackBatch, dl.Eval, sys.Exec, attack.BFAConfig{
 		Iterations:        cfg.MaxFlips,
@@ -204,13 +236,27 @@ func Table2(p Preset, cfg Table2Config) ([]Table2Row, error) {
 		Seed:              p.Seed + 999,
 	})
 	if err != nil {
-		return nil, err
+		return Table2Row{}, err
 	}
-	postAcc := res.FinalAccuracy()
-	rows = append(rows, Table2Row{
+	return Table2Row{
 		Model: "DRAM-Locker", CleanAcc: dl.CleanAcc,
-		PostAttackAcc: postAcc, BitFlips: res.TotalDenied + res.TotalFlips,
+		PostAttackAcc: res.FinalAccuracy(), BitFlips: res.TotalDenied + res.TotalFlips,
 		Note: fmt.Sprintf("all %d attempts denied, %d landed", res.TotalDenied, res.TotalFlips),
-	})
+	}, nil
+}
+
+// Table2 measures every defense row on ResNet-20 / CIFAR-10-like data.
+// Training-based defenses run under direct flip execution (they do not
+// change the memory system); DRAM-Locker runs on the full DRAM stack with
+// an ideal (error-free) SWAP, the paper's Table II setting.
+func Table2(p Preset, cfg Table2Config) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, m := range Table2Models() {
+		row, err := m.Run(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
 	return rows, nil
 }

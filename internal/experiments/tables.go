@@ -14,20 +14,29 @@ type MonteCarloRow struct {
 	Paper     float64
 }
 
+// MonteCarloRowFor computes one variation point of the §IV.D sweep (one
+// shard of the mc grid) under the exact seed the full sweep uses.
+func MonteCarloRowFor(p Preset, i int) (MonteCarloRow, error) {
+	r, err := circuit.PaperPoint(circuit.Default45nm(), i, p.MCTrials, p.Seed+5)
+	if err != nil {
+		return MonteCarloRow{}, err
+	}
+	return MonteCarloRow{
+		Variation: r.Variation,
+		Measured:  r.SwapRate,
+		Paper:     circuit.PaperReportedSwapRates()[r.Variation],
+	}, nil
+}
+
 // MonteCarlo runs the calibrated charge-sharing model.
 func MonteCarlo(p Preset) ([]MonteCarloRow, error) {
-	results, err := circuit.PaperSweep(circuit.Default45nm(), p.MCTrials, p.Seed+5)
-	if err != nil {
-		return nil, err
-	}
-	paper := circuit.PaperReportedSwapRates()
 	var rows []MonteCarloRow
-	for _, r := range results {
-		rows = append(rows, MonteCarloRow{
-			Variation: r.Variation,
-			Measured:  r.SwapRate,
-			Paper:     paper[r.Variation],
-		})
+	for i := range circuit.PaperVariations() {
+		row, err := MonteCarloRowFor(p, i)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -38,10 +47,17 @@ func Table1() []overhead.Report {
 	return overhead.Table1(overhead.DefaultConfig())
 }
 
+// fig7aMaxBFA/fig7aStep are the paper's Fig. 7(a) x-axis (0..8e4 BFA in
+// 1e4 steps), shared by the monolithic helper and the sharded grid.
+const (
+	fig7aMaxBFA = 80000
+	fig7aStep   = 10000
+)
+
 // Fig7aData computes the latency-per-Tref curves (SHADOW at four
 // thresholds + DRAM-Locker) over the paper's 0..8e4 BFA range.
 func Fig7aData() ([]sim.Fig7aCurve, error) {
-	return sim.Fig7a(sim.DefaultLatencyConfig(), 80000, 10000)
+	return sim.Fig7a(sim.DefaultLatencyConfig(), fig7aMaxBFA, fig7aStep)
 }
 
 // Fig7bData computes the defense-time bars at thresholds 1k..8k.

@@ -150,6 +150,42 @@ type Fig7aCurve struct {
 	Points []LatencyPoint
 }
 
+// ShadowCurve computes SHADOW's latency curve at one device threshold for
+// nBFA = 0..maxBFA in steps — one shard of the Fig. 7(a) grid.
+func ShadowCurve(cfg LatencyConfig, trh, maxBFA, step int) (Fig7aCurve, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig7aCurve{}, err
+	}
+	if maxBFA <= 0 || step <= 0 {
+		return Fig7aCurve{}, fmt.Errorf("sim: maxBFA and step must be positive")
+	}
+	if trh <= 0 {
+		return Fig7aCurve{}, fmt.Errorf("sim: trh must be positive, got %d", trh)
+	}
+	c := Fig7aCurve{Label: fmt.Sprintf("SHADOW%d", trh), TRH: trh}
+	for n := 0; n <= maxBFA; n += step {
+		c.Points = append(c.Points, ShadowLatency(cfg, trh, n))
+	}
+	return c, nil
+}
+
+// LockerCurve computes DRAM-Locker's latency curve (labelled with its
+// worst case, the smallest configured threshold) — the final shard of the
+// Fig. 7(a) grid.
+func LockerCurve(cfg LatencyConfig, maxBFA, step int) (Fig7aCurve, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig7aCurve{}, err
+	}
+	if maxBFA <= 0 || step <= 0 {
+		return Fig7aCurve{}, fmt.Errorf("sim: maxBFA and step must be positive")
+	}
+	dl := Fig7aCurve{Label: "DL", TRH: thresholdsOrDefault(cfg.Thresholds)[0]}
+	for n := 0; n <= maxBFA; n += step {
+		dl.Points = append(dl.Points, LockerLatency(cfg, n))
+	}
+	return dl, nil
+}
+
 // Fig7a computes the full figure: SHADOW at each configured threshold and
 // DRAM-Locker at its worst case (the smallest threshold), for
 // nBFA = 0..maxBFA in steps.
@@ -157,24 +193,19 @@ func Fig7a(cfg LatencyConfig, maxBFA, step int) ([]Fig7aCurve, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if maxBFA <= 0 || step <= 0 {
-		return nil, fmt.Errorf("sim: maxBFA and step must be positive")
-	}
-	trhs := thresholdsOrDefault(cfg.Thresholds)
 	var curves []Fig7aCurve
-	for _, trh := range trhs {
-		c := Fig7aCurve{Label: fmt.Sprintf("SHADOW%d", trh), TRH: trh}
-		for n := 0; n <= maxBFA; n += step {
-			c.Points = append(c.Points, ShadowLatency(cfg, trh, n))
+	for _, trh := range thresholdsOrDefault(cfg.Thresholds) {
+		c, err := ShadowCurve(cfg, trh, maxBFA, step)
+		if err != nil {
+			return nil, err
 		}
 		curves = append(curves, c)
 	}
-	dl := Fig7aCurve{Label: "DL", TRH: trhs[0]}
-	for n := 0; n <= maxBFA; n += step {
-		dl.Points = append(dl.Points, LockerLatency(cfg, n))
+	dl, err := LockerCurve(cfg, maxBFA, step)
+	if err != nil {
+		return nil, err
 	}
-	curves = append(curves, dl)
-	return curves, nil
+	return append(curves, dl), nil
 }
 
 // --- Fig. 7(b): defense time -------------------------------------------------
@@ -297,6 +328,22 @@ type Fig7bBar struct {
 	LockerDays float64
 }
 
+// Fig7bBarAt computes the defense-time comparison at one device threshold
+// — one shard of the Fig. 7(b) grid.
+func Fig7bBarAt(cfg DefenseTimeConfig, trh int) (Fig7bBar, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig7bBar{}, err
+	}
+	if trh <= 0 {
+		return Fig7bBar{}, fmt.Errorf("sim: trh must be positive, got %d", trh)
+	}
+	return Fig7bBar{
+		Threshold:  trh,
+		ShadowDays: ShadowDefenseDays(cfg, trh),
+		LockerDays: LockerDefenseDays(cfg, trh),
+	}, nil
+}
+
 // Fig7b computes the defense-time comparison at the configured thresholds.
 func Fig7b(cfg DefenseTimeConfig) ([]Fig7bBar, error) {
 	if err := cfg.Validate(); err != nil {
@@ -304,11 +351,11 @@ func Fig7b(cfg DefenseTimeConfig) ([]Fig7bBar, error) {
 	}
 	var out []Fig7bBar
 	for _, trh := range thresholdsOrDefault(cfg.Thresholds) {
-		out = append(out, Fig7bBar{
-			Threshold:  trh,
-			ShadowDays: ShadowDefenseDays(cfg, trh),
-			LockerDays: LockerDefenseDays(cfg, trh),
-		})
+		bar, err := Fig7bBarAt(cfg, trh)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bar)
 	}
 	return out, nil
 }
