@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernels vet fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -12,21 +12,39 @@ test:
 	$(GO) test ./...
 
 # Race smoke on the concurrent packages: the engine worker pool, sharded
-# scheduler and disk cache, plus the trace replay layer.
+# scheduler and disk cache, the worker-budget semaphore and the parallel
+# tensor/nn kernels it feeds, plus the trace replay layer.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/trace/
+	$(GO) test -race ./internal/engine/... ./internal/trace/ \
+		./internal/par/ ./internal/tensor/ ./internal/nn/
 
-# One iteration of every benchmark in every package (regenerates the
-# paper tables without timing noise mattering). Set BENCH_JSON=<file> to
-# also record the run as go-test JSON events — CI uploads that file as
-# the BENCH_*.json perf-trend artifact.
+# One iteration of every benchmark outside the compute-kernel packages
+# (regenerates the paper tables without timing noise mattering); the
+# tensor/nn kernels are bench-kernels' job, so each benchmark lands in
+# the artifact exactly once. Set BENCH_JSON=<file> to also record the
+# run as go-test JSON events — CI uploads that file as the BENCH_*.json
+# perf-trend artifact, with bench-kernels appending to it.
 BENCH_JSON ?=
+BENCH_SMOKE_PKGS = $$($(GO) list ./... | grep -v -e /internal/tensor -e /internal/nn)
 bench-smoke:
 ifeq ($(BENCH_JSON),)
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' $(BENCH_SMOKE_PKGS)
 else
-	$(GO) test -json -bench=. -benchtime=1x -run='^$$' ./... > $(BENCH_JSON)
+	$(GO) test -json -bench=. -benchtime=1x -run='^$$' $(BENCH_SMOKE_PKGS) > $(BENCH_JSON)
 	@echo "bench JSON written to $(BENCH_JSON)"
+endif
+
+# Compute-kernel microbenchmarks (tensor GEMM/im2col, nn train-step and
+# inference) with allocation stats: the serial/parallel GEMM pairs track
+# multi-core throughput and the train-step allocs/op tracks the
+# zero-alloc path. With BENCH_JSON set, events append to the same
+# BENCH_<sha>.json artifact the CI bench job uploads.
+bench-kernels:
+ifeq ($(BENCH_JSON),)
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/tensor/ ./internal/nn/
+else
+	$(GO) test -json -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/tensor/ ./internal/nn/ >> $(BENCH_JSON)
+	@echo "kernel bench JSON appended to $(BENCH_JSON)"
 endif
 
 vet:

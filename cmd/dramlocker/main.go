@@ -29,12 +29,18 @@
 // (experiments.CacheVersion stamp). -no-cache disables caching entirely;
 // -require-cached turns a warm run into a gate (non-zero exit unless
 // every job replayed), which CI uses to guard the persistence path.
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles of the
+// run, the quickest way to see where a preset spends its time (the
+// compute kernels, the DRAM simulation, or the engine itself).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,16 +58,59 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist the result cache as JSON lines under this directory (empty = in-memory only)")
 	noCache := flag.Bool("no-cache", false, "disable result caching entirely (recompute everything)")
 	requireCached := flag.Bool("require-cached", false, "fail unless every job is served from the cache (CI warm-run gate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
-	if err := run(config{
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(config{
 		exp: *exp, preset: *preset, workers: *workers,
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
-	}); err != nil {
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+	}
+
+	if *memProfile != "" {
+		if merr := writeMemProfile(*memProfile); merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			if err == nil {
+				err = merr
+			}
+		}
+	}
+
+	if err != nil {
+		// os.Exit skips the deferred stop; flush -cpuprofile explicitly so
+		// a failed run still leaves a valid profile behind.
+		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile captures the end-of-run heap profile.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialise final live-heap statistics
+	return pprof.WriteHeapProfile(f)
 }
 
 // config carries the parsed flags.

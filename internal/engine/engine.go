@@ -20,6 +20,13 @@
 // "<experiment>@<preset hash>"). When the Runner is given a Cache,
 // successful results are memoised under that key and replayed on the next
 // run instead of recomputed.
+//
+// Worker budget: the pool shares the process-wide budget of internal/par
+// with the tensor/nn compute kernels. A worker reserves one budget token
+// per unit of work (non-blocking, so an explicit Workers count is always
+// honoured), and the kernels inside a job claim only the remainder: a
+// saturated pool runs serial kernels, while a lone job fans its GEMMs
+// out across every idle core.
 package engine
 
 import (

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/par"
 )
 
 // Options configures one Runner pass.
@@ -106,7 +108,20 @@ func Run(reg *Registry, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for u := range unitCh {
+				// Each computing worker reserves one token from the
+				// global worker budget (internal/par) while it runs a
+				// unit. The tensor/nn kernels inside the job draw *extra*
+				// tokens from the same budget, so job-level and
+				// kernel-level parallelism together do not oversubscribe
+				// NumCPU: with the pool saturated the kernels run
+				// serially, and with few jobs in flight they pick up the
+				// idle cores. The reservation is non-blocking — an
+				// explicit Workers above the budget oversubscribes
+				// exactly as requested, it just leaves nothing spare for
+				// the kernels.
+				got := par.TryAcquire(1)
 				u()
+				par.ReleaseN(got)
 			}
 		}()
 	}

@@ -29,6 +29,22 @@ func BenchmarkShardedGridsCold(b *testing.B) {
 	}
 }
 
+// BenchmarkVictimTrain measures the end-to-end victim build — dataset
+// generation, training on the zero-alloc path, quantization, clean-accuracy
+// eval — the cost that dominates every model-bearing experiment
+// (table2, defense, fig1, fig8, perf). allocs/op tracks how much of the
+// training loop still hits the allocator.
+func BenchmarkVictimTrain(b *testing.B) {
+	p := Tiny()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewVictim(p, ArchResNet20, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkShardedGridsWarm measures the steady state: every grid replays
 // from one shared cache (what a re-run of the paper tables costs).
 func BenchmarkShardedGridsWarm(b *testing.B) {

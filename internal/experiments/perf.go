@@ -70,13 +70,6 @@ func Perf(p Preset) (*PerfResult, error) {
 	return &res, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // FormatPerf renders the slowdown report.
 func FormatPerf(r *PerfResult) string {
 	var b strings.Builder

@@ -3,15 +3,30 @@
 // the paper evaluates, an SGD trainer, and cross-entropy loss. Gradients
 // with respect to weights — required by the progressive bit search of the
 // Bit-Flip Attack — come out of the same backward pass used for training.
+//
+// Memory discipline: the attack/defense loops re-evaluate the same
+// networks thousands of times, so the hot path must not allocate. Every
+// layer owns its activation and gradient buffers and reuses them across
+// steps (tensor.Ensure), transient GEMM outputs come from the shared
+// scratch pool (tensor.GetScratch/PutScratch), and conv layers keep their
+// im2col/col2im matrices alive between steps. The contract this buys is:
+// a tensor returned by Forward or Backward is owned by the layer and
+// valid only until that layer's next Forward/Backward call — callers that
+// need persistence must Clone.
 package nn
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
+
+// bnMinWork is the minimum per-chunk element count before the BatchNorm
+// channel loops fan out goroutines (the kernels are ~8 flops/element).
+const bnMinWork = 1 << 13
 
 // Param is one learnable parameter with its gradient accumulator.
 type Param struct {
@@ -34,9 +49,12 @@ func newParam(name string, shape ...int) *Param {
 type Layer interface {
 	// Forward computes the layer output; train toggles training behaviour
 	// (BatchNorm statistics). Implementations cache what Backward needs.
+	// The returned tensor is a layer-owned buffer, valid until the next
+	// Forward call on this layer.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward consumes dL/dout and returns dL/din, accumulating dL/dW
-	// into the layer's parameter gradients.
+	// into the layer's parameter gradients. The returned tensor is a
+	// layer-owned buffer, valid until the next Backward call.
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	// Params lists learnable parameters (may be empty).
 	Params() []*Param
@@ -47,7 +65,8 @@ type Layer interface {
 // --- Conv2D -------------------------------------------------------------------
 
 // Conv2D is a 2-D convolution with square kernels, implemented by im2col
-// lowering to matrix multiplication.
+// lowering to matrix multiplication. The im2col matrix and the output /
+// input-gradient buffers persist across steps.
 type Conv2D struct {
 	LayerName           string
 	InC, OutC           int
@@ -57,8 +76,10 @@ type Conv2D struct {
 	Weight *Param // (OutC, InC*K*K)
 	B      *Param // (OutC)
 
-	// cached forward state
+	// cached forward state and reusable buffers
 	cols       *tensor.Tensor
+	out        *tensor.Tensor
+	dx         *tensor.Tensor
 	inShape    []int
 	outH, outW int
 }
@@ -96,60 +117,64 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", c.LayerName, c.InC, x.Shape))
 	}
 	n := x.Shape[0]
-	cols, outH, outW := tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
-	c.cols = cols
-	c.inShape = append([]int(nil), x.Shape...)
+	outH, outW := tensor.ConvOutDims(x.Shape[2], x.Shape[3], c.Kernel, c.Kernel, c.Stride, c.Pad)
+	c.inShape = append(c.inShape[:0], x.Shape...)
 	c.outH, c.outW = outH, outW
-	// (N*oh*ow, inC*k*k) x (inC*k*k, outC) = cols * Wᵀ
-	out2 := tensor.MatMulTransB(cols, c.Weight.W) // (N*oh*ow, outC)
+	rows := n * outH * outW
+	c.cols = tensor.Ensure(c.cols, rows, c.InC*c.Kernel*c.Kernel)
+	tensor.Im2ColInto(c.cols, x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+
+	// (N*oh*ow, inC*k*k) x (inC*k*k, outC) = cols * Wᵀ, with the bias add
+	// fused into the GEMM epilogue.
+	var bias []float32
+	if c.B != nil {
+		bias = c.B.W.Data
+	}
+	out2 := tensor.GetScratch(rows, c.OutC) // (N*oh*ow, outC)
+	tensor.MatMulTransBBiasInto(out2, c.cols, c.Weight.W, bias)
+
 	// Rearrange to (N, outC, oh, ow).
-	out := tensor.New(n, c.OutC, outH, outW)
+	c.out = tensor.Ensure(c.out, n, c.OutC, outH, outW)
 	hw := outH * outW
 	for img := 0; img < n; img++ {
-		for p := 0; p < hw; p++ {
-			src := (img*hw + p) * c.OutC
-			for oc := 0; oc < c.OutC; oc++ {
-				out.Data[(img*c.OutC+oc)*hw+p] = out2.Data[src+oc]
+		for oc := 0; oc < c.OutC; oc++ {
+			dst := c.out.Data[(img*c.OutC+oc)*hw : (img*c.OutC+oc)*hw+hw]
+			src := out2.Data[img*hw*c.OutC+oc:]
+			for p := range dst {
+				dst[p] = src[p*c.OutC]
 			}
 		}
 	}
-	if c.B != nil {
-		for img := 0; img < n; img++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				bias := c.B.W.Data[oc]
-				base := (img*c.OutC + oc) * hw
-				for p := 0; p < hw; p++ {
-					out.Data[base+p] += bias
-				}
-			}
-		}
-	}
-	return out
+	tensor.PutScratch(out2)
+	return c.out
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	hw := c.outH * c.outW
+	rows := n * hw
 	// Rearrange grad (N, outC, oh, ow) to (N*oh*ow, outC).
-	g2 := tensor.New(n*hw, c.OutC)
+	g2 := tensor.GetScratch(rows, c.OutC)
 	for img := 0; img < n; img++ {
 		for oc := 0; oc < c.OutC; oc++ {
-			base := (img*c.OutC + oc) * hw
-			for p := 0; p < hw; p++ {
-				g2.Data[(img*hw+p)*c.OutC+oc] = grad.Data[base+p]
+			src := grad.Data[(img*c.OutC+oc)*hw : (img*c.OutC+oc)*hw+hw]
+			dst := g2.Data[img*hw*c.OutC+oc:]
+			for p, v := range src {
+				dst[p*c.OutC] = v
 			}
 		}
 	}
-	// dW = g2ᵀ * cols  -> (outC, inC*k*k)
-	dw := tensor.MatMulTransA(g2, c.cols)
-	c.Weight.Grad.Add(dw)
-	// dCols = g2 * W -> (N*oh*ow, inC*k*k)
-	dcols := tensor.MatMul(g2, c.Weight.W)
-	dx := tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3],
-		c.Kernel, c.Kernel, c.Stride, c.Pad)
+	// dW += g2ᵀ * cols -> (outC, inC*k*k), accumulated straight into the
+	// gradient tensor with no intermediate.
+	tensor.MatMulTransAAcc(c.Weight.Grad, g2, c.cols)
+	// dCols = g2 * W -> (N*oh*ow, inC*k*k), scattered back to image space.
+	dcols := tensor.GetScratch(rows, c.InC*c.Kernel*c.Kernel)
+	tensor.MatMulInto(dcols, g2, c.Weight.W)
+	c.dx = tensor.Ensure(c.dx, c.inShape...)
+	tensor.Col2ImInto(c.dx, dcols, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	tensor.PutScratch(dcols)
 	if c.B != nil {
-		rows := n * hw
 		for r := 0; r < rows; r++ {
 			row := g2.Data[r*c.OutC : (r+1)*c.OutC]
 			for oc, v := range row {
@@ -157,7 +182,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return dx
+	tensor.PutScratch(g2)
+	return c.dx
 }
 
 // --- Linear -------------------------------------------------------------------
@@ -169,7 +195,8 @@ type Linear struct {
 	Weight    *Param // (Out, In)
 	B         *Param // (Out)
 
-	x *tensor.Tensor
+	x       *tensor.Tensor
+	out, dx *tensor.Tensor
 }
 
 // NewLinear constructs a fully connected layer.
@@ -195,22 +222,15 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.LayerName, l.In, x.Shape))
 	}
 	l.x = x
-	out := tensor.MatMulTransB(x, l.Weight.W) // (N, Out)
-	n := x.Shape[0]
-	for i := 0; i < n; i++ {
-		row := out.Data[i*l.Out : (i+1)*l.Out]
-		for j := range row {
-			row[j] += l.B.W.Data[j]
-		}
-	}
-	return out
+	l.out = tensor.Ensure(l.out, x.Shape[0], l.Out)
+	tensor.MatMulTransBBiasInto(l.out, x, l.Weight.W, l.B.W.Data) // (N, Out) + b
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	// dW = gradᵀ x -> (Out, In)
-	dw := tensor.MatMulTransA(grad, l.x)
-	l.Weight.Grad.Add(dw)
+	// dW += gradᵀ x -> (Out, In)
+	tensor.MatMulTransAAcc(l.Weight.Grad, grad, l.x)
 	n := grad.Shape[0]
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*l.Out : (i+1)*l.Out]
@@ -218,7 +238,9 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			l.B.Grad.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMul(grad, l.Weight.W) // (N, In)
+	l.dx = tensor.Ensure(l.dx, n, l.In)
+	tensor.MatMulInto(l.dx, grad, l.Weight.W) // (N, In)
+	return l.dx
 }
 
 // --- ReLU ---------------------------------------------------------------------
@@ -227,6 +249,7 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 type ReLU struct {
 	LayerName string
 	mask      []bool
+	out, dx   *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU layer.
@@ -240,37 +263,48 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	if cap(r.mask) < len(out.Data) {
-		r.mask = make([]bool, len(out.Data))
-	}
-	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	r.out = tensor.Ensure(r.out, x.Shape...)
+	r.mask = ensureMask(r.mask, len(x.Data))
+	for i, v := range x.Data {
 		if v <= 0 {
-			out.Data[i] = 0
+			r.out.Data[i] = 0
 			r.mask[i] = false
 		} else {
+			r.out.Data[i] = v
 			r.mask[i] = true
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	r.dx = tensor.Ensure(r.dx, grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			r.dx.Data[i] = v
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return out
+	return r.dx
+}
+
+// ensureMask resizes a reusable bool mask.
+func ensureMask(m []bool, n int) []bool {
+	if cap(m) < n {
+		return make([]bool, n)
+	}
+	return m[:n]
 }
 
 // --- BatchNorm2D --------------------------------------------------------------
 
 // BatchNorm2D normalises per channel over (N, H, W) with learnable scale
-// and shift, tracking running statistics for inference.
+// and shift, tracking running statistics for inference. The per-channel
+// mean/variance reductions are independent, so channels are processed in
+// parallel under the worker budget; each channel's accumulation order is
+// fixed, keeping results bit-identical at any budget.
 type BatchNorm2D struct {
 	LayerName string
 	C         int
@@ -287,8 +321,9 @@ type BatchNorm2D struct {
 	RunningMean []float64
 	RunningVar  []float64
 
-	// cached forward state
+	// cached forward state and reusable buffers
 	xhat    *tensor.Tensor
+	out, dx *tensor.Tensor
 	invStd  []float64
 	inShape []int
 }
@@ -322,54 +357,81 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	hw := h * w
-	out := tensor.New(n, c, h, w)
-	bn.inShape = append([]int(nil), x.Shape...)
+	bn.out = tensor.Ensure(bn.out, n, c, h, w)
+	bn.inShape = append(bn.inShape[:0], x.Shape...)
+	grain := par.Grain(n*hw*8, bnMinWork)
 	if train {
-		bn.xhat = tensor.New(n, c, h, w)
+		bn.xhat = tensor.Ensure(bn.xhat, n, c, h, w)
 		if cap(bn.invStd) < c {
 			bn.invStd = make([]float64, c)
 		}
 		bn.invStd = bn.invStd[:c]
-		cnt := float64(n * hw)
-		for ch := 0; ch < c; ch++ {
-			var mean float64
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for p := 0; p < hw; p++ {
-					mean += float64(x.Data[base+p])
-				}
-			}
-			mean /= cnt
-			var variance float64
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for p := 0; p < hw; p++ {
-					d := float64(x.Data[base+p]) - mean
-					variance += d * d
-				}
-			}
-			variance /= cnt
-			if !bn.FreezeStats {
-				bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mean
-				bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*variance
-			}
-			inv := 1 / math.Sqrt(variance+bn.Eps)
-			bn.invStd[ch] = inv
-			g := float64(bn.Gamma.W.Data[ch])
-			b := float64(bn.Beta.W.Data[ch])
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for p := 0; p < hw; p++ {
-					xh := (float64(x.Data[base+p]) - mean) * inv
-					bn.xhat.Data[base+p] = float32(xh)
-					out.Data[base+p] = float32(g*xh + b)
-				}
+		if par.WorthIt(c, grain) {
+			par.For(c, grain, func(lo, hi int) { bn.forwardTrain(x, lo, hi) })
+		} else {
+			bn.forwardTrain(x, 0, c)
+		}
+		return bn.out
+	}
+	if par.WorthIt(c, grain) {
+		par.For(c, grain, func(lo, hi int) { bn.forwardEval(x, lo, hi) })
+	} else {
+		bn.forwardEval(x, 0, c)
+	}
+	return bn.out
+}
+
+// forwardTrain normalises channels [c0,c1) with batch statistics. Each
+// channel's reduction runs in the same order as the serial code, so the
+// parallel split cannot change a bit of the output.
+func (bn *BatchNorm2D) forwardTrain(x *tensor.Tensor, c0, c1 int) {
+	n, c := bn.inShape[0], bn.inShape[1]
+	hw := bn.inShape[2] * bn.inShape[3]
+	cnt := float64(n * hw)
+	for ch := c0; ch < c1; ch++ {
+		var mean float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			row := x.Data[base : base+hw]
+			for _, v := range row {
+				mean += float64(v)
 			}
 		}
-		return out
+		mean /= cnt
+		var variance float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			row := x.Data[base : base+hw]
+			for _, v := range row {
+				d := float64(v) - mean
+				variance += d * d
+			}
+		}
+		variance /= cnt
+		if !bn.FreezeStats {
+			bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mean
+			bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*variance
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[ch] = inv
+		g := float64(bn.Gamma.W.Data[ch])
+		b := float64(bn.Beta.W.Data[ch])
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for p := 0; p < hw; p++ {
+				xh := (float64(x.Data[base+p]) - mean) * inv
+				bn.xhat.Data[base+p] = float32(xh)
+				bn.out.Data[base+p] = float32(g*xh + b)
+			}
+		}
 	}
-	// Inference path uses running statistics.
-	for ch := 0; ch < c; ch++ {
+}
+
+// forwardEval normalises channels [c0,c1) with running statistics.
+func (bn *BatchNorm2D) forwardEval(x *tensor.Tensor, c0, c1 int) {
+	n, c := bn.inShape[0], bn.inShape[1]
+	hw := bn.inShape[2] * bn.inShape[3]
+	for ch := c0; ch < c1; ch++ {
 		inv := 1 / math.Sqrt(bn.RunningVar[ch]+bn.Eps)
 		mean := bn.RunningMean[ch]
 		g := float64(bn.Gamma.W.Data[ch])
@@ -377,20 +439,34 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for img := 0; img < n; img++ {
 			base := (img*c + ch) * hw
 			for p := 0; p < hw; p++ {
-				out.Data[base+p] = float32(g*(float64(x.Data[base+p])-mean)*inv + b)
+				bn.out.Data[base+p] = float32(g*(float64(x.Data[base+p])-mean)*inv + b)
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer (training-mode gradient).
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c := bn.inShape[0], bn.inShape[1]
 	hw := bn.inShape[2] * bn.inShape[3]
+	bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
+	grain := par.Grain(n*hw*10, bnMinWork)
+	if par.WorthIt(c, grain) {
+		par.For(c, grain, func(lo, hi int) { bn.backwardChannels(grad, lo, hi) })
+	} else {
+		bn.backwardChannels(grad, 0, c)
+	}
+	return bn.dx
+}
+
+// backwardChannels computes the training-mode gradient for channels
+// [c0,c1). Channels write disjoint slices of dx and distinct Gamma/Beta
+// gradient elements, so parallel execution is race-free and exact.
+func (bn *BatchNorm2D) backwardChannels(grad *tensor.Tensor, c0, c1 int) {
+	n, c := bn.inShape[0], bn.inShape[1]
+	hw := bn.inShape[2] * bn.inShape[3]
 	cnt := float64(n * hw)
-	dx := tensor.New(bn.inShape[0], bn.inShape[1], bn.inShape[2], bn.inShape[3])
-	for ch := 0; ch < c; ch++ {
+	for ch := c0; ch < c1; ch++ {
 		var sumG, sumGX float64
 		for img := 0; img < n; img++ {
 			base := (img*c + ch) * hw
@@ -409,11 +485,10 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			for p := 0; p < hw; p++ {
 				g := float64(grad.Data[base+p])
 				xh := float64(bn.xhat.Data[base+p])
-				dx.Data[base+p] = float32(gamma * inv * (g - sumG/cnt - xh*sumGX/cnt))
+				bn.dx.Data[base+p] = float32(gamma * inv * (g - sumG/cnt - xh*sumGX/cnt))
 			}
 		}
 	}
-	return dx
 }
 
 // --- Pooling ------------------------------------------------------------------
@@ -427,6 +502,7 @@ type MaxPool2 struct {
 	argmax    []int
 	inShape   []int
 	identity  bool
+	out, dx   *tensor.Tensor
 }
 
 // NewMaxPool2 constructs the pooling layer.
@@ -441,18 +517,18 @@ func (m *MaxPool2) Params() []*Param { return nil }
 // Forward implements Layer.
 func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	m.inShape = append([]int(nil), x.Shape...)
+	m.inShape = append(m.inShape[:0], x.Shape...)
 	if h < 2 || w < 2 {
 		m.identity = true
 		return x
 	}
 	m.identity = false
 	oh, ow := h/2, w/2
-	out := tensor.New(n, c, oh, ow)
-	if cap(m.argmax) < out.Len() {
-		m.argmax = make([]int, out.Len())
+	m.out = tensor.Ensure(m.out, n, c, oh, ow)
+	if cap(m.argmax) < m.out.Len() {
+		m.argmax = make([]int, m.out.Len())
 	}
-	m.argmax = m.argmax[:out.Len()]
+	m.argmax = m.argmax[:m.out.Len()]
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			inBase := (img*c + ch) * h * w
@@ -471,13 +547,13 @@ func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					o := outBase + oy*ow + ox
-					out.Data[o] = bv
+					m.out.Data[o] = bv
 					m.argmax[o] = best
 				}
 			}
 		}
 	}
-	return out
+	return m.out
 }
 
 // Backward implements Layer.
@@ -485,11 +561,12 @@ func (m *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if m.identity {
 		return grad
 	}
-	dx := tensor.New(m.inShape[0], m.inShape[1], m.inShape[2], m.inShape[3])
+	m.dx = tensor.Ensure(m.dx, m.inShape...)
+	m.dx.Zero()
 	for o, src := range m.argmax {
-		dx.Data[src] += grad.Data[o]
+		m.dx.Data[src] += grad.Data[o]
 	}
-	return dx
+	return m.dx
 }
 
 // GlobalAvgPool averages each channel map to a single value, producing
@@ -497,6 +574,7 @@ func (m *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 type GlobalAvgPool struct {
 	LayerName string
 	inShape   []int
+	out, dx   *tensor.Tensor
 }
 
 // NewGlobalAvgPool constructs the pooling layer.
@@ -511,8 +589,8 @@ func (g *GlobalAvgPool) Params() []*Param { return nil }
 // Forward implements Layer.
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	g.inShape = append([]int(nil), x.Shape...)
-	out := tensor.New(n, c)
+	g.inShape = append(g.inShape[:0], x.Shape...)
+	g.out = tensor.Ensure(g.out, n, c)
 	hw := h * w
 	inv := 1 / float32(hw)
 	for img := 0; img < n; img++ {
@@ -522,34 +600,36 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			for p := 0; p < hw; p++ {
 				s += x.Data[base+p]
 			}
-			out.Data[img*c+ch] = s * inv
+			g.out.Data[img*c+ch] = s * inv
 		}
 	}
-	return out
+	return g.out
 }
 
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	dx := tensor.New(n, c, h, w)
-	hw := h * w
+	n, c := g.inShape[0], g.inShape[1]
+	hw := g.inShape[2] * g.inShape[3]
+	g.dx = tensor.Ensure(g.dx, g.inShape...)
 	inv := 1 / float32(hw)
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			gv := grad.Data[img*c+ch] * inv
 			base := (img*c + ch) * hw
 			for p := 0; p < hw; p++ {
-				dx.Data[base+p] = gv
+				g.dx.Data[base+p] = gv
 			}
 		}
 	}
-	return dx
+	return g.dx
 }
 
 // Flatten reshapes (N, C, H, W) to (N, C*H*W).
 type Flatten struct {
 	LayerName string
 	inShape   []int
+	// cached view headers so reshaping allocates nothing
+	view, bview tensor.Tensor
 }
 
 // NewFlatten constructs the reshape layer.
@@ -563,12 +643,16 @@ func (f *Flatten) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, x.Len()/n)
+	f.view.Data = x.Data
+	f.view.Shape = append(f.view.Shape[:0], n, x.Len()/n)
+	return &f.view
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.bview.Data = grad.Data
+	f.bview.Shape = append(f.bview.Shape[:0], f.inShape...)
+	return &f.bview
 }

@@ -12,18 +12,27 @@ import (
 type Model struct {
 	ModelName string
 	Layers    []Layer
+
+	// lazily built caches; layer topology is fixed after construction,
+	// and caching keeps ZeroGrad/Step/GradientPass off the allocator.
+	params []*Param
+	bns    []*BatchNorm2D
+	// bnFreeze is GradientPass's reusable FreezeStats save-area.
+	bnFreeze []bool
 }
 
 // Name returns the model identifier.
 func (m *Model) Name() string { return m.ModelName }
 
-// Params returns every learnable parameter in layer order.
+// Params returns every learnable parameter in layer order. The slice is
+// built once and cached — the layer list must not change afterwards.
 func (m *Model) Params() []*Param {
-	var out []*Param
-	for _, l := range m.Layers {
-		out = append(out, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.Layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return out
+	return m.params
 }
 
 // QuantizableParams returns the weight matrices exposed to the bit-flip
@@ -68,15 +77,16 @@ func (m *Model) Walk(visit func(Layer)) {
 }
 
 // BatchNorms returns every BatchNorm2D in the model, including those
-// inside residual blocks.
+// inside residual blocks. Cached like Params.
 func (m *Model) BatchNorms() []*BatchNorm2D {
-	var out []*BatchNorm2D
-	m.Walk(func(l Layer) {
-		if bn, ok := l.(*BatchNorm2D); ok {
-			out = append(out, bn)
-		}
-	})
-	return out
+	if m.bns == nil {
+		m.Walk(func(l Layer) {
+			if bn, ok := l.(*BatchNorm2D); ok {
+				m.bns = append(m.bns, bn)
+			}
+		})
+	}
+	return m.bns
 }
 
 // Forward runs the full network.
@@ -119,7 +129,8 @@ type BasicBlock struct {
 	DownConv *Conv2D
 	DownBN   *BatchNorm2D
 
-	reluMask []bool
+	reluMask   []bool
+	out, g, dx *tensor.Tensor
 }
 
 // NewBasicBlock constructs a basic block from inC to outC with the given
@@ -180,47 +191,50 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !tensor.SameShape(main, short) {
 		panic(fmt.Sprintf("nn: %s residual shape mismatch %v vs %v", b.LayerName, main.Shape, short.Shape))
 	}
-	out := main.Clone()
-	out.Add(short)
-	// Final ReLU with cached mask.
-	if cap(b.reluMask) < len(out.Data) {
-		b.reluMask = make([]bool, len(out.Data))
-	}
-	b.reluMask = b.reluMask[:len(out.Data)]
-	for i, v := range out.Data {
+	// Residual add and final ReLU fused into one pass over the block's
+	// reusable output buffer.
+	b.out = tensor.Ensure(b.out, main.Shape...)
+	b.reluMask = ensureMask(b.reluMask, len(main.Data))
+	for i, v := range main.Data {
+		v += short.Data[i]
 		if v <= 0 {
-			out.Data[i] = 0
+			b.out.Data[i] = 0
 			b.reluMask[i] = false
 		} else {
+			b.out.Data[i] = v
 			b.reluMask[i] = true
 		}
 	}
-	return out
+	return b.out
 }
 
 // Backward implements Layer.
 func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	for i := range g.Data {
-		if !b.reluMask[i] {
-			g.Data[i] = 0
+	b.g = tensor.Ensure(b.g, grad.Shape...)
+	for i, v := range grad.Data {
+		if b.reluMask[i] {
+			b.g.Data[i] = v
+		} else {
+			b.g.Data[i] = 0
 		}
 	}
 	// Main branch.
-	gm := b.BN2.Backward(g)
+	gm := b.BN2.Backward(b.g)
 	gm = b.Conv2.Backward(gm)
 	gm = b.Relu1.Backward(gm)
 	gm = b.BN1.Backward(gm)
 	gm = b.Conv1.Backward(gm)
 	// Shortcut branch.
-	gs := g
+	gs := b.g
 	if b.DownConv != nil {
-		gs = b.DownBN.Backward(g)
+		gs = b.DownBN.Backward(b.g)
 		gs = b.DownConv.Backward(gs)
 	}
-	dx := gm.Clone()
-	dx.Add(gs)
-	return dx
+	b.dx = tensor.Ensure(b.dx, gm.Shape...)
+	for i, v := range gm.Data {
+		b.dx.Data[i] = v + gs.Data[i]
+	}
+	return b.dx
 }
 
 // --- Architectures ---------------------------------------------------------------

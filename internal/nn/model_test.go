@@ -117,8 +117,9 @@ func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		bn.Forward(x, true)
 	}
-	// Inference output must be deterministic given frozen stats.
-	y1 := bn.Forward(x, false)
+	// Inference output must be deterministic given frozen stats. Forward
+	// returns a layer-owned buffer, so snapshot the first pass.
+	y1 := bn.Forward(x, false).Clone()
 	y2 := bn.Forward(x, false)
 	for i := range y1.Data {
 		if y1.Data[i] != y2.Data[i] {

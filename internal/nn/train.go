@@ -11,25 +11,27 @@ import (
 // SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
 // logits (N, C) against integer labels, and the gradient dL/dlogits.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape[0], logits.Shape[1])
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing dL/dlogits into
+// a caller-owned gradient tensor of the same shape as logits — the
+// trainer reuses one across every step.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
 		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
 	}
+	if !tensor.SameShape(grad, logits) {
+		panic(fmt.Sprintf("nn: loss gradient shape %v vs logits %v", grad.Shape, logits.Shape))
+	}
 	n, c := logits.Shape[0], logits.Shape[1]
-	grad := tensor.New(n, c)
 	var loss float64
 	inv := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]
-		maxv := row[0]
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for _, v := range row {
-			sum += math.Exp(float64(v - maxv))
-		}
+		maxv, sum := softmaxRowStats(row)
 		logSum := math.Log(sum)
 		y := labels[i]
 		if y < 0 || y >= c {
@@ -43,7 +45,45 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		}
 		grow[y] -= float32(inv)
 	}
-	return loss, grad
+	return loss
+}
+
+// SoftmaxLoss computes the mean cross-entropy without materialising the
+// gradient — the attack's candidate-evaluation hot path calls this
+// thousands of times per run.
+func SoftmaxLoss(logits *tensor.Tensor, labels []int) float64 {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: loss shape %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	var loss float64
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxv, sum := softmaxRowStats(row)
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range %d", y, c))
+		}
+		loss += (math.Log(sum) - float64(row[y]-maxv)) * inv
+	}
+	return loss
+}
+
+// softmaxRowStats returns the row max and the sum of exp(v - max), the
+// shared numerically stable softmax reduction.
+func softmaxRowStats(row []float32) (float32, float64) {
+	maxv := row[0]
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - maxv))
+	}
+	return maxv, sum
 }
 
 // SGD is stochastic gradient descent with momentum and weight decay.
@@ -179,6 +219,9 @@ func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
 	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
 	rng := stats.NewRNG(cfg.Seed)
 	n := train.NumExamples()
+	params := m.Params()
+	var grad *tensor.Tensor // loss-gradient buffer, reused every step
+	var starts []int
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
@@ -186,7 +229,7 @@ func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
 		}
 		// Shuffled batch order (the source slices sequentially; we shuffle
 		// the starting offsets of the batches).
-		starts := make([]int, 0, (n+cfg.BatchSize-1)/cfg.BatchSize)
+		starts = starts[:0]
 		for i := 0; i < n; i += cfg.BatchSize {
 			starts = append(starts, i)
 		}
@@ -200,12 +243,13 @@ func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
 			b := train.Slice(st, end)
 			m.ZeroGrad()
 			logits := m.Forward(b.X, true)
-			loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+			grad = tensor.Ensure(grad, logits.Shape...)
+			loss := SoftmaxCrossEntropyInto(grad, logits, b.Y)
 			m.Backward(grad)
 			if cfg.Regularizer != nil {
-				cfg.Regularizer(m.Params())
+				cfg.Regularizer(params)
 			}
-			opt.Step(m.Params())
+			opt.Step(params)
 			epochLoss += loss * float64(end-st)
 		}
 		lastLoss = epochLoss / float64(n)
@@ -234,12 +278,14 @@ func FitProjected(m *Model, train BatchSource, cfg TrainConfig, project func(par
 	rng := stats.NewRNG(cfg.Seed)
 	n := train.NumExamples()
 	params := m.Params()
+	var grad *tensor.Tensor
+	var starts []int
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
 			opt.LR /= 2
 		}
-		starts := make([]int, 0, (n+cfg.BatchSize-1)/cfg.BatchSize)
+		starts = starts[:0]
 		for i := 0; i < n; i += cfg.BatchSize {
 			starts = append(starts, i)
 		}
@@ -254,7 +300,8 @@ func FitProjected(m *Model, train BatchSource, cfg TrainConfig, project func(par
 			m.ZeroGrad()
 			restore := project(params)
 			logits := m.Forward(b.X, true)
-			loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+			grad = tensor.Ensure(grad, logits.Shape...)
+			loss := SoftmaxCrossEntropyInto(grad, logits, b.Y)
 			m.Backward(grad)
 			restore()
 			if cfg.Regularizer != nil {
@@ -345,32 +392,36 @@ func Evaluate(m *Model, data BatchSource, batchSize int) float64 {
 }
 
 // BatchLoss computes the mean cross-entropy of the model on one batch in
-// inference mode (used by the attack's candidate evaluation).
+// inference mode (used by the attack's candidate evaluation). It does
+// not materialise the loss gradient and does not allocate.
 func BatchLoss(m *Model, b Batch) float64 {
 	logits := m.Forward(b.X, false)
-	loss, _ := SoftmaxCrossEntropy(logits, b.Y)
-	return loss
+	return SoftmaxLoss(logits, b.Y)
 }
 
 // GradientPass runs one forward+backward over the batch and leaves dL/dW
 // in the parameter gradients. BatchNorm running statistics are frozen for
 // the duration so that probing the model does not perturb its inference
-// behaviour. The attacker uses this to rank candidate bits.
+// behaviour. The attacker calls this once per bit-search iteration, so
+// the loss gradient comes from the scratch pool instead of the
+// allocator.
 func GradientPass(m *Model, b Batch) float64 {
 	bns := m.BatchNorms()
-	prev := make([]bool, len(bns))
-	for i, bn := range bns {
-		prev[i] = bn.FreezeStats
+	m.bnFreeze = m.bnFreeze[:0]
+	for _, bn := range bns {
+		m.bnFreeze = append(m.bnFreeze, bn.FreezeStats)
 		bn.FreezeStats = true
 	}
 	defer func() {
 		for i, bn := range bns {
-			bn.FreezeStats = prev[i]
+			bn.FreezeStats = m.bnFreeze[i]
 		}
 	}()
 	m.ZeroGrad()
 	logits := m.Forward(b.X, true)
-	loss, grad := SoftmaxCrossEntropy(logits, b.Y)
+	grad := tensor.GetScratch(logits.Shape[0], logits.Shape[1])
+	loss := SoftmaxCrossEntropyInto(grad, logits, b.Y)
 	m.Backward(grad)
+	tensor.PutScratch(grad)
 	return loss
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/nn"
+	"repro/internal/par"
 )
 
 // Bits is the quantized weight width.
@@ -75,10 +76,27 @@ func (qp *QuantizedParam) BitDelta(i, k int) int {
 // NumWeights returns the number of quantized weights.
 func (qp *QuantizedParam) NumWeights() int { return len(qp.Q) }
 
+// dequantMinWork is the minimum chunk size before Apply fans out; the
+// kernel is one multiply per element.
+const dequantMinWork = 1 << 14
+
 // Apply writes the dequantized weights back into the parameter tensor.
+// Large tensors dequantize in parallel under the worker budget — each
+// element is independent, so the result is identical at any budget. This
+// is the hot path of Restore, which the attack loops call to undo trial
+// flips.
 func (qp *QuantizedParam) Apply() {
+	w := qp.Param.W.Data
+	if grain := par.Grain(1, dequantMinWork); par.WorthIt(len(qp.Q), grain) {
+		par.For(len(qp.Q), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w[i] = Dequantize(qp.Q[i], qp.Scale)
+			}
+		})
+		return
+	}
 	for i, q := range qp.Q {
-		qp.Param.W.Data[i] = Dequantize(q, qp.Scale)
+		w[i] = Dequantize(q, qp.Scale)
 	}
 }
 

@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// benchGEMM runs one C = A·B shape under a fixed worker budget. The
+// serial/parallel pair for the same shape is the ≥2x multi-core
+// throughput gate tracked by `make bench-kernels` in BENCH_<sha>.json.
+func benchGEMM(b *testing.B, m, k, n, budget int) {
+	old := par.Budget()
+	par.SetBudget(budget)
+	defer par.SetBudget(old)
+	rng := stats.NewRNG(1)
+	a := randTensor(rng, m, k)
+	bb := randTensor(rng, k, n)
+	c := New(m, n)
+	b.SetBytes(int64(2 * m * k * n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, a, bb)
+	}
+}
+
+func BenchmarkMatMul256Serial(b *testing.B)   { benchGEMM(b, 256, 256, 256, 1) }
+func BenchmarkMatMul256Parallel(b *testing.B) { benchGEMM(b, 256, 256, 256, par.Budget()) }
+func BenchmarkMatMul512Serial(b *testing.B)   { benchGEMM(b, 512, 512, 512, 1) }
+func BenchmarkMatMul512Parallel(b *testing.B) { benchGEMM(b, 512, 512, 512, par.Budget()) }
+
+// Conv-shaped GEMMs: tall-skinny column matrices against small weight
+// matrices, the shapes the DNN substrate actually runs.
+func BenchmarkMatMulTransBConvShape(b *testing.B) {
+	rng := stats.NewRNG(2)
+	cols := randTensor(rng, 4096, 144) // (N*oh*ow, inC*k*k)
+	w := randTensor(rng, 32, 144)      // (outC, inC*k*k)
+	out := New(4096, 32)
+	b.SetBytes(int64(2 * 4096 * 144 * 32 * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(out, cols, w)
+	}
+}
+
+func BenchmarkMatMulTransAGradShape(b *testing.B) {
+	rng := stats.NewRNG(3)
+	g := randTensor(rng, 4096, 32)
+	cols := randTensor(rng, 4096, 144)
+	grad := New(32, 144)
+	b.SetBytes(int64(2 * 4096 * 32 * 144 * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransAAcc(grad, g, cols)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := stats.NewRNG(4)
+	x := randTensor(rng, 32, 16, 16, 16)
+	cols := Ensure(nil, 32*16*16, 16*9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(cols, x, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkScratchPool(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := GetScratch(64, 64)
+		PutScratch(t)
+	}
+}
+
+// BenchmarkGEMMScaling reports per-budget throughput at a fixed shape so
+// the bench artifact captures the scaling curve, not just the endpoints.
+func BenchmarkGEMMScaling(b *testing.B) {
+	for _, budget := range []int{1, 2, 4, 8} {
+		if budget > par.Budget() {
+			break
+		}
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			benchGEMM(b, 384, 384, 384, budget)
+		})
+	}
+}

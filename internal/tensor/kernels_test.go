@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// The serial references below mirror the kernels' accumulation order
+// (ascending k, single accumulator) without blocking or goroutines. The
+// equivalence tests require *bit* identity against them — tolerance-free
+// — which is the determinism guarantee the experiment reports rely on.
+
+func serialMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func serialMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			av := a.Data[p*m+i]
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func serialMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// requireBitIdentical fails unless got and want match bit for bit
+// (including NaN payloads and zero signs).
+func requireBitIdentical(t *testing.T, tag string, got, want *Tensor) {
+	t.Helper()
+	if !SameShape(got, want) {
+		t.Fatalf("%s: shape %v, want %v", tag, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		g, w := math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i])
+		if g != w {
+			t.Fatalf("%s: element %d = %g (0x%08x), want %g (0x%08x)",
+				tag, i, got.Data[i], g, want.Data[i], w)
+		}
+	}
+}
+
+// kernelShapes covers small, rectangular and deliberately awkward sizes:
+// dimensions straddling the k-block boundary (gemmBlockK±1) and sizes not
+// divisible by any block or chunk width.
+var kernelShapes = [][3]int{
+	{1, 1, 1},
+	{2, 3, 4},
+	{5, 7, 3},
+	{17, 13, 19},
+	{64, 64, 64},
+	{3, gemmBlockK - 1, 5},
+	{3, gemmBlockK, 5},
+	{3, gemmBlockK + 1, 5},
+	{33, 2*gemmBlockK + 7, 9},
+	{129, 65, 31},
+}
+
+// withBudget runs f under a temporary worker budget.
+func withBudget(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := par.Budget()
+	par.SetBudget(n)
+	defer par.SetBudget(old)
+	f()
+}
+
+func TestGEMMBitIdenticalAcrossBudgets(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for _, dims := range kernelShapes {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		at := transpose(a) // (k, m) for TransA
+		bt := transpose(b) // (n, k) for TransB
+		wantMM := serialMatMul(a, b)
+		wantTA := serialMatMulTransA(at, b)
+		wantTB := serialMatMulTransB(a, bt)
+		for _, budget := range []int{1, 2, 3, 8} {
+			withBudget(t, budget, func() {
+				requireBitIdentical(t, "MatMul", MatMul(a, b), wantMM)
+				requireBitIdentical(t, "MatMulTransA", MatMulTransA(at, b), wantTA)
+				requireBitIdentical(t, "MatMulTransB", MatMulTransB(a, bt), wantTB)
+			})
+		}
+	}
+}
+
+func TestIntoVariantsMatchAndReusePooledScratch(t *testing.T) {
+	rng := stats.NewRNG(43)
+	for _, dims := range [][3]int{{4, 5, 6}, {31, gemmBlockK + 3, 17}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		at := transpose(a)
+		bt := transpose(b)
+
+		c := GetScratch(m, n)
+		c.Fill(999) // Into must fully overwrite stale scratch contents
+		MatMulInto(c, a, b)
+		requireBitIdentical(t, "MatMulInto", c, serialMatMul(a, b))
+
+		c = ensureInto(c, []int{m, n})
+		c.Fill(999)
+		MatMulTransAInto(c, at, b)
+		requireBitIdentical(t, "MatMulTransAInto", c, serialMatMulTransA(at, b))
+
+		c.Fill(999)
+		MatMulTransBInto(c, a, bt)
+		requireBitIdentical(t, "MatMulTransBInto", c, serialMatMulTransB(a, bt))
+		PutScratch(c)
+	}
+}
+
+func TestMatMulTransAAccAccumulates(t *testing.T) {
+	rng := stats.NewRNG(44)
+	at := randTensor(rng, 6, 4)
+	b := randTensor(rng, 6, 5)
+	base := randTensor(rng, 4, 5)
+
+	// Reference: base + Aᵀ·B via the allocating kernel and elementwise add,
+	// evaluated at budget 1.
+	var want *Tensor
+	withBudget(t, 1, func() {
+		want = base.Clone()
+		got := New(4, 5)
+		matMulTransAAcc(got.Data, at.Data, b.Data, 4, 6, 5)
+		for i := range want.Data {
+			want.Data[i] += got.Data[i]
+		}
+	})
+
+	got := base.Clone()
+	MatMulTransAAcc(got, at, b)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-5 {
+			t.Fatalf("element %d = %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestGEMMPropagatesNaN pins the semantics fix for the old
+// `if av == 0 { continue }` zero-skip: a zero in A times a NaN in B must
+// produce NaN, not silently skip the column.
+func TestGEMMPropagatesNaN(t *testing.T) {
+	a := FromData([]float32{0, 0}, 1, 2)
+	b := FromData([]float32{float32(math.NaN()), 1, 2, 3}, 2, 2)
+	c := MatMul(a, b)
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("0 * NaN column must be NaN, got %g", c.Data[0])
+	}
+	if c.Data[1] != 0 {
+		t.Fatalf("finite column must stay 0, got %g", c.Data[1])
+	}
+
+	at := FromData([]float32{0, 0}, 2, 1)
+	c2 := MatMulTransA(at, b)
+	if !math.IsNaN(float64(c2.Data[0])) {
+		t.Fatalf("TransA: 0 * NaN must be NaN, got %g", c2.Data[0])
+	}
+}
+
+func TestIm2ColIntoMatchesAndParallel(t *testing.T) {
+	rng := stats.NewRNG(45)
+	for _, tc := range []struct{ n, c, h, w, k, stride, pad int }{
+		{1, 1, 4, 4, 3, 1, 1},
+		{5, 3, 7, 5, 3, 2, 1},
+		{9, 2, 6, 6, 2, 2, 0},
+	} {
+		x := randTensor(rng, tc.n, tc.c, tc.h, tc.w)
+		var want *Tensor
+		withBudget(t, 1, func() { want, _, _ = Im2Col(x, tc.k, tc.k, tc.stride, tc.pad) })
+
+		withBudget(t, 8, func() {
+			got := Ensure(nil, want.Shape[0], want.Shape[1])
+			got.Fill(42) // stale contents must be fully cleared
+			Im2ColInto(got, x, tc.k, tc.k, tc.stride, tc.pad)
+			requireBitIdentical(t, "Im2ColInto", got, want)
+
+			cols := randTensor(rng, want.Shape[0], want.Shape[1])
+			var wantIm *Tensor
+			withBudget(t, 1, func() {
+				wantIm = Col2Im(cols, tc.n, tc.c, tc.h, tc.w, tc.k, tc.k, tc.stride, tc.pad)
+			})
+			gotIm := Ensure(nil, tc.n, tc.c, tc.h, tc.w)
+			gotIm.Fill(-7)
+			Col2ImInto(gotIm, cols, tc.k, tc.k, tc.stride, tc.pad)
+			requireBitIdentical(t, "Col2ImInto", gotIm, wantIm)
+		})
+	}
+}
+
+func TestEnsureReusesCapacity(t *testing.T) {
+	t1 := Ensure(nil, 4, 4)
+	if t1.Len() != 16 {
+		t.Fatalf("Ensure(nil) len %d", t1.Len())
+	}
+	data := &t1.Data[0]
+	t2 := Ensure(t1, 2, 3)
+	if t2.Len() != 6 || &t2.Data[0] != data {
+		t.Fatal("Ensure must reuse capacity when shrinking")
+	}
+	t3 := Ensure(t2, 8, 8)
+	if t3.Len() != 64 {
+		t.Fatalf("Ensure grow len %d", t3.Len())
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	x := New(3, 3)
+	x.Fill(2.5)
+	for _, v := range x.Data {
+		if v != 2.5 {
+			t.Fatalf("Fill: got %g", v)
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Zero: got %g", v)
+		}
+	}
+}

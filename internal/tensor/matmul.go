@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// The GEMM kernels are cache-blocked and goroutine-parallel with a hard
+// determinism guarantee: results are bit-identical to the serial kernel
+// at any worker budget. Parallelism only ever partitions *output rows*
+// across goroutines — each output element is computed entirely by one
+// worker with a fixed accumulation order (ascending k) — and cache
+// blocking visits k-panels in ascending order, which preserves that
+// per-element order exactly. So neither the budget nor the block size can
+// change a single bit of the result.
+//
+// Zero weights are NOT skipped in the inner loops (the seed kernel had an
+// `if av == 0 { continue }` fast path): the skip broke NaN/Inf
+// propagation (0*NaN must stay NaN) and cost a branch per element on
+// dense data.
+
+const (
+	// gemmBlockK is the k-panel height: a panel of B (gemmBlockK x n
+	// float32 rows) is streamed against a row block of A so B stays in
+	// cache across the rows of the block.
+	gemmBlockK = 240
+
+	// gemmMinWork is the minimum number of multiply-adds a chunk must
+	// amortise before For fans out another goroutine; below this the
+	// spawn overhead dominates.
+	gemmMinWork = 1 << 15
+
+	// copyMinWork is the same threshold for memory-bound kernels
+	// (im2col/col2im, dequantization), which move one element per unit.
+	copyMinWork = 1 << 14
+)
+
+// MatMulInto computes C = A(mxk) * B(kxn) into c, which must already have
+// shape (m x n). The previous contents of c are overwritten.
+func MatMulInto(c, a, b *Tensor) {
+	m, k, n := mmShapes("MatMul", a, b, false, false)
+	checkOut("MatMul", c, m, n)
+	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+}
+
+func matMulInto(c, a, b []float32, m, k, n int) {
+	clear(c[:m*n])
+	if grain := par.Grain(k*n, gemmMinWork); parallelWorthIt(m, grain) {
+		par.For(m, grain, func(lo, hi int) {
+			matMulRows(c, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matMulRows(c, a, b, 0, m, k, n)
+}
+
+// parallelWorthIt reports whether a row-partitioned kernel should go
+// through the worker budget at all. The serial path calls the kernel
+// directly — without allocating the escaping closure par.For needs — so
+// the small GEMMs that dominate a training step stay allocation-free.
+func parallelWorthIt(rows, grain int) bool { return par.WorthIt(rows, grain) }
+
+// matMulRows computes rows [i0,i1) of C with ikj order blocked over k:
+// each B panel of gemmBlockK rows is reused across every row of the
+// block. Per-element accumulation stays ascending in k.
+func matMulRows(c, a, b []float32, i0, i1, k, n int) {
+	for kb := 0; kb < k; kb += gemmBlockK {
+		kEnd := kb + gemmBlockK
+		if kEnd > k {
+			kEnd = k
+		}
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : i*n+n]
+			ai := a[i*k+kb : i*k+kEnd]
+			for p, av := range ai {
+				axpy(ci, b[(kb+p)*n:(kb+p)*n+n], av)
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes C = Aᵀ·B into c: A is (k x m), B is (k x n),
+// c must have shape (m x n). The previous contents of c are overwritten.
+func MatMulTransAInto(c, a, b *Tensor) {
+	m, k, n := mmShapes("MatMulTransA", a, b, true, false)
+	checkOut("MatMulTransA", c, m, n)
+	clear(c.Data[:m*n])
+	matMulTransAAcc(c.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransAAcc accumulates C += Aᵀ·B into c without clearing it — the
+// weight-gradient kernel, writing straight into the gradient tensor with
+// no intermediate allocation. When c starts at zero the result is
+// bit-identical to computing Aᵀ·B separately and adding it once.
+func MatMulTransAAcc(c, a, b *Tensor) {
+	m, k, n := mmShapes("MatMulTransA", a, b, true, false)
+	checkOut("MatMulTransA", c, m, n)
+	matMulTransAAcc(c.Data, a.Data, b.Data, m, k, n)
+}
+
+func matMulTransAAcc(c, a, b []float32, m, k, n int) {
+	if grain := par.Grain(k*n, gemmMinWork); parallelWorthIt(m, grain) {
+		par.For(m, grain, func(lo, hi int) {
+			matMulTransARows(c, a, b, lo, hi, k, m, n)
+		})
+		return
+	}
+	matMulTransARows(c, a, b, 0, m, k, m, n)
+}
+
+// matMulTransARows accumulates rows [i0,i1) of C += Aᵀ·B with the k loop
+// outermost, exactly like the serial kernel: per-element accumulation is
+// ascending in k, and each B row is reused across the whole row block.
+func matMulTransARows(c, a, b []float32, i0, i1, k, m, n int) {
+	for p := 0; p < k; p++ {
+		ap := a[p*m+i0 : p*m+i1]
+		bp := b[p*n : p*n+n]
+		for i, av := range ap {
+			axpy(c[(i0+i)*n:(i0+i)*n+n], bp, av)
+		}
+	}
+}
+
+// MatMulTransBInto computes C = A·Bᵀ into c: A is (m x k), B is (n x k),
+// c must have shape (m x n). The previous contents of c are overwritten.
+func MatMulTransBInto(c, a, b *Tensor) { MatMulTransBBiasInto(c, a, b, nil) }
+
+// MatMulTransBBiasInto computes C = A·Bᵀ + bias into c, with bias (one
+// value per output column, i.e. per row of B) fused into the GEMM
+// epilogue; nil bias gives the plain product. This is the forward kernel
+// of both Linear (x·Wᵀ + b) and Conv2D (cols·Wᵀ, bias per out-channel).
+func MatMulTransBBiasInto(c, a, b *Tensor, bias []float32) {
+	m, k, n := mmShapes("MatMulTransB", a, b, false, true)
+	checkOut("MatMulTransB", c, m, n)
+	if bias != nil && len(bias) != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB bias length %d, want %d", len(bias), n))
+	}
+	matMulTransBInto(c.Data, a.Data, b.Data, bias, m, k, n)
+}
+
+func matMulTransBInto(c, a, b, bias []float32, m, k, n int) {
+	if grain := par.Grain(k*n, gemmMinWork); parallelWorthIt(m, grain) {
+		par.For(m, grain, func(lo, hi int) {
+			matMulTransBRows(c, a, b, bias, lo, hi, k, n)
+		})
+		return
+	}
+	matMulTransBRows(c, a, b, bias, 0, m, k, n)
+}
+
+// matMulTransBRows computes rows [i0,i1) of C = A·Bᵀ (+ bias) as row-row
+// dot products; both operands stream contiguously.
+func matMulTransBRows(c, a, b, bias []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		if bias != nil {
+			for j := 0; j < n; j++ {
+				ci[j] = dot(ai, b[j*k:j*k+k]) + bias[j]
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			ci[j] = dot(ai, b[j*k:j*k+k])
+		}
+	}
+}
+
+// axpy computes ci += av * bp elementwise. The slice-length hint lets the
+// compiler drop per-iteration bounds checks in the unrolled body.
+func axpy(ci, bp []float32, av float32) {
+	n := len(bp)
+	if n == 0 {
+		return
+	}
+	ci = ci[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		ci[j] += av * bp[j]
+		ci[j+1] += av * bp[j+1]
+		ci[j+2] += av * bp[j+2]
+		ci[j+3] += av * bp[j+3]
+	}
+	for ; j < n; j++ {
+		ci[j] += av * bp[j]
+	}
+}
+
+// dot computes the inner product with a single accumulator in ascending
+// index order — deliberately not multi-accumulator, so the result is
+// bit-identical to the naive serial loop.
+func dot(x, y []float32) float32 {
+	y = y[:len(x)]
+	var s float32
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// mmShapes validates a 2-D matmul pair and returns (m, k, n). ta/tb mark
+// which operand is transposed.
+func mmShapes(op string, a, b *Tensor, ta, tb bool) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-D operands, got %v x %v", op, a.Shape, b.Shape))
+	}
+	m, k = a.Shape[0], a.Shape[1]
+	if ta {
+		m, k = k, m
+	}
+	bk, bn := b.Shape[0], b.Shape[1]
+	if tb {
+		bk, bn = bn, bk
+	}
+	if k != bk {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v x %v", op, a.Shape, b.Shape))
+	}
+	return m, k, bn
+}
+
+// checkOut validates a destination shape.
+func checkOut(op string, c *Tensor, m, n int) {
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination %v, want (%d, %d)", op, c.Shape, m, n))
+	}
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import "sync"
+
+// scratchPool recycles the transient tensors of the forward/backward hot
+// path (GEMM outputs before rearrangement, gradient column matrices).
+// Unlike the layer-held buffers — which persist across training steps —
+// scratch lives only within one call, so a single pool bounds the
+// footprint by the number of concurrently computing layers instead of the
+// number of layers.
+var scratchPool = sync.Pool{New: func() any { return new(Tensor) }}
+
+// GetScratch returns a pooled tensor resized to shape. Contents are
+// unspecified; every consumer either overwrites or clears it. Return it
+// with PutScratch when done.
+func GetScratch(shape ...int) *Tensor {
+	t := scratchPool.Get().(*Tensor)
+	return ensureInto(t, shape)
+}
+
+// PutScratch recycles a tensor obtained from GetScratch. The caller must
+// not use t afterwards.
+func PutScratch(t *Tensor) {
+	if t != nil {
+		scratchPool.Put(t)
+	}
+}
+
+// Ensure returns a tensor of the given shape, reusing t's storage when
+// its capacity suffices (t may be nil). Contents are unspecified. Layers
+// use it for buffers held across steps:
+//
+//	l.out = tensor.Ensure(l.out, n, c, h, w)
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	if t == nil {
+		t = new(Tensor)
+	}
+	return ensureInto(t, shape)
+}
+
+func ensureInto(t *Tensor, shape []int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}

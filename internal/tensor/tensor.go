@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -67,11 +68,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // Zero sets all elements to zero.
-func (t *Tensor) Zero() {
-	for i := range t.Data {
-		t.Data[i] = 0
-	}
-}
+func (t *Tensor) Zero() { clear(t.Data) }
 
 // Fill sets all elements to v.
 func (t *Tensor) Fill(v float32) {
@@ -159,155 +156,164 @@ func (t *Tensor) MaxAbs() float32 {
 	return m
 }
 
-// MatMul computes C = A(mxk) * B(kxn) into a new (mxn) tensor, using an
-// ikj loop order so the inner loop streams both B and C rows.
+// MatMul computes C = A(mxk) * B(kxn) into a new (mxn) tensor. See
+// matmul.go for the blocked, goroutine-parallel kernel underneath.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	m, _, n := mmShapes("MatMul", a, b, false, false)
 	c := New(m, n)
-	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+	MatMulInto(c, a, b)
 	return c
-}
-
-func matMulInto(c, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ci := c[i*n : (i+1)*n]
-		ai := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j := range bp {
-				ci[j] += av * bp[j]
-			}
-		}
-	}
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k x m) and B is (k x n),
 // giving C (m x n): C[i,j] = sum_p A[p,i] * B[p,j]. Used for weight
 // gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
-	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	m, _, n := mmShapes("MatMulTransA", a, b, true, false)
 	c := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := c.Data[i*n : (i+1)*n]
-			for j := range bp {
-				ci[j] += av * bp[j]
-			}
-		}
-	}
+	MatMulTransAAcc(c, a, b)
 	return c
 }
 
 // MatMulTransB computes C[m,n] = sum_p A[m,p] * B[n,p] (B transposed).
 // Used for input gradients.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
-		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	m, _, n := mmShapes("MatMulTransB", a, b, false, true)
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		ci := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p := range ai {
-				s += ai[p] * bj[p]
-			}
-			ci[j] = s
-		}
-	}
+	MatMulTransBInto(c, a, b)
 	return c
+}
+
+// ConvOutDims returns the spatial output size of a convolution over an
+// (H, W) map with the given kernel, stride and padding.
+func ConvOutDims(h, w, kh, kw, stride, pad int) (int, int) {
+	return (h+2*pad-kh)/stride + 1, (w+2*pad-kw)/stride + 1
 }
 
 // Im2Col lowers an input image batch (N, C, H, W) into a matrix of shape
 // (N*outH*outW, C*kh*kw) for convolution by matmul. Padding is zero-fill.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
+	n, c := x.Shape[0], x.Shape[1]
+	outH, outW := ConvOutDims(x.Shape[2], x.Shape[3], kh, kw, stride, pad)
 	cols := New(n*outH*outW, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols, outH, outW
+}
+
+// Im2ColInto lowers x into cols, which must have shape
+// (N*outH*outW, C*kh*kw); previous contents are overwritten. Images are
+// lowered in parallel — each output row belongs to exactly one image, so
+// the result is identical at any worker budget.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := ConvOutDims(h, w, kh, kw, stride, pad)
 	colStride := c * kh * kw
+	checkOut("Im2Col", cols, n*outH*outW, colStride)
+	if pad > 0 {
+		// Padded positions are skipped by the fill and must read as zero;
+		// with no padding every element is overwritten, so the (possibly
+		// stale) destination needs no clearing.
+		clear(cols.Data)
+	}
+	if grain := par.Grain(outH*outW*colStride, copyMinWork); parallelWorthIt(n, grain) {
+		par.For(n, grain, func(lo, hi int) {
+			for img := lo; img < hi; img++ {
+				im2colImage(cols.Data, x.Data, img, c, h, w, outH, outW, kh, kw, stride, pad)
+			}
+		})
+		return
+	}
 	for img := 0; img < n; img++ {
-		xoff := img * c * h * w
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((img*outH+oy)*outW + ox) * colStride
-				for ch := 0; ch < c; ch++ {
-					choff := xoff + ch*h*w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
-						dst := row + (ch*kh+ky)*kw
-						if iy < 0 || iy >= h {
-							continue // zeros already
+		im2colImage(cols.Data, x.Data, img, c, h, w, outH, outW, kh, kw, stride, pad)
+	}
+}
+
+func im2colImage(cols, x []float32, img, c, h, w, outH, outW, kh, kw, stride, pad int) {
+	colStride := c * kh * kw
+	xoff := img * c * h * w
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := ((img*outH+oy)*outW + ox) * colStride
+			for ch := 0; ch < c; ch++ {
+				choff := xoff + ch*h*w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					dst := row + (ch*kh+ky)*kw
+					if iy < 0 || iy >= h {
+						continue // zeros already
+					}
+					srcRow := choff + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							continue
 						}
-						srcRow := choff + iy*w
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							cols.Data[dst+kx] = x.Data[srcRow+ix]
-						}
+						cols[dst+kx] = x[srcRow+ix]
 					}
 				}
 			}
 		}
 	}
-	return cols, outH, outW
 }
 
 // Col2Im scatters a column matrix (as produced by Im2Col) back into an
 // image batch of shape (N, C, H, W), accumulating overlaps. It is the
 // adjoint of Im2Col and is used for convolution input gradients.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
 	x := New(n, c, h, w)
+	Col2ImInto(x, cols, kh, kw, stride, pad)
+	return x
+}
+
+// Col2ImInto scatters cols into x (shape (N, C, H, W)), overwriting its
+// previous contents. Images scatter in parallel: overlapping patch writes
+// only ever land within one image, so per-element accumulation order is
+// fixed and the result is identical at any worker budget.
+func Col2ImInto(x, cols *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := ConvOutDims(h, w, kh, kw, stride, pad)
 	colStride := c * kh * kw
+	checkOut("Col2Im", cols, n*outH*outW, colStride)
+	clear(x.Data)
+	if grain := par.Grain(outH*outW*colStride, copyMinWork); parallelWorthIt(n, grain) {
+		par.For(n, grain, func(lo, hi int) {
+			for img := lo; img < hi; img++ {
+				col2imImage(x.Data, cols.Data, img, c, h, w, outH, outW, kh, kw, stride, pad)
+			}
+		})
+		return
+	}
 	for img := 0; img < n; img++ {
-		xoff := img * c * h * w
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((img*outH+oy)*outW + ox) * colStride
-				for ch := 0; ch < c; ch++ {
-					choff := xoff + ch*h*w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
-						if iy < 0 || iy >= h {
+		col2imImage(x.Data, cols.Data, img, c, h, w, outH, outW, kh, kw, stride, pad)
+	}
+}
+
+func col2imImage(x, cols []float32, img, c, h, w, outH, outW, kh, kw, stride, pad int) {
+	colStride := c * kh * kw
+	xoff := img * c * h * w
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := ((img*outH+oy)*outW + ox) * colStride
+			for ch := 0; ch < c; ch++ {
+				choff := xoff + ch*h*w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					src := row + (ch*kh+ky)*kw
+					dstRow := choff + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						src := row + (ch*kh+ky)*kw
-						dstRow := choff + iy*w
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							x.Data[dstRow+ix] += cols.Data[src+kx]
-						}
+						x[dstRow+ix] += cols[src+kx]
 					}
 				}
 			}
 		}
 	}
-	return x
 }
 
 // ArgMaxRow returns the index of the maximum element in each row of a 2-D
