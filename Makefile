@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels vet fmt-check ci
+.PHONY: build test race bench-smoke bench-kernels vet fmt-check e2e-remote ci
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Race smoke on the concurrent packages: the engine worker pool, sharded
-# scheduler and disk cache, the worker-budget semaphore and the parallel
-# tensor/nn kernels it feeds, plus the trace replay layer.
+# Race smoke on the concurrent packages: the engine scheduler/executor,
+# sharded state and disk cache, the remote worker server/client and its
+# wire types, the worker-budget semaphore and the parallel tensor/nn
+# kernels it feeds, plus the trace replay layer.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/trace/ \
+	$(GO) test -race ./internal/engine/... ./internal/remote/ \
+		./internal/api/ ./internal/trace/ \
 		./internal/par/ ./internal/tensor/ ./internal/nn/
+
+# Loopback end-to-end gate for the remote executor: boots dramlockerd on
+# 127.0.0.1, runs the tiny preset through -remote at workers 1 and 4, and
+# asserts the reports are byte-identical to local runs (plus a warm
+# -require-cached replay over a shared -cache-dir).
+e2e-remote:
+	bash scripts/e2e_remote.sh
 
 # One iteration of every benchmark outside the compute-kernel packages
 # (regenerates the paper tables without timing noise mattering); the
@@ -54,4 +63,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check build test race
+ci: vet fmt-check build test race e2e-remote

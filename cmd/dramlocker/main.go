@@ -1,8 +1,8 @@
 // Command dramlocker regenerates the paper's tables and figures by
-// running experiment jobs through the internal/engine worker pool. The
+// running experiment jobs through the internal/engine scheduler. The
 // parameter-grid experiments (mc, table1, fig7a, fig7b, defense, table2)
 // execute as independent shards — per curve, threshold, mechanism or
-// defended model — interleaved on the same pool.
+// defended model — interleaved on the same worker pool.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@
 //	dramlocker -exp 'fig8*' -preset tiny,small -workers 8
 //	dramlocker -exp all -preset tiny -json
 //	dramlocker -exp all -preset paper -cache-dir ~/.cache/dramlocker
+//	dramlocker -exp all -preset tiny -remote 10.0.0.7:9740,10.0.0.8:9740
 //	dramlocker -list
 //
 // Experiments: fig1a fig1b mc table1 fig7a fig7b defense fig8a fig8b
@@ -18,6 +19,14 @@
 // ("<preset>/<experiment>", e.g. "tiny/fig8a"). Presets: tiny small
 // paper (see internal/experiments). -workers 0 uses every CPU; -workers 1
 // reproduces the old serial behavior.
+//
+// Remote execution: -remote hands the tasks to dramlockerd worker
+// daemons instead of the in-process pool. The scheduler stays local —
+// ordering, seeding, merging and caching never leave this process — so
+// the report is byte-identical to a local run; workers that fail are
+// excluded and their tasks retried elsewhere, falling back to local
+// execution when the whole fleet is unreachable. Daemons must serve the
+// presets the run selects (dramlockerd -preset ...).
 //
 // Caching: results are memoised per job and per shard under a key built
 // from the experiment id, the preset hash and the base seed. By default
@@ -30,22 +39,30 @@
 // -require-cached turns a warm run into a gate (non-zero exit unless
 // every job replayed), which CI uses to guard the persistence path.
 //
+// Cancellation: SIGINT/SIGTERM cancel the run — queued work is skipped,
+// in-flight remote calls abort — and the process still renders the
+// partial report and flushes -cpuprofile/-memprofile before exiting.
+//
 // Profiling: -cpuprofile and -memprofile write pprof profiles of the
 // run, the quickest way to see where a preset spends its time (the
 // compute kernels, the DRAM simulation, or the engine itself).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/remote"
 )
 
 func main() {
@@ -53,11 +70,12 @@ func main() {
 	preset := flag.String("preset", "small", "comma-separated scale presets (tiny small paper)")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = number of CPUs, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit the structured JSON report instead of text")
-	list := flag.Bool("list", false, "list the registered jobs and exit")
+	list := flag.Bool("list", false, "list the registered jobs (shard counts and cache keys included) and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	cacheDir := flag.String("cache-dir", "", "persist the result cache as JSON lines under this directory (empty = in-memory only)")
 	noCache := flag.Bool("no-cache", false, "disable result caching entirely (recompute everything)")
 	requireCached := flag.Bool("require-cached", false, "fail unless every job is served from the cache (CI warm-run gate)")
+	remoteAddrs := flag.String("remote", "", "comma-separated dramlockerd worker addresses (host:port); empty = in-process execution")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -76,10 +94,23 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err := run(config{
+	// A signal cancels the engine pass instead of killing the process:
+	// run returns with the partial report's errors, and the profile
+	// defers above still flush. After the first signal the handler is
+	// removed, so a second Ctrl-C falls back to the default hard exit —
+	// an escape hatch if in-flight work ignores the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	err := run(ctx, config{
 		exp: *exp, preset: *preset, workers: *workers,
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
+		remote: *remoteAddrs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,32 +154,30 @@ type config struct {
 	cacheDir      string
 	noCache       bool
 	requireCached bool
+	remote        string
 }
 
-func run(cfg config) error {
-	presets := dedupe(splitList(cfg.preset))
-	if len(presets) == 0 {
-		return fmt.Errorf("no preset given (want a comma-separated subset of %s)",
-			strings.Join(experiments.PresetNames(), ","))
-	}
-	reg := engine.NewRegistry()
-	for _, name := range presets {
-		p, err := experiments.PresetByName(name)
-		if err != nil {
-			return err
-		}
-		if err := experiments.RegisterJobs(reg, p); err != nil {
-			return err
-		}
+func run(ctx context.Context, cfg config) error {
+	reg, err := experiments.BuildRegistry(experiments.SplitList(cfg.preset))
+	if err != nil {
+		return err
 	}
 
 	if cfg.list {
+		// Shard counts and cache keys let operators predict remote
+		// fan-out (units = shards, or 1 for monoliths) and cache reuse
+		// before submitting a run.
+		fmt.Printf("%-16s %-6s %-24s %s\n", "JOB", "UNITS", "CACHE KEY", "TITLE")
 		for _, j := range reg.Jobs() {
-			kind := ""
+			units := "1"
 			if n := len(j.Shards); n > 0 {
-				kind = fmt.Sprintf(" [%d shards]", n)
+				units = fmt.Sprintf("%d", n)
 			}
-			fmt.Printf("%-16s %s%s\n", j.Name, j.Title, kind)
+			key := j.Key
+			if key == "" {
+				key = "-"
+			}
+			fmt.Printf("%-16s %-6s %-24s %s\n", j.Name, units, key, j.Title)
 		}
 		return nil
 	}
@@ -163,6 +192,19 @@ func run(cfg config) error {
 		Workers: cfg.workers,
 		Filter:  jobFilter(cfg.exp),
 		Cache:   cache,
+		Ctx:     ctx,
+	}
+	if addrs := experiments.SplitList(cfg.remote); len(addrs) > 0 {
+		re, err := remote.Dial(ctx, addrs, remote.Options{
+			Fallback: engine.NewLocalExecutor(reg),
+		})
+		if err != nil {
+			return err
+		}
+		opts.Executor = re
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "remote    %s\n", strings.Join(re.Workers(), " "))
+		}
 	}
 	if !cfg.quiet {
 		opts.OnDone = func(r engine.Result) {
@@ -223,35 +265,11 @@ func buildCache(cfg config) (*engine.Cache, error) {
 // experiment ids (no '/') apply across every registered preset.
 func jobFilter(exp string) []string {
 	var pats []string
-	for _, pat := range splitList(exp) {
+	for _, pat := range experiments.SplitList(exp) {
 		if pat != "all" && !strings.Contains(pat, "/") {
 			pat = "*/" + pat
 		}
 		pats = append(pats, pat)
 	}
 	return pats
-}
-
-// splitList splits a comma-separated flag value, dropping empty items.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-// dedupe drops repeated items, keeping first-seen order.
-func dedupe(items []string) []string {
-	seen := make(map[string]bool, len(items))
-	var out []string
-	for _, it := range items {
-		if !seen[it] {
-			seen[it] = true
-			out = append(out, it)
-		}
-	}
-	return out
 }

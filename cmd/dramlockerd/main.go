@@ -1,0 +1,107 @@
+// Command dramlockerd is the remote worker daemon: it serves this
+// repository's experiment jobs to dramlocker schedulers over HTTP, so a
+// run can fan its shards out across machines.
+//
+// Usage:
+//
+//	dramlockerd                                  # all presets on 127.0.0.1:9740
+//	dramlockerd -addr 0.0.0.0:9740 -capacity 8
+//	dramlockerd -preset tiny,small -name rack7
+//
+// The daemon builds the same job registry as the CLI (one job per preset
+// × experiment, shards included) and executes the tasks a scheduler
+// POSTs to /v1/execute; GET /v1/status reports identity, registry size
+// and load. Tasks arrive as (job name, shard index, seed, cache-key stem)
+// — internal/api, protocol version dlexec1 — and the daemon refuses any
+// task whose cache key its own registry cannot reproduce, so a worker
+// built from different preset knobs or experiment code can never feed a
+// scheduler's cache. Results, ordering, merging and caching all stay on
+// the scheduler side; the daemon is stateless between tasks and keeps no
+// result cache of its own.
+//
+// -capacity bounds concurrent task executions (default: NumCPU). The
+// compute kernels inside each task share the process-wide internal/par
+// worker budget exactly as in the CLI, so a saturated daemon runs serial
+// kernels inside parallel tasks. SIGINT/SIGTERM drain in-flight tasks
+// and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9740", "listen address (host:port)")
+	preset := flag.String("preset", "tiny,small,paper", "comma-separated presets whose jobs this worker serves")
+	name := flag.String("name", "", "worker name advertised in /v1/status (default: hostname)")
+	capacity := flag.Int("capacity", 0, "max concurrent task executions (0 = number of CPUs)")
+	flag.Parse()
+
+	if err := run(*addr, *preset, *name, *capacity); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, preset, name string, capacity int) error {
+	reg, err := experiments.BuildRegistry(experiments.SplitList(preset))
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		if name, err = os.Hostname(); err != nil || name == "" {
+			name = "dramlockerd"
+		}
+	}
+	if capacity <= 0 {
+		capacity = runtime.NumCPU()
+	}
+
+	// Bind before announcing, so ":0" resolves to a concrete port and the
+	// log line doubles as a readiness signal (the e2e gate relies on it).
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: remote.NewServer(reg, name, capacity)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("dramlockerd %q serving %d jobs on %s (capacity %d, proto %s)",
+		name, reg.Len(), ln.Addr(), capacity, remote.ProtoVersion)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: let in-flight tasks finish before exiting; the grace period
+	// bounds the wait, and releasing the signal handler here means a
+	// second Ctrl-C hard-exits immediately.
+	stop()
+	log.Printf("dramlockerd: shutting down (draining in-flight tasks)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -13,9 +13,17 @@
 // pair is a named, self-contained job ("tiny/fig8a") in a registry, run
 // on a runtime.NumCPU()-bounded worker pool with deterministic per-job
 // seeding, per-job timing/error capture, glob filtering, and result
-// caching keyed by the preset hash. Reports render as text or JSON and
-// are identical regardless of worker count. cmd/dramlocker is the CLI
-// front end (-exp, -preset, -workers, -json, -list).
+// caching keyed by the preset hash. The scheduler dispatches each task —
+// a monolithic job or one shard — through the pluggable engine.Executor
+// seam: LocalExecutor runs tasks in-process, and internal/remote ships
+// them to dramlockerd worker daemons over HTTP using the versioned wire
+// types of internal/api (tasks travel as job name + shard index + seed +
+// cache-key stem; workers re-resolve closures from their own registry).
+// Seeding, ordering, merging and caching stay scheduler-side, so reports
+// render as text or JSON and are byte-identical regardless of worker
+// count or transport. cmd/dramlocker is the CLI front end (-exp,
+// -preset, -workers, -remote, -json, -list); cmd/dramlockerd is the
+// worker daemon.
 //
 // The root package holds the benchmark harness (bench_test.go): one
 // testing.B benchmark per paper table/figure plus ablation benches for the

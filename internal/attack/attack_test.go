@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -132,6 +133,31 @@ func TestBFAUntilCollapse(t *testing.T) {
 	}
 	if flips == 0 {
 		t.Fatal("no flips committed")
+	}
+}
+
+// TestBFAStopHookAbortsAttack: a tripped Stop surfaces its error with
+// the partial trace — how Ctrl-C interrupts an in-flight attack.
+func TestBFAStopHookAbortsAttack(t *testing.T) {
+	qm, ab, eval := trainedVictim(t)
+	cfg := DefaultBFAConfig()
+	cfg.Iterations = 10
+	cfg.CandidatesPerIter = 2
+	iters := 0
+	stopErr := errors.New("attack cancelled")
+	cfg.Stop = func() error {
+		iters++
+		if iters > 3 {
+			return stopErr
+		}
+		return nil
+	}
+	res, err := BFA(qm, ab, eval, &DirectExecutor{QM: qm}, cfg)
+	if err != stopErr {
+		t.Fatalf("err = %v, want the stop error", err)
+	}
+	if len(res.Records) != 3 {
+		t.Fatalf("partial trace has %d records, want 3", len(res.Records))
 	}
 }
 

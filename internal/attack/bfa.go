@@ -86,6 +86,11 @@ type BFAConfig struct {
 	// BFA variant; when false all 8 bits are scored.
 	MSBOnly bool
 	Seed    uint64
+	// Stop, if non-nil, is polled before every iteration; a non-nil
+	// return aborts the attack, surfacing that error with the partial
+	// trace. The experiment harness wires it to the run's cancellation
+	// context.
+	Stop func() error
 }
 
 // DefaultBFAConfig returns the paper's attack setup scaled to the
@@ -155,6 +160,11 @@ func BFA(qm *quant.Model, attackBatch nn.Batch, eval nn.BatchSource, exec FlipEx
 	var res Result
 	tried := make(map[[2]int]bool) // (globalW, bit) already committed/denied
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if cfg.Stop != nil {
+			if err := cfg.Stop(); err != nil {
+				return res, err
+			}
+		}
 		nn.GradientPass(qm.Net, attackBatch)
 		cands := rankCandidates(qm, cfg, tried)
 		if len(cands) == 0 {

@@ -1,14 +1,23 @@
 // Package engine schedules the repository's experiments as named,
-// independent jobs on a bounded worker pool.
+// independent jobs and dispatches them through a pluggable Executor.
 //
 // The harness in internal/experiments regenerates every table and figure
 // of the paper; each (preset, experiment) pair is registered here as one
-// Job. A Runner executes the selected jobs concurrently with up to
+// Job. Run executes the selected jobs concurrently with up to
 // runtime.NumCPU() workers, captures per-job timing and errors, and
 // collects everything into a Report that renders as text or JSON. Jobs
 // must be self-contained — each builds its own victim model and
 // DefendedSystem — so any subset can run in parallel without shared
 // mutable state.
+//
+// Scheduling vs execution: Run owns selection, seeding, caching, shard
+// fan-out and the deterministic merge; the Executor interface owns only
+// the execution of one task (a monolithic job or a single shard),
+// addressed by the api wire types. LocalExecutor resolves tasks against
+// an in-process Registry; internal/remote ships the same TaskSpecs to
+// worker daemons over HTTP. Because ordering, merging and caching never
+// leave the scheduler, the determinism guarantees below hold under any
+// executor — local pool, remote fleet, or a mix via fallback.
 //
 // Determinism: a job receives a Context whose Seed is derived from the
 // runner's BaseSeed and the job name, so a given (BaseSeed, job) pair
@@ -30,6 +39,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"path"
@@ -45,6 +55,21 @@ type Context struct {
 	// runner's BaseSeed and Name. Two runs with the same BaseSeed hand
 	// every job the same seed no matter how many workers execute.
 	Seed uint64
+	// Ctx is the run's cancellation context. The engine always populates
+	// it (falling back to context.Background() when Options.Ctx is nil);
+	// a Context built by hand in tests may leave it nil, so poll via
+	// Canceled rather than Ctx directly.
+	Ctx context.Context
+}
+
+// Canceled reports the run's cancellation error, if any. Long-running
+// jobs should poll it between iterations so Ctrl-C on the CLI stops
+// in-flight work instead of only the not-yet-started tail.
+func (c Context) Canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // Output is what a job produces: a human-readable rendering and an
@@ -153,6 +178,19 @@ func (r *Registry) Register(j Job) error {
 	r.byName[j.Name] = len(r.jobs)
 	r.jobs = append(r.jobs, j)
 	return nil
+}
+
+// Get returns the job registered under name, resolving a TaskSpec's job
+// field to its closures (the LocalExecutor and the worker daemon both
+// depend on this lookup).
+func (r *Registry) Get(name string) (Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byName[name]
+	if !ok {
+		return Job{}, false
+	}
+	return r.jobs[i], true
 }
 
 // Jobs returns the registered jobs in registration order.

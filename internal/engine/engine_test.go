@@ -78,6 +78,75 @@ func TestSelectFiltering(t *testing.T) {
 	}
 }
 
+// TestSelectOverlappingPatterns: a job matched by several patterns must
+// be selected exactly once, in registration order — operators predicting
+// remote fan-out from -list counts depend on no double scheduling.
+func TestSelectOverlappingPatterns(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"tiny/fig8a", "tiny/fig8b", "small/fig8a"} {
+		if err := reg.Register(Job{Name: name, Run: func(Context) (Output, error) {
+			return Output{}, nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		// Every pattern matches tiny/fig8a; it must appear once.
+		{[]string{"*/fig8a", "tiny/*", "tiny/fig8a"}, []string{"tiny/fig8a", "tiny/fig8b", "small/fig8a"}},
+		// Later pattern re-matching an earlier selection changes nothing.
+		{[]string{"tiny/fig8b", "*/fig8b"}, []string{"tiny/fig8b"}},
+		// "all" plus a narrow pattern is still everything, once each.
+		{[]string{"all", "small/fig8a"}, []string{"tiny/fig8a", "tiny/fig8b", "small/fig8a"}},
+		// Duplicate patterns collapse.
+		{[]string{"small/fig8a", "small/fig8a"}, []string{"small/fig8a"}},
+	}
+	for _, c := range cases {
+		jobs, err := reg.Select(c.patterns)
+		if err != nil {
+			t.Fatalf("%v: %v", c.patterns, err)
+		}
+		var got []string
+		for _, j := range jobs {
+			got = append(got, j.Name)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("filter %v: got %v, want %v", c.patterns, got, c.want)
+		}
+	}
+}
+
+// TestSelectNoMatchErrorText: a typo'd filter must fail loudly, naming
+// the bad pattern and the available jobs.
+func TestSelectNoMatchErrorText(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Job{Name: "tiny/mc", Run: func(Context) (Output, error) {
+		return Output{}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := reg.Select([]string{"tiny/md"})
+	if err == nil {
+		t.Fatal("no-match filter must fail")
+	}
+	for _, frag := range []string{`"tiny/md"`, "matches no job", "tiny/mc"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q missing %q", err, frag)
+		}
+	}
+	// One good and one bad pattern still fails: silent partial matches
+	// would hide typos in multi-experiment invocations.
+	if _, err := reg.Select([]string{"tiny/mc", "tiny/md"}); err == nil {
+		t.Fatal("partially matched filter set must still fail")
+	}
+	// A malformed glob is a distinct, syntax-shaped error.
+	if _, err := reg.Select([]string{"[unclosed"}); err == nil || !strings.Contains(err.Error(), "bad filter") {
+		t.Fatalf("malformed glob error: %v", err)
+	}
+}
+
 // seededRegistry builds jobs whose output depends only on ctx.Seed, so a
 // report's text is a fingerprint of the seeding and scheduling.
 func seededRegistry(t *testing.T, n int) *Registry {

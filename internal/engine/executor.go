@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Executor runs one task — a monolithic job or a single shard — and is
+// the seam between the scheduler and a transport. Implementations must be
+// safe for concurrent use: the scheduler dispatches up to Options.Workers
+// tasks at once.
+//
+// The two error channels are distinct on purpose. A non-nil Go error
+// means the execution attempt itself failed (unknown job, protocol or
+// cache-key mismatch, network failure) — the task may be retried
+// elsewhere. A populated TaskResult.Err means the task ran and failed
+// deterministically (job error or panic); retrying would reproduce it, so
+// the scheduler records it as the job's outcome.
+type Executor interface {
+	Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error)
+}
+
+// LocalExecutor resolves tasks against an in-process Registry and runs
+// them on the calling goroutine. It is the default executor of Run and
+// the execution core the remote worker daemon wraps.
+type LocalExecutor struct {
+	reg *Registry
+	// name stamps TaskResult.Worker (diagnostics); empty means local.
+	name string
+}
+
+// NewLocalExecutor returns an executor over reg.
+func NewLocalExecutor(reg *Registry) *LocalExecutor {
+	return &LocalExecutor{reg: reg}
+}
+
+// NewNamedLocalExecutor returns an executor over reg that stamps results
+// with the worker name (the daemon uses its hostname).
+func NewNamedLocalExecutor(reg *Registry, name string) *LocalExecutor {
+	return &LocalExecutor{reg: reg, name: name}
+}
+
+// Execute resolves spec against the registry and runs the named job (or
+// shard). Panics inside the job surface as TaskResult.Err; resolution
+// failures — unknown job, shard out of range, protocol or cache-key
+// mismatch — surface as Go errors so a scheduler can tell "this worker
+// cannot run the task" from "the task failed".
+func (e *LocalExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	if err := spec.Validate(); err != nil {
+		return api.TaskResult{}, err
+	}
+	j, ok := e.reg.Get(spec.Job)
+	if !ok {
+		return api.TaskResult{}, fmt.Errorf("engine: unknown job %q (executor registry out of sync with scheduler?)", spec.Job)
+	}
+	if spec.Key != j.Key {
+		return api.TaskResult{}, fmt.Errorf("engine: job %q cache-key mismatch: scheduler sent %q, this registry derived %q (different preset knobs or code version)",
+			spec.Job, spec.Key, j.Key)
+	}
+	name, run := j.Name, j.Run
+	if spec.Shard != api.MonolithShard {
+		if spec.Shard >= len(j.Shards) {
+			return api.TaskResult{}, fmt.Errorf("engine: job %q has %d shards, task wants shard %d", spec.Job, len(j.Shards), spec.Shard)
+		}
+		sh := j.Shards[spec.Shard]
+		name, run = j.Name+"/"+sh.Name, sh.Run
+	} else if run == nil {
+		return api.TaskResult{}, fmt.Errorf("engine: job %q is sharded; it cannot run as a monolithic task", spec.Job)
+	}
+	if err := ctx.Err(); err != nil {
+		return api.TaskResult{}, err
+	}
+
+	res := api.TaskResult{Proto: api.Version, Job: spec.Job, Shard: spec.Shard, Key: j.Key, Worker: e.name}
+	start := time.Now()
+	out, err := runProtected(run, Context{Name: name, Seed: spec.Seed, Ctx: ctx})
+	res.DurationNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Text = out.Text
+	res.Data, err = marshalPayload(out.Data)
+	if err != nil {
+		res.Err = err.Error()
+		res.Text, res.Data = "", nil
+	}
+	return res, nil
+}
+
+// marshalPayload normalises a job's Data into raw JSON for the wire and
+// the report. Already-raw payloads (cache replays) pass through
+// unchanged, so byte identity is preserved end to end.
+func marshalPayload(v any) (json.RawMessage, error) {
+	switch d := v.(type) {
+	case nil:
+		return nil, nil
+	case json.RawMessage:
+		return d, nil
+	case []byte:
+		return json.RawMessage(d), nil
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: task data not JSON-marshalable: %w", err)
+		}
+		return b, nil
+	}
+}
+
+// executeTask dispatches one task through exec, folding every failure
+// mode — prior cancellation, executor panic, transport error, task error
+// — into the (Output, error-string, duration) shape the scheduler records.
+func executeTask(ctx context.Context, exec Executor, spec api.TaskSpec) (Output, string, time.Duration) {
+	if err := ctx.Err(); err != nil {
+		return Output{}, err.Error(), 0
+	}
+	start := time.Now()
+	tr, err := protectedExecute(ctx, exec, spec)
+	if err != nil {
+		return Output{}, err.Error(), time.Since(start)
+	}
+	d := time.Duration(tr.DurationNS)
+	if d <= 0 {
+		d = time.Since(start)
+	}
+	if tr.Err != "" {
+		return Output{}, tr.Err, d
+	}
+	out := Output{Text: tr.Text}
+	if len(tr.Data) > 0 {
+		out.Data = tr.Data
+	}
+	return out, "", d
+}
+
+// protectedExecute guards the scheduler against a panicking Executor
+// implementation (job panics are already converted by LocalExecutor; this
+// covers the executor itself).
+func protectedExecute(ctx context.Context, exec Executor, spec api.TaskSpec) (tr api.TaskResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			tr, err = api.TaskResult{}, fmt.Errorf("executor panic: %v", p)
+		}
+	}()
+	return exec.Execute(ctx, spec)
+}

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/par"
 )
 
@@ -27,20 +29,38 @@ type Options struct {
 	// sharded job reports once, after its merge). Calls are serialised;
 	// the callback must not invoke the Runner re-entrantly.
 	OnDone func(Result)
+	// Ctx cancels the pass: in-flight tasks observe it through
+	// Context.Ctx (and remote dispatches abort their HTTP calls), queued
+	// tasks fail fast with the cancellation error instead of starting.
+	// Nil means context.Background() (never cancelled).
+	Ctx context.Context
+	// Executor runs the individual tasks. Nil means a LocalExecutor over
+	// the registry — the in-process worker-pool behavior. Scheduling,
+	// seeding, caching and merging stay in Run regardless, so reports are
+	// byte-identical under any executor.
+	Executor Executor
 }
 
 // Run executes the selected jobs from reg on a bounded worker pool and
 // returns the Report. Monolithic jobs are one schedulable unit each;
 // sharded jobs contribute one unit per shard, all interleaved on the same
-// pool, with the last shard to finish running the job's merge. Job errors
-// (including panics, which are recovered and converted) do not abort the
-// pass — every selected job runs, and the failures surface in the Report
-// and via Report.Err. The returned error is reserved for configuration
-// problems (bad filter).
+// pool, with the last shard to finish running the job's merge. Each unit
+// is dispatched through the Executor; job errors (including panics, which
+// the executor converts) do not abort the pass — every selected job runs,
+// and the failures surface in the Report and via Report.Err. The returned
+// error is reserved for configuration problems (bad filter).
 func Run(reg *Registry, opts Options) (*Report, error) {
 	jobs, err := reg.Select(opts.Filter)
 	if err != nil {
 		return nil, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	exec := opts.Executor
+	if exec == nil {
+		exec = NewLocalExecutor(reg)
 	}
 
 	rep := &Report{Results: make([]Result, len(jobs))}
@@ -64,7 +84,7 @@ func Run(reg *Registry, opts Options) (*Report, error) {
 		j := jobs[i]
 		if len(j.Shards) == 0 {
 			units = append(units, func() {
-				rep.Results[i] = runOne(j, opts)
+				rep.Results[i] = runOne(ctx, exec, j, opts)
 				done(rep.Results[i])
 			})
 			continue
@@ -80,8 +100,8 @@ func Run(reg *Registry, opts Options) (*Report, error) {
 		for si := range j.Shards {
 			si := si
 			units = append(units, func() {
-				if runShard(j, si, st, opts) {
-					rep.Results[i] = mergeShards(j, st, opts)
+				if runShard(ctx, exec, j, si, st, opts) {
+					rep.Results[i] = mergeShards(ctx, j, st, opts)
 					done(rep.Results[i])
 				}
 			})
@@ -145,13 +165,13 @@ func seededKey(key string, base uint64) string {
 	return fmt.Sprintf("%s#%016x", key, base)
 }
 
-// runOne executes a single monolithic job with cache lookup and panic
-// recovery. Jobs that share a Key (preset-independent experiments) must
-// produce identical output for a given BaseSeed. Same-key jobs running
-// concurrently are single-flight: one computes, the others wait and
-// replay.
-func runOne(j Job, opts Options) (res Result) {
-	res = Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
+// runOne executes a single monolithic job through the executor, with
+// cache lookup on this side of the dispatch. Jobs that share a Key
+// (preset-independent experiments) must produce identical output for a
+// given BaseSeed. Same-key jobs running concurrently are single-flight:
+// one computes, the others wait and replay.
+func runOne(ctx context.Context, exec Executor, j Job, opts Options) Result {
+	res := Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
 
 	key := seededKey(j.Key, opts.BaseSeed)
 	if cached, hit := opts.Cache.begin(key); hit {
@@ -161,21 +181,14 @@ func runOne(j Job, opts Options) (res Result) {
 		return cached
 	}
 
-	start := time.Now()
-	defer func() {
-		if p := recover(); p != nil {
-			res.Err = fmt.Sprintf("panic: %v", p)
-			res.Duration = time.Since(start)
-		}
-		opts.Cache.finish(key, res)
-	}()
-
-	out, err := j.Run(Context{Name: j.Name, Seed: res.Seed})
-	res.Duration = time.Since(start)
-	if err != nil {
-		res.Err = err.Error()
-		return res
+	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: api.MonolithShard, Seed: res.Seed, Key: j.Key}
+	out, errStr, d := executeTask(ctx, exec, spec)
+	res.Duration = d
+	if errStr != "" {
+		res.Err = errStr
+	} else {
+		res.Text, res.Data = out.Text, out.Data
 	}
-	res.Text, res.Data = out.Text, out.Data
+	opts.Cache.finish(key, res)
 	return res
 }

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/api"
 )
 
 // DecodeData extracts a shard payload into dst. A Merge function sees
@@ -65,12 +68,12 @@ func (st *shardState) record(i int, out Output, errStr string, d time.Duration, 
 	return st.pending == 0
 }
 
-// runShard executes (or replays from cache) shard si of job j and records
-// the outcome. The return value is true when this was the job's last
-// outstanding shard. Shards are cached individually under
-// "<job key>/<shard name>", so a job whose preset hash is unchanged
+// runShard executes (or replays from cache) shard si of job j through the
+// executor and records the outcome. The return value is true when this
+// was the job's last outstanding shard. Shards are cached individually
+// under "<job key>/<shard name>", so a job whose preset hash is unchanged
 // recomputes only the shards missing from the cache.
-func runShard(j Job, si int, st *shardState, opts Options) bool {
+func runShard(ctx context.Context, exec Executor, j Job, si int, st *shardState, opts Options) bool {
 	sh := j.Shards[si]
 	name := j.Name + "/" + sh.Name
 	seed := JobSeed(opts.BaseSeed, name)
@@ -82,13 +85,10 @@ func runShard(j Job, si int, st *shardState, opts Options) bool {
 		return st.record(si, Output{Text: cached.Text, Data: cached.Data}, "", cached.Duration, true)
 	}
 
-	res := Result{Name: name, Seed: seed}
-	start := time.Now()
-	out, err := runProtected(sh.Run, Context{Name: name, Seed: seed})
-	res.Duration = time.Since(start)
-	if err != nil {
-		res.Err = err.Error()
-	} else {
+	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: si, Seed: seed, Key: j.Key}
+	out, errStr, d := executeTask(ctx, exec, spec)
+	res := Result{Name: name, Seed: seed, Duration: d, Err: errStr}
+	if errStr == "" {
 		res.Text, res.Data = out.Text, out.Data
 	}
 	opts.Cache.finish(key, res)
@@ -101,7 +101,7 @@ func runShard(j Job, si int, st *shardState, opts Options) bool {
 // is identical at any worker count. A successful merge is cached under
 // the job's own key, giving the next run an O(1) whole-job replay; the
 // result counts as Cached when every shard was replayed (no new compute).
-func mergeShards(j Job, st *shardState, opts Options) Result {
+func mergeShards(ctx context.Context, j Job, st *shardState, opts Options) Result {
 	res := Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
 	var total time.Duration
 	for _, d := range st.durs {
@@ -120,9 +120,9 @@ func mergeShards(j Job, st *shardState, opts Options) Result {
 	}
 
 	start := time.Now()
-	out, err := runProtected(func(ctx Context) (Output, error) {
-		return j.Merge(ctx, st.outs)
-	}, Context{Name: j.Name, Seed: res.Seed})
+	out, err := runProtected(func(c Context) (Output, error) {
+		return j.Merge(c, st.outs)
+	}, Context{Name: j.Name, Seed: res.Seed, Ctx: ctx})
 	res.Duration = total + time.Since(start)
 	if err != nil {
 		res.Err = fmt.Sprintf("merge: %s", err)

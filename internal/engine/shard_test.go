@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/api"
 )
 
 // gridShards builds n shards whose payloads are (index, seed-derived)
@@ -296,6 +299,50 @@ func TestShardLevelCacheReuse(t *testing.T) {
 	}
 	if !rep.Results[1].Cached {
 		t.Fatal("second job assembled fully from cached shards must count as cached")
+	}
+}
+
+// TestDecodeDataRoundTripsThroughWireTypes: a shard payload marshalled
+// into api.TaskResult.Data (the executor boundary), shipped as JSON (the
+// remote transport), and handed back to a merge must decode to the value
+// the shard produced — the property that makes merges transport-agnostic.
+func TestDecodeDataRoundTripsThroughWireTypes(t *testing.T) {
+	type row struct {
+		Curve string    `json:"curve"`
+		Pts   []float64 `json:"pts"`
+		N     int       `json:"n"`
+	}
+	want := row{Curve: "fig7a/trr", Pts: []float64{0.5, 1.25, 2}, N: 3}
+
+	// Executor side: live value -> raw payload in a TaskResult.
+	payload, err := marshalPayload(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := api.TaskResult{Proto: api.Version, Job: "tiny/fig7a", Shard: 0, Data: payload}
+
+	// Transport: the result crosses the wire as JSON.
+	wire, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back api.TaskResult
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scheduler side: the merge decodes the replayed payload.
+	var got row
+	if err := DecodeData(back.Data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Curve != want.Curve || got.N != want.N || fmt.Sprint(got.Pts) != fmt.Sprint(want.Pts) {
+		t.Fatalf("round-trip changed the payload: %+v vs %+v", got, want)
+	}
+	// And the bytes themselves survive untouched (byte-identity of
+	// reports across transports reduces to this).
+	if string(back.Data) != string(payload) {
+		t.Fatalf("payload bytes changed: %s vs %s", back.Data, payload)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -20,7 +21,16 @@ type Fig1aResult struct {
 // figure's point is that *targeted* flips collapse the model while the
 // same number of random flips barely moves it.
 func Fig1a(p Preset) (*Fig1aResult, error) {
-	v, err := NewVictim(p, ArchVGG11, 100)
+	return Fig1aCtx(context.Background(), p)
+}
+
+// Fig1aCtx is Fig1a under a cancellation context, polled per training
+// epoch and per BFA iteration.
+func Fig1aCtx(ctx context.Context, p Preset) (*Fig1aResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	v, err := NewVictimCtx(ctx, p, ArchVGG11, 100)
 	if err != nil {
 		return nil, err
 	}
@@ -30,6 +40,7 @@ func Fig1a(p Preset) (*Fig1aResult, error) {
 	bcfg := attack.DefaultBFAConfig()
 	bcfg.Iterations = p.AttackIters
 	bcfg.CandidatesPerIter = p.Candidates
+	bcfg.Stop = ctx.Err
 	snap := v.QM.Snapshot()
 	res.Targeted, err = attack.BFA(v.QM, v.AttackBatch, v.Eval, &attack.DirectExecutor{QM: v.QM}, bcfg)
 	if err != nil {

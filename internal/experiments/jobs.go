@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
 )
@@ -78,13 +79,55 @@ func RegisterJobs(reg *engine.Registry, p Preset) error {
 	return nil
 }
 
+// BuildRegistry registers every experiment of the named presets into a
+// fresh registry. It is the one registry constructor shared by
+// cmd/dramlocker and cmd/dramlockerd: a scheduler and a worker daemon
+// that name the same presets resolve byte-identical job sets (same names,
+// same shard layouts, same cache keys), which the executor protocol's
+// key echo then verifies per task. Duplicate preset names are ignored.
+func BuildRegistry(presets []string) (*engine.Registry, error) {
+	if len(presets) == 0 {
+		return nil, fmt.Errorf("experiments: no preset given (want a comma-separated subset of %s)",
+			strings.Join(PresetNames(), ","))
+	}
+	reg := engine.NewRegistry()
+	seen := make(map[string]bool, len(presets))
+	for _, name := range presets {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		p, err := PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := RegisterJobs(reg, p); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming space and
+// dropping empty items (the CLI and daemon share it for -preset/-exp).
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // monolith wraps a serial experiment into a single-unit engine.Job. The
 // closures use the preset's own seeds (so engine output matches direct
-// serial calls exactly); ctx.Seed remains available for engine-level
-// features.
-func monolith[T any](run func() (T, error), format func(T) string) engine.Job {
-	return engine.Job{Run: func(engine.Context) (engine.Output, error) {
-		v, err := run()
+// serial calls exactly); the engine.Context is forwarded so the
+// model-bearing experiments can poll cancellation (Ctx) — ec.Seed remains
+// available for engine-level features.
+func monolith[T any](run func(engine.Context) (T, error), format func(T) string) engine.Job {
+	return engine.Job{Run: func(ec engine.Context) (engine.Output, error) {
+		v, err := run(ec)
 		if err != nil {
 			return engine.Output{}, err
 		}
@@ -97,9 +140,9 @@ func monolith[T any](run func() (T, error), format func(T) string) engine.Job {
 func jobSpec(exp string, p Preset) (engine.Job, error) {
 	switch exp {
 	case "fig1a":
-		return monolith(func() (*Fig1aResult, error) { return Fig1a(p) }, FormatFig1a), nil
+		return monolith(func(ec engine.Context) (*Fig1aResult, error) { return Fig1aCtx(ec.Ctx, p) }, FormatFig1a), nil
 	case "fig1b":
-		return monolith(Fig1b, FormatFig1b), nil
+		return monolith(func(engine.Context) ([]Fig1bRow, error) { return Fig1b() }, FormatFig1b), nil
 	case "mc":
 		return mcJob(p), nil
 	case "table1":
@@ -111,15 +154,15 @@ func jobSpec(exp string, p Preset) (engine.Job, error) {
 	case "defense":
 		return defenseJob(p), nil
 	case "fig8a":
-		return monolith(func() (*Fig8Result, error) { return Fig8(p, ArchResNet20, 10) }, FormatFig8), nil
+		return monolith(func(ec engine.Context) (*Fig8Result, error) { return Fig8Ctx(ec.Ctx, p, ArchResNet20, 10) }, FormatFig8), nil
 	case "fig8b":
-		return monolith(func() (*Fig8Result, error) { return Fig8(p, ArchVGG11, 100) }, FormatFig8), nil
+		return monolith(func(ec engine.Context) (*Fig8Result, error) { return Fig8Ctx(ec.Ctx, p, ArchVGG11, 100) }, FormatFig8), nil
 	case "fig8pta":
-		return monolith(func() (*Fig8PTAResult, error) { return Fig8PTA(p) }, FormatFig8PTA), nil
+		return monolith(func(ec engine.Context) (*Fig8PTAResult, error) { return Fig8PTACtx(ec.Ctx, p) }, FormatFig8PTA), nil
 	case "table2":
 		return table2Job(p), nil
 	case "perf":
-		return monolith(func() (*PerfResult, error) { return Perf(p) }, FormatPerf), nil
+		return monolith(func(ec engine.Context) (*PerfResult, error) { return PerfCtx(ec.Ctx, p) }, FormatPerf), nil
 	default:
 		return engine.Job{}, fmt.Errorf("experiments: unknown experiment %q", exp)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -32,6 +33,52 @@ func TestRegisterJobsPopulatesRegistry(t *testing.T) {
 	// Re-registering the same preset collides on names.
 	if err := RegisterJobs(reg, Tiny()); err == nil {
 		t.Fatal("duplicate registration must fail")
+	}
+}
+
+// TestBuildRegistrySharedByCLIAndDaemon: the shared constructor resolves
+// the same preset list to the same job set — names, shard layouts and
+// cache keys — which is what lets a daemon validate a scheduler's tasks.
+func TestBuildRegistrySharedByCLIAndDaemon(t *testing.T) {
+	a, err := BuildRegistry([]string{"tiny", "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildRegistry([]string{"tiny", "small", "tiny"}) // dupes ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.Len() != 2*len(JobNames()) {
+		t.Fatalf("lens: %d vs %d", a.Len(), b.Len())
+	}
+	for _, name := range a.Names() {
+		ja, _ := a.Get(name)
+		jb, ok := b.Get(name)
+		if !ok {
+			t.Fatalf("job %s missing from second registry", name)
+		}
+		if ja.Key != jb.Key {
+			t.Fatalf("%s: cache keys diverge: %q vs %q", name, ja.Key, jb.Key)
+		}
+		if len(ja.Shards) != len(jb.Shards) {
+			t.Fatalf("%s: shard counts diverge: %d vs %d", name, len(ja.Shards), len(jb.Shards))
+		}
+	}
+	if _, err := BuildRegistry(nil); err == nil {
+		t.Fatal("empty preset list must fail")
+	}
+	if _, err := BuildRegistry([]string{"huge"}); err == nil {
+		t.Fatal("unknown preset must fail")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" tiny, ,small,,paper ")
+	if fmt.Sprint(got) != fmt.Sprint([]string{"tiny", "small", "paper"}) {
+		t.Fatalf("got %v", got)
+	}
+	if SplitList("") != nil {
+		t.Fatal("empty input must yield nil")
 	}
 }
 

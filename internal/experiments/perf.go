@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,8 +23,14 @@ type PerfResult struct {
 
 // Perf builds the mixed workload and replays it on both systems.
 func Perf(p Preset) (*PerfResult, error) {
+	return PerfCtx(context.Background(), p)
+}
+
+// PerfCtx is Perf under a cancellation context (polled through the
+// victim training, the dominant cost).
+func PerfCtx(ctx context.Context, p Preset) (*PerfResult, error) {
 	build := func(protect bool) (*DefendedSystem, error) {
-		v, err := NewVictim(p, ArchResNet20, 10)
+		v, err := NewVictimCtx(ctx, p, ArchResNet20, 10)
 		if err != nil {
 			return nil, err
 		}

@@ -32,12 +32,14 @@ func mergeRows[T any](format func([]T) string) func(engine.Context, []engine.Out
 	}
 }
 
-// payloadShard wraps a typed shard computation into an engine.Shard.
-func payloadShard[T any](name string, run func() (T, error)) engine.Shard {
+// payloadShard wraps a typed shard computation into an engine.Shard. The
+// engine.Context is passed through so shard bodies can poll cancellation
+// (the model-training table2 rows do; the cheap grid points ignore it).
+func payloadShard[T any](name string, run func(engine.Context) (T, error)) engine.Shard {
 	return engine.Shard{
 		Name: name,
-		Run: func(engine.Context) (engine.Output, error) {
-			v, err := run()
+		Run: func(ec engine.Context) (engine.Output, error) {
+			v, err := run(ec)
 			if err != nil {
 				return engine.Output{}, err
 			}
@@ -53,7 +55,7 @@ func mcJob(p Preset) engine.Job {
 		i := i
 		shards = append(shards, payloadShard(
 			fmt.Sprintf("var=%g", v),
-			func() (MonteCarloRow, error) { return MonteCarloRowFor(p, i) },
+			func(engine.Context) (MonteCarloRow, error) { return MonteCarloRowFor(p, i) },
 		))
 	}
 	return engine.Job{Shards: shards, Merge: mergeRows(FormatMonteCarlo)}
@@ -67,7 +69,7 @@ func table1Job() engine.Job {
 		name := name
 		shards = append(shards, payloadShard(
 			name,
-			func() (overhead.Report, error) { return overhead.Table1Report(cfg, name) },
+			func(engine.Context) (overhead.Report, error) { return overhead.Table1Report(cfg, name) },
 		))
 	}
 	return engine.Job{Shards: shards, Merge: mergeRows(FormatTable1)}
@@ -82,12 +84,12 @@ func fig7aJob() engine.Job {
 		trh := trh
 		shards = append(shards, payloadShard(
 			fmt.Sprintf("shadow-trh=%d", trh),
-			func() (sim.Fig7aCurve, error) { return sim.ShadowCurve(cfg, trh, fig7aMaxBFA, fig7aStep) },
+			func(engine.Context) (sim.Fig7aCurve, error) { return sim.ShadowCurve(cfg, trh, fig7aMaxBFA, fig7aStep) },
 		))
 	}
 	shards = append(shards, payloadShard(
 		"locker",
-		func() (sim.Fig7aCurve, error) { return sim.LockerCurve(cfg, fig7aMaxBFA, fig7aStep) },
+		func(engine.Context) (sim.Fig7aCurve, error) { return sim.LockerCurve(cfg, fig7aMaxBFA, fig7aStep) },
 	))
 	return engine.Job{Shards: shards, Merge: mergeRows(FormatFig7a)}
 }
@@ -100,7 +102,7 @@ func fig7bJob() engine.Job {
 		trh := trh
 		shards = append(shards, payloadShard(
 			fmt.Sprintf("trh=%d", trh),
-			func() (sim.Fig7bBar, error) { return sim.Fig7bBarAt(cfg, trh) },
+			func(engine.Context) (sim.Fig7bBar, error) { return sim.Fig7bBarAt(cfg, trh) },
 		))
 	}
 	return engine.Job{Shards: shards, Merge: mergeRows(FormatFig7b)}
@@ -113,7 +115,7 @@ func defenseJob(p Preset) engine.Job {
 		name := name
 		shards = append(shards, payloadShard(
 			name,
-			func() (DefenseRow, error) { return DefenseRowFor(p, name) },
+			func(engine.Context) (DefenseRow, error) { return DefenseRowFor(p, name) },
 		))
 	}
 	merge := func(rows []DefenseRow) string { return FormatDefenseComparison(p, rows) }
@@ -130,7 +132,7 @@ func table2Job(p Preset) engine.Job {
 		m := m
 		shards = append(shards, payloadShard(
 			m.ID,
-			func() (Table2Row, error) { return m.Run(p, cfg) },
+			func(ec engine.Context) (Table2Row, error) { return m.Run(ec.Ctx, p, cfg) },
 		))
 	}
 	return engine.Job{Shards: shards, Merge: mergeRows(FormatTable2)}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -86,7 +87,7 @@ func (r *reconstructionExecutor) TryFlip(globalW, k int) (attack.FlipOutcome, er
 // subset may run concurrently.
 type Table2Model struct {
 	ID  string
-	Run func(p Preset, cfg Table2Config) (Table2Row, error)
+	Run func(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error)
 }
 
 // Table2Models lists the compared defenses in paper order — the shard
@@ -105,19 +106,23 @@ func Table2Models() []Table2Model {
 
 // table2AttackToCollapse drives the BFA until the model collapses or the
 // flip budget runs out.
-func table2AttackToCollapse(p Preset, cfg Table2Config, v *Victim, exec attack.FlipExecutor) (int, float64, error) {
+func table2AttackToCollapse(ctx context.Context, p Preset, cfg Table2Config, v *Victim, exec attack.FlipExecutor) (int, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	bcfg := attack.DefaultBFAConfig()
 	bcfg.CandidatesPerIter = p.Candidates
+	bcfg.Stop = ctx.Err
 	return attack.BFAUntilCollapse(v.QM, v.AttackBatch, v.Eval, exec, bcfg, cfg.CollapseAcc, cfg.MaxFlips)
 }
 
 // table2Baseline: undefended ResNet-20 (8-bit).
-func table2Baseline(p Preset, cfg Table2Config) (Table2Row, error) {
-	base, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+func table2Baseline(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	base, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, base, &attack.DirectExecutor{QM: base.QM})
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, base, &attack.DirectExecutor{QM: base.QM})
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -128,13 +133,13 @@ func table2Baseline(p Preset, cfg Table2Config) (Table2Row, error) {
 }
 
 // table2Clustering: piece-wise clustering (He et al. CVPR'20).
-func table2Clustering(p Preset, cfg Table2Config) (Table2Row, error) {
-	pwc, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0,
+func table2Clustering(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	pwc, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 8, 1.0,
 		nn.PiecewiseClusteringReg(cfg.ClusteringLambda))
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, pwc, &attack.DirectExecutor{QM: pwc.QM})
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, pwc, &attack.DirectExecutor{QM: pwc.QM})
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -146,12 +151,12 @@ func table2Clustering(p Preset, cfg Table2Config) (Table2Row, error) {
 }
 
 // table2Binary: binary weights (He et al. CVPR'20).
-func table2Binary(p Preset, cfg Table2Config) (Table2Row, error) {
-	bin, err := TrainVictim(p, ArchResNet20, 10, 1, 1.0, nil)
+func table2Binary(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	bin, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 1, 1.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, bin, &attack.DirectExecutor{QM: bin.QM})
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, bin, &attack.DirectExecutor{QM: bin.QM})
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -164,12 +169,12 @@ func table2Binary(p Preset, cfg Table2Config) (Table2Row, error) {
 
 // table2Capacity: model capacity x16 (Rakin et al.): 16x parameters = 4x
 // width.
-func table2Capacity(p Preset, cfg Table2Config) (Table2Row, error) {
-	wide, err := TrainVictim(p, ArchResNet20, 10, 8, 4.0, nil)
+func table2Capacity(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	wide, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 8, 4.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, wide, &attack.DirectExecutor{QM: wide.QM})
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, wide, &attack.DirectExecutor{QM: wide.QM})
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -182,12 +187,12 @@ func table2Capacity(p Preset, cfg Table2Config) (Table2Row, error) {
 
 // table2Reconstruction: weight reconstruction (Li et al. DAC'20):
 // redundancy + repair.
-func table2Reconstruction(p Preset, cfg Table2Config) (Table2Row, error) {
-	rec, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+func table2Reconstruction(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	rec, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, rec, &reconstructionExecutor{
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, rec, &reconstructionExecutor{
 		qm:              rec.QM,
 		repairThreshold: 64,
 		residual:        8,
@@ -203,12 +208,12 @@ func table2Reconstruction(p Preset, cfg Table2Config) (Table2Row, error) {
 }
 
 // table2RABNN: RA-BNN (Rakin et al.): binary weights at doubled width.
-func table2RABNN(p Preset, cfg Table2Config) (Table2Row, error) {
-	rabnn, err := TrainVictim(p, ArchResNet20, 10, 1, 2.0, nil)
+func table2RABNN(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	rabnn, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 1, 2.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
-	flips, post, err := table2AttackToCollapse(p, cfg, rabnn, &attack.DirectExecutor{QM: rabnn.QM})
+	flips, post, err := table2AttackToCollapse(ctx, p, cfg, rabnn, &attack.DirectExecutor{QM: rabnn.QM})
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -220,8 +225,11 @@ func table2RABNN(p Preset, cfg Table2Config) (Table2Row, error) {
 }
 
 // table2DRAMLocker: full stack, ideal SWAP (no process-variation errors).
-func table2DRAMLocker(p Preset, cfg Table2Config) (Table2Row, error) {
-	dl, err := TrainVictim(p, ArchResNet20, 10, 8, 1.0, nil)
+func table2DRAMLocker(ctx context.Context, p Preset, cfg Table2Config) (Table2Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dl, err := TrainVictimCtx(ctx, p, ArchResNet20, 10, 8, 1.0, nil)
 	if err != nil {
 		return Table2Row{}, err
 	}
@@ -234,6 +242,7 @@ func table2DRAMLocker(p Preset, cfg Table2Config) (Table2Row, error) {
 		CandidatesPerIter: p.Candidates,
 		AttackBatch:       p.AttackBatch,
 		Seed:              p.Seed + 999,
+		Stop:              ctx.Err,
 	})
 	if err != nil {
 		return Table2Row{}, err
@@ -252,7 +261,7 @@ func table2DRAMLocker(p Preset, cfg Table2Config) (Table2Row, error) {
 func Table2(p Preset, cfg Table2Config) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, m := range Table2Models() {
-		row, err := m.Run(p, cfg)
+		row, err := m.Run(context.Background(), p, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -63,6 +64,17 @@ func (p Preset) buildNet(arch Arch, classes int, widthMul float64) (*nn.Model, e
 // the architecture relative to the preset (Table II's capacity rows);
 // reg optionally adds a training regularizer.
 func TrainVictim(p Preset, arch Arch, classes, bits int, widthMul float64, reg func([]*nn.Param)) (*Victim, error) {
+	return TrainVictimCtx(context.Background(), p, arch, classes, bits, widthMul, reg)
+}
+
+// TrainVictimCtx is TrainVictim under a cancellation context: training is
+// the dominant cost of the model-bearing experiments, so the per-epoch
+// poll is what lets Ctrl-C (or a disconnected remote scheduler) stop an
+// in-flight job instead of only the queued tail.
+func TrainVictimCtx(ctx context.Context, p Preset, arch Arch, classes, bits int, widthMul float64, reg func([]*nn.Param)) (*Victim, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ds, err := dataset.Generate(p.datasetConfig(classes))
 	if err != nil {
 		return nil, err
@@ -75,12 +87,16 @@ func TrainVictim(p Preset, arch Arch, classes, bits int, widthMul float64, reg f
 	tc.Epochs = p.Epochs
 	tc.Seed = p.Seed + 11
 	tc.Regularizer = reg
+	tc.Stop = ctx.Err
 	if bits == 1 {
 		// Binary-weight defenses are trained binarization-aware (STE);
 		// binarizing a float-trained model post hoc destroys it.
 		nn.FitProjected(net, &ds.TrainSplit, tc, nn.BinaryProjection())
 	} else {
 		nn.Fit(net, &ds.TrainSplit, tc)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // training was aborted; a partial victim is useless
 	}
 
 	qm := quant.NewModelBits(net, bits)
@@ -106,4 +122,9 @@ func TrainVictim(p Preset, arch Arch, classes, bits int, widthMul float64, reg f
 // NewVictim trains the standard 8-bit victim for an experiment.
 func NewVictim(p Preset, arch Arch, classes int) (*Victim, error) {
 	return TrainVictim(p, arch, classes, 8, 1.0, nil)
+}
+
+// NewVictimCtx is NewVictim under a cancellation context.
+func NewVictimCtx(ctx context.Context, p Preset, arch Arch, classes int) (*Victim, error) {
+	return TrainVictimCtx(ctx, p, arch, classes, 8, 1.0, nil)
 }

@@ -139,6 +139,11 @@ type TrainConfig struct {
 	Regularizer func(params []*Param)
 	// Verbose prints per-epoch progress via the Logf callback.
 	Logf func(format string, args ...any)
+	// Stop, if non-nil, is polled before every epoch; a non-nil return
+	// aborts training early (the model keeps the weights learned so
+	// far). The experiment harness wires it to the run's cancellation
+	// context so Ctrl-C interrupts an in-flight victim training.
+	Stop func() error
 }
 
 // PiecewiseClusteringReg returns the piece-wise clustering regularizer of
@@ -224,6 +229,9 @@ func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
 	var starts []int
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Stop != nil && cfg.Stop() != nil {
+			break
+		}
 		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
 			opt.LR /= 2
 		}
@@ -282,6 +290,9 @@ func FitProjected(m *Model, train BatchSource, cfg TrainConfig, project func(par
 	var starts []int
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Stop != nil && cfg.Stop() != nil {
+			break
+		}
 		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
 			opt.LR /= 2
 		}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -53,6 +54,34 @@ func TestFitReducesLossAndLearns(t *testing.T) {
 	}
 	if acc := Evaluate(m, src, 16); acc < 0.9 {
 		t.Fatalf("train accuracy %g, want >= 0.9 on a separable toy task", acc)
+	}
+}
+
+// TestFitStopHookAbortsTraining: the per-epoch Stop poll ends training
+// early — the cancellation path of the experiment harness.
+func TestFitStopHookAbortsTraining(t *testing.T) {
+	src := newToySource(32, 7)
+	m := NewResNet20(2, 0.25, 9)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 50
+	polls := 0
+	stopErr := errors.New("training cancelled")
+	cfg.Stop = func() error {
+		polls++
+		if polls > 2 {
+			return stopErr
+		}
+		return nil
+	}
+	Fit(m, src, cfg)
+	if polls != 3 {
+		t.Fatalf("Stop polled %d times, want 3 (two epochs then abort)", polls)
+	}
+
+	polls = 0
+	FitProjected(m, src, cfg, BinaryProjection())
+	if polls != 3 {
+		t.Fatalf("projected: Stop polled %d times, want 3", polls)
 	}
 }
 

@@ -1,0 +1,257 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+// downAfter is the number of consecutive transport failures after which a
+// worker stops being selected for new tasks (it already failed its way
+// out of each of those tasks via exclusion). A success resets the count.
+const downAfter = 3
+
+// Options configures a RemoteExecutor.
+type Options struct {
+	// InflightPerWorker caps the tasks outstanding on one worker; 0 uses
+	// the capacity the worker advertises in its status.
+	InflightPerWorker int
+	// Fallback, when non-nil, executes tasks every remote worker failed
+	// (typically a LocalExecutor over the same registry, so a dead fleet
+	// degrades to the in-process pool instead of failing the run).
+	Fallback engine.Executor
+	// Client is the HTTP client; nil uses a default with no overall
+	// request timeout (tasks legitimately run for minutes — cancellation
+	// comes from the scheduler's context instead).
+	Client *http.Client
+}
+
+// worker is one remote daemon the executor can dispatch to.
+type worker struct {
+	addr  string // base URL, e.g. "http://127.0.0.1:9740"
+	name  string // advertised worker name
+	slots chan struct{}
+	fails atomic.Int32 // consecutive transport failures
+}
+
+func (w *worker) down() bool { return w.fails.Load() >= downAfter }
+
+// RemoteExecutor is an engine.Executor that ships tasks to worker
+// daemons over HTTP. Dispatch picks the least-loaded live worker under a
+// per-worker inflight limit; a transport failure retries the task on the
+// remaining workers (the failed one excluded), and when every worker has
+// failed it, the task falls back to Options.Fallback. Task-level errors
+// (the job itself failed) are never retried — they are deterministic.
+type RemoteExecutor struct {
+	workers  []*worker
+	fallback engine.Executor
+	client   *http.Client
+}
+
+// Dial connects to the given worker addresses ("host:port" or full
+// http:// URLs), verifies each speaks the current protocol version, and
+// returns an executor over them. Startup is strict — an unreachable or
+// version-mismatched worker is a configuration error — while failures
+// after Dial degrade via retry, exclusion and fallback.
+func Dial(ctx context.Context, addrs []string, opts Options) (*RemoteExecutor, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: no worker addresses")
+	}
+	e := &RemoteExecutor{fallback: opts.Fallback, client: opts.Client}
+	if e.client == nil {
+		e.client = &http.Client{}
+	}
+	for _, addr := range addrs {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimRight(base, "/")
+		st, err := e.status(ctx, base)
+		if err != nil {
+			return nil, fmt.Errorf("remote: worker %s: %w", addr, err)
+		}
+		limit := opts.InflightPerWorker
+		if limit <= 0 {
+			limit = st.Capacity
+		}
+		if limit <= 0 {
+			limit = 1
+		}
+		e.workers = append(e.workers, &worker{
+			addr:  base,
+			name:  st.Name,
+			slots: make(chan struct{}, limit),
+		})
+	}
+	return e, nil
+}
+
+// status fetches and validates a worker's /v1/status.
+func (e *RemoteExecutor) status(ctx context.Context, base string) (api.WorkerStatus, error) {
+	// Status must answer promptly even though task executions may not.
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+StatusPath, nil)
+	if err != nil {
+		return api.WorkerStatus{}, err
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return api.WorkerStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.WorkerStatus{}, fmt.Errorf("status: %s", resp.Status)
+	}
+	var st api.WorkerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return api.WorkerStatus{}, fmt.Errorf("status: %w", err)
+	}
+	if err := api.CheckProto(st.Proto); err != nil {
+		return api.WorkerStatus{}, err
+	}
+	return st, nil
+}
+
+// Workers lists the dialled workers as "name@addr" (for CLI logging).
+func (e *RemoteExecutor) Workers() []string {
+	out := make([]string, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.name + "@" + w.addr
+	}
+	return out
+}
+
+// Execute implements engine.Executor. The spec is tried on live workers
+// in least-loaded order; each transport failure excludes that worker for
+// this task (and, after downAfter consecutive failures, for the rest of
+// the run) until either a worker answers or the fallback runs.
+func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	excluded := make(map[*worker]bool)
+	var lastErr error
+	for {
+		w, err := e.acquire(ctx, excluded)
+		if err != nil {
+			return api.TaskResult{}, err
+		}
+		if w == nil {
+			break
+		}
+		res, err := e.post(ctx, w, spec)
+		if err == nil {
+			if verr := res.Validate(spec); verr != nil {
+				// Answered, but from an incompatible build: count it
+				// toward down-marking (a consistently mismatched worker
+				// must not get a wasted round-trip per task), exclude it
+				// for this task and keep trying the rest of the fleet.
+				w.fails.Add(1)
+				lastErr = fmt.Errorf("worker %s: %w", w.addr, verr)
+				excluded[w] = true
+				continue
+			}
+			w.fails.Store(0)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The run was cancelled; don't burn the fleet's failure
+			// budget on aborted requests.
+			return api.TaskResult{}, ctx.Err()
+		}
+		w.fails.Add(1)
+		lastErr = fmt.Errorf("worker %s: %w", w.addr, err)
+		excluded[w] = true
+	}
+	if e.fallback != nil {
+		return e.fallback.Execute(ctx, spec)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("every worker is down")
+	}
+	return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: %w (no fallback executor)", spec.Job, spec.Shard, lastErr)
+}
+
+// acquire reserves an inflight slot on a live, non-excluded worker,
+// preferring the least loaded. The reservation happens here — not at
+// dispatch time — so concurrent tasks that observe the same load spread
+// across the fleet instead of piling onto one worker's queue: a worker
+// with a free slot is always taken over blocking on a saturated one.
+// Returns (nil, nil) when every candidate is excluded or down; the
+// caller owns releasing the returned worker's slot.
+func (e *RemoteExecutor) acquire(ctx context.Context, excluded map[*worker]bool) (*worker, error) {
+	for {
+		// Candidates in ascending load order (stable across the loop
+		// body; load is read once per pass).
+		var cands []*worker
+		for _, w := range e.workers {
+			if excluded[w] || w.down() {
+				continue
+			}
+			cands = append(cands, w)
+		}
+		if len(cands) == 0 {
+			return nil, nil
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return len(cands[i].slots) < len(cands[j].slots) })
+		// Fast path: a free slot anywhere in the fleet.
+		for _, w := range cands {
+			select {
+			case w.slots <- struct{}{}:
+				return w, nil
+			default:
+			}
+		}
+		// Whole fleet saturated: block on the least-loaded candidate,
+		// but re-scan periodically in case another worker frees first.
+		timer := time.NewTimer(50 * time.Millisecond)
+		select {
+		case cands[0].slots <- struct{}{}:
+			timer.Stop()
+			return cands[0], nil
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// post ships spec to w, whose inflight slot the caller has already
+// reserved via acquire; the slot is released when the call returns.
+func (e *RemoteExecutor) post(ctx context.Context, w *worker, spec api.TaskSpec) (api.TaskResult, error) {
+	defer func() { <-w.slots }()
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return api.TaskResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+ExecutePath, bytes.NewReader(body))
+	if err != nil {
+		return api.TaskResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return api.TaskResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return api.TaskResult{}, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var res api.TaskResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return api.TaskResult{}, fmt.Errorf("decode result: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+// Package remote moves the engine's Executor seam across process
+// boundaries: a Server exposes a local registry + executor over HTTP, and
+// a RemoteExecutor client dispatches the scheduler's tasks to a fleet of
+// such workers.
+//
+// The wire contract is internal/api: a task ships as (job name, shard
+// index, seed, cache-key stem) — never code — and the worker re-resolves
+// the closures from its own registry, refusing tasks whose cache key it
+// cannot reproduce. Because the scheduler keeps ordering, merging,
+// seeding and caching local (see internal/engine), a report produced over
+// this transport is byte-identical to a local run.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/execute  api.TaskSpec -> api.TaskResult
+//	GET  /v1/status   -> api.WorkerStatus
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+// ExecutePath and StatusPath are the protocol's HTTP routes.
+const (
+	ExecutePath = "/v1/execute"
+	StatusPath  = "/v1/status"
+)
+
+// ProtoVersion re-exports the wire protocol revision (api.Version) so
+// daemons and CLIs can log it without importing the api package.
+const ProtoVersion = api.Version
+
+// Server serves a registry's jobs to remote schedulers. It bounds
+// concurrent executions with a capacity semaphore (excess requests queue
+// rather than fail — the client's inflight limit is the intended
+// back-pressure) and tracks inflight/completed counts for /v1/status.
+type Server struct {
+	name      string
+	reg       *engine.Registry
+	exec      engine.Executor
+	capacity  int
+	slots     chan struct{}
+	inflight  atomic.Int64
+	completed atomic.Uint64
+	mux       *http.ServeMux
+}
+
+// NewServer wraps reg in a worker server named name (shown in statuses
+// and result stamps) executing at most capacity tasks at once; capacity
+// <= 0 panics — resolve the default (NumCPU) at the call site.
+func NewServer(reg *engine.Registry, name string, capacity int) *Server {
+	if capacity <= 0 {
+		panic("remote: server capacity must be positive")
+	}
+	s := &Server{
+		name:     name,
+		reg:      reg,
+		exec:     engine.NewNamedLocalExecutor(reg, name),
+		capacity: capacity,
+		slots:    make(chan struct{}, capacity),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST "+ExecutePath, s.handleExecute)
+	s.mux.HandleFunc("GET "+StatusPath, s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleExecute runs one task. Task-level failures (job error, panic)
+// travel inside the TaskResult with status 200; resolution failures —
+// unknown job, protocol or cache-key mismatch — are 4xx so the client
+// treats them as "this worker cannot run the task".
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var spec api.TaskSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("remote: bad task spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Acquire a capacity slot; abandon the wait if the client hangs up.
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.completed.Add(1)
+		<-s.slots
+	}()
+
+	// r.Context() cancels the execution when the client disconnects, so
+	// an aborted scheduler does not leave orphaned work running.
+	res, err := s.exec.Execute(r.Context(), spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleStatus reports the worker's identity, registry and load.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := api.WorkerStatus{
+		Proto:     api.Version,
+		Name:      s.name,
+		Jobs:      s.reg.Len(),
+		JobNames:  s.reg.Names(),
+		Capacity:  s.capacity,
+		Inflight:  int(s.inflight.Load()),
+		Completed: s.completed.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Loopback end-to-end gate for the remote executor (make e2e-remote).
+#
+# Proves the transport-independence guarantee on a real daemon: a tiny
+# preset run dispatched to dramlockerd over 127.0.0.1 must render the
+# same report as the in-process pool at workers 1 and 4 (modulo timings,
+# normalised exactly like CI's cold/warm cache gate), and a warm re-run
+# over the shared -cache-dir must replay 100% from cache without touching
+# the daemon (-require-cached).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+EXPS=fig1b,mc,table1,fig7a,fig7b,defense
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/dramlocker" ./cmd/dramlocker
+go build -o "$WORK/dramlockerd" ./cmd/dramlockerd
+
+# Port 0 lets the kernel pick a free port; the daemon binds before it
+# logs, so the "serving ... on host:port" line is also the ready signal.
+"$WORK/dramlockerd" -addr 127.0.0.1:0 -preset tiny >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+ADDR=""
+for i in $(seq 1 100); do
+    ADDR=$(sed -nE 's/.* on (127\.0\.0\.1:[0-9]+) .*/\1/p' "$WORK/daemon.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "daemon died:"; cat "$WORK/daemon.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never came up:"; cat "$WORK/daemon.log"; exit 1; }
+echo "daemon up on $ADDR"
+
+# Strip the per-job timing parenthetical and the summary line — the same
+# normalisation as CI's cache gate; everything else must match byte for
+# byte.
+norm() { sed -E 's/^(=== .*) \([^)]*\)( ===)$/\1\2/; /^[0-9]+ jobs, /d' "$1"; }
+
+run_local()  { "$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers "$1" -quiet; }
+run_remote() { "$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers "$1" -quiet -remote "$ADDR" "${@:2}"; }
+
+for w in 1 4; do
+    run_local  "$w" > "$WORK/local$w.txt"
+    run_remote "$w" > "$WORK/remote$w.txt"
+    norm "$WORK/local$w.txt"  > "$WORK/local$w.norm"
+    norm "$WORK/remote$w.txt" > "$WORK/remote$w.norm"
+    if ! diff -u "$WORK/local$w.norm" "$WORK/remote$w.norm"; then
+        echo "FAIL: remote report diverged from local at workers=$w"
+        exit 1
+    fi
+    echo "workers=$w: remote report byte-identical to local"
+done
+
+# Cache-hit replay across the transport: cold remote run populates the
+# disk cache, the warm run must serve 100% from it (still via -remote —
+# replay happens scheduler-side, before any dispatch).
+run_remote 4 -cache-dir "$WORK/rescache" > "$WORK/cold.txt"
+run_remote 4 -cache-dir "$WORK/rescache" -require-cached > "$WORK/warm.txt"
+norm "$WORK/cold.txt" > "$WORK/cold.norm"
+norm "$WORK/warm.txt" > "$WORK/warm.norm"
+diff -u "$WORK/cold.norm" "$WORK/warm.norm"
+echo "warm -remote run replayed 100% from cache ($(wc -l < "$WORK/rescache/results.jsonl") entries)"
+
+echo "e2e-remote: OK"
