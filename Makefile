@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels vet fmt-check e2e-remote ci
+.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check e2e-remote ci
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,13 @@ test:
 # Race smoke on the concurrent packages: the engine scheduler/executor,
 # sharded state and disk cache, the remote worker server/client and its
 # wire types, the worker-budget semaphore and the parallel tensor/nn
-# kernels it feeds, plus the trace replay layer.
+# kernels it feeds, the goroutine-parallel BFA candidate scoring and the
+# rowhammer engine it drives, plus the trace replay layer.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/remote/ \
 		./internal/api/ ./internal/trace/ \
-		./internal/par/ ./internal/tensor/ ./internal/nn/
+		./internal/par/ ./internal/tensor/ ./internal/nn/ \
+		./internal/attack/ ./internal/rowhammer/
 
 # Loopback end-to-end gate for the remote executor: boots dramlockerd on
 # 127.0.0.1, runs the tiny preset through -remote at workers 1 and 4, and
@@ -27,14 +29,17 @@ race:
 e2e-remote:
 	bash scripts/e2e_remote.sh
 
-# One iteration of every benchmark outside the compute-kernel packages
-# (regenerates the paper tables without timing noise mattering); the
-# tensor/nn kernels are bench-kernels' job, so each benchmark lands in
+# One iteration of every benchmark outside the compute-kernel and
+# attack-layer packages (regenerates the paper tables without timing
+# noise mattering); the tensor/nn kernels are bench-kernels' job and the
+# attack/trace hot paths are bench-attack's, so each benchmark lands in
 # the artifact exactly once. Set BENCH_JSON=<file> to also record the
 # run as go-test JSON events — CI uploads that file as the BENCH_*.json
-# perf-trend artifact, with bench-kernels appending to it.
+# perf-trend artifact, with bench-kernels and bench-attack appending to
+# it.
 BENCH_JSON ?=
-BENCH_SMOKE_PKGS = $$($(GO) list ./... | grep -v -e /internal/tensor -e /internal/nn)
+BENCH_SMOKE_PKGS = $$($(GO) list ./... | grep -v -e /internal/tensor -e /internal/nn \
+	-e /internal/attack -e /internal/trace)
 bench-smoke:
 ifeq ($(BENCH_JSON),)
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(BENCH_SMOKE_PKGS)
@@ -54,6 +59,20 @@ ifeq ($(BENCH_JSON),)
 else
 	$(GO) test -json -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/tensor/ ./internal/nn/ >> $(BENCH_JSON)
 	@echo "kernel bench JSON appended to $(BENCH_JSON)"
+endif
+
+# Attack/sim hot-path microbenchmarks with allocation stats: the BFA
+# search iteration (BenchmarkBFASearchIter allocs/op is the zero-alloc
+# steady-state gate), candidate selection (BenchmarkRankCandidates) and
+# trace replay over the dense DRAM-sim state (BenchmarkReplayDense).
+# With BENCH_JSON set, events append to the same BENCH_<sha>.json
+# artifact as bench-smoke and bench-kernels.
+bench-attack:
+ifeq ($(BENCH_JSON),)
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/attack/ ./internal/trace/
+else
+	$(GO) test -json -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/attack/ ./internal/trace/ >> $(BENCH_JSON)
+	@echo "attack bench JSON appended to $(BENCH_JSON)"
 endif
 
 vet:

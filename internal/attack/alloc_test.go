@@ -1,0 +1,33 @@
+//go:build !race
+
+package attack
+
+// The zero-alloc steady-state pin is excluded from -race builds: race
+// instrumentation allocates, which is noise, not a regression.
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestSearchIterationSteadyStateAllocs pins the zero-alloc contract of
+// the reused Searcher: once warm, a full search iteration (gradient
+// pass, top-k selection, candidate trials) stays off the allocator.
+func TestSearchIterationSteadyStateAllocs(t *testing.T) {
+	qm, ab, _ := trainedVictim(t)
+	cfg := DefaultBFAConfig()
+	cfg.CandidatesPerIter = 3
+	s, err := NewSearcher(qm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origBudget := par.Budget()
+	defer par.SetBudget(origBudget)
+	par.SetBudget(1) // serial: goroutine spawns would count as allocs
+	s.step(ab)       // warm the scratch
+	allocs := testing.AllocsPerRun(5, func() { s.step(ab) })
+	if allocs > 2 {
+		t.Fatalf("steady-state search iteration allocates %.1f objects/op, want <= 2", allocs)
+	}
+}

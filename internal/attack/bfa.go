@@ -7,11 +7,17 @@
 // substrate and the defense come in: the executor may hammer real
 // simulated rows (and be denied by the lock-table) rather than mutate the
 // model directly.
+//
+// The BFA hot path is built around Searcher, which owns every piece of
+// per-iteration scratch (bounded top-k selectors, the merged candidate
+// slice, the tried-bit set) so steady-state search iterations allocate
+// nothing and candidate scoring parallelises under the internal/par
+// worker budget with bit-identical selections at any budget. See the
+// Searcher type for the reuse contract.
 package attack
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/nn"
 	"repro/internal/quant"
@@ -150,102 +156,19 @@ func (r Result) FinalAccuracy() float64 {
 //
 // Each iteration: (1) one gradient pass on the attacker's batch ranks all
 // bits by the first-order loss increase of flipping them; (2) the top
-// CandidatesPerIter candidates are each trial-flipped in a scratch copy
-// and scored with a real forward pass; (3) the best candidate is committed
-// through the executor — which a defense may deny.
+// CandidatesPerIter candidates are each trial-flipped in place and scored
+// with a real forward pass; (3) the best candidate is committed through
+// the executor — which a defense may deny.
+//
+// BFA is a convenience wrapper that builds a one-shot Searcher; callers
+// that attack repeatedly (the Table II sweeps, the benchmarks) should
+// hold a Searcher and call Run to reuse its scratch.
 func BFA(qm *quant.Model, attackBatch nn.Batch, eval nn.BatchSource, exec FlipExecutor, cfg BFAConfig) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewSearcher(qm, cfg)
+	if err != nil {
 		return Result{}, err
 	}
-	var res Result
-	tried := make(map[[2]int]bool) // (globalW, bit) already committed/denied
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		if cfg.Stop != nil {
-			if err := cfg.Stop(); err != nil {
-				return res, err
-			}
-		}
-		nn.GradientPass(qm.Net, attackBatch)
-		cands := rankCandidates(qm, cfg, tried)
-		if len(cands) == 0 {
-			break
-		}
-		// Trial-evaluate candidates with real forward passes.
-		best := -1
-		bestLoss := -1.0
-		for i, c := range cands {
-			qm.FlipGlobal(c.GlobalW, c.Bit)
-			loss := nn.BatchLoss(qm.Net, attackBatch)
-			qm.FlipGlobal(c.GlobalW, c.Bit) // undo
-			if loss > bestLoss {
-				bestLoss = loss
-				best = i
-			}
-		}
-		chosen := cands[best]
-		tried[[2]int{chosen.GlobalW, chosen.Bit}] = true
-		out, err := exec.TryFlip(chosen.GlobalW, chosen.Bit)
-		if err != nil {
-			return res, err
-		}
-		if out.Succeeded {
-			res.TotalFlips++
-		}
-		if out.Denied {
-			res.TotalDenied++
-		}
-		rec := IterationRecord{
-			Iteration: iter + 1,
-			Flips:     res.TotalFlips,
-			Denied:    res.TotalDenied,
-			Loss:      nn.BatchLoss(qm.Net, nn.Batch{X: attackBatch.X, Y: attackBatch.Y}),
-		}
-		if eval != nil {
-			rec.Accuracy = nn.Evaluate(qm.Net, eval, 64)
-		}
-		res.Records = append(res.Records, rec)
-	}
-	return res, nil
-}
-
-// rankCandidates scores every (weight, bit) by grad*deltaW and returns the
-// top CandidatesPerIter untried ones.
-func rankCandidates(qm *quant.Model, cfg BFAConfig, tried map[[2]int]bool) []Candidate {
-	var cands []Candidate
-	keep := cfg.CandidatesPerIter * 4 // oversample before filtering tried
-	for pi, qp := range qm.Params {
-		grads := qp.Param.Grad.Data
-		for li := range qp.Q {
-			g := float64(grads[li])
-			if g == 0 {
-				continue
-			}
-			lo, hi := 0, qp.Bits
-			if cfg.MSBOnly {
-				lo = qp.Bits - 1
-			}
-			for k := lo; k < hi; k++ {
-				delta := float64(qp.BitDelta(li, k)) * float64(qp.Scale)
-				score := g * delta
-				if score <= 0 {
-					continue // flip would reduce the loss
-				}
-				gw := qm.GlobalIndex(pi, li)
-				if tried[[2]int{gw, k}] {
-					continue
-				}
-				cands = append(cands, Candidate{GlobalW: gw, Bit: k, Score: score})
-			}
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
-	if len(cands) > keep {
-		cands = cands[:keep]
-	}
-	if len(cands) > cfg.CandidatesPerIter {
-		cands = cands[:cfg.CandidatesPerIter]
-	}
-	return cands
+	return s.Run(attackBatch, eval, exec)
 }
 
 // RandomAttack flips one uniformly random bit per iteration through the

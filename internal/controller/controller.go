@@ -61,6 +61,11 @@ type Request struct {
 	// Privileged marks requests from the victim program, which may unlock
 	// rows via SWAP. Attacker requests are unprivileged.
 	Privileged bool
+	// Buf, when non-nil and at least Len bytes for a read, receives the
+	// data and Response.Data aliases it — the trace replayer's fast path,
+	// which would otherwise allocate a fresh buffer per request. Callers
+	// reusing Buf must consume Response.Data before the next submit.
+	Buf []byte
 }
 
 // Response reports the outcome of a request.
@@ -355,7 +360,7 @@ func (c *Controller) Submit(req Request) (Response, error) {
 	}
 
 	// 4. Issue the DRAM commands at the (possibly redirected) location.
-	accessLat, rowHit, err := c.access(req.Kind, target, col, req.Data, n, &resp)
+	accessLat, rowHit, err := c.access(req.Kind, target, col, req.Data, req.Buf, n, &resp)
 	if err != nil {
 		return resp, err
 	}
@@ -381,8 +386,9 @@ func (c *Controller) Write(phys int64, data []byte) (Response, error) {
 	return c.Submit(Request{Kind: ReqWrite, Phys: phys, Data: data, Privileged: true})
 }
 
-// access performs the open-page command sequence for one burst.
-func (c *Controller) access(kind RequestKind, row dram.RowAddr, col int, data []byte, n int, resp *Response) (dram.Picoseconds, bool, error) {
+// access performs the open-page command sequence for one burst. For reads
+// the result lands in buf when it is large enough, else a fresh buffer.
+func (c *Controller) access(kind RequestKind, row dram.RowAddr, col int, data, buf []byte, n int, resp *Response) (dram.Picoseconds, bool, error) {
 	var lat dram.Picoseconds
 	open, isOpen := c.dev.OpenRow(row.Bank)
 	rowHit := isOpen && open == row.Row
@@ -405,7 +411,11 @@ func (c *Controller) access(kind RequestKind, row dram.RowAddr, col int, data []
 	}
 	switch kind {
 	case ReqRead:
-		buf := make([]byte, n)
+		if len(buf) >= n {
+			buf = buf[:n]
+		} else {
+			buf = make([]byte, n)
+		}
 		l, err := c.dev.Read(row, col, buf)
 		if err != nil {
 			return lat, rowHit, err

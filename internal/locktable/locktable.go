@@ -6,6 +6,12 @@
 // lock-table stores no activation counters — only row addresses plus a
 // small re-lock countdown — which is where the paper's 56KB SRAM / 0.02%
 // area overhead comes from (Table I).
+//
+// The simulator keeps the occupied entries in a compact slice plus a
+// dense per-row slot index (Geometry.LinearIndex -> entry), so the lookup
+// on every memory request is one array access instead of a map probe and
+// countdown ticks touch only occupied entries. The slot index costs 4
+// bytes per geometry row, allocated once at construction.
 package locktable
 
 import (
@@ -66,13 +72,17 @@ type Stats struct {
 	MaxOccupied int
 }
 
-// Table is the lock-table. It is a plain associative map bounded by
-// capacity; a hardware implementation would be a set-associative SRAM, but
-// lookup semantics are identical.
+// Table is the lock-table. Lookup semantics are identical to the paper's
+// set-associative SRAM; occupancy is bounded by the configured capacity.
 type Table struct {
-	cfg     Config
-	entries map[int]*Entry // geometry linear index -> entry
-	geom    dram.Geometry
+	cfg  Config
+	geom dram.Geometry
+	// slot maps a geometry linear row index to its position in entries,
+	// -1 when the row has no entry.
+	slot []int32
+	// entries holds the occupied records compactly (swap-removal keeps it
+	// gap-free; order is not meaningful).
+	entries []Entry
 	stats   Stats
 }
 
@@ -81,7 +91,11 @@ func New(geom dram.Geometry, cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Table{cfg: cfg, entries: make(map[int]*Entry), geom: geom}, nil
+	t := &Table{cfg: cfg, geom: geom, slot: make([]int32, geom.TotalRows())}
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+	return t, nil
 }
 
 // Capacity returns the configured entry capacity.
@@ -96,13 +110,27 @@ func (t *Table) SRAMBytes() int { return t.cfg.CapacityEntries * EntryBytes }
 // Stats returns a copy of the activity counters.
 func (t *Table) Stats() Stats { return t.stats }
 
+// entryOf returns the entry for a row, or nil. Rows outside the geometry
+// have no entry by definition.
+func (t *Table) entryOf(row dram.RowAddr) *Entry {
+	if !t.geom.Valid(row) {
+		return nil
+	}
+	si := t.slot[t.geom.LinearIndex(row)]
+	if si < 0 {
+		return nil
+	}
+	return &t.entries[si]
+}
+
 // Lock inserts a row into the table in the locked state.
 func (t *Table) Lock(row dram.RowAddr) error {
 	if !t.geom.Valid(row) {
 		return fmt.Errorf("locktable: invalid row %v", row)
 	}
 	idx := t.geom.LinearIndex(row)
-	if e, ok := t.entries[idx]; ok {
+	if si := t.slot[idx]; si >= 0 {
+		e := &t.entries[si]
 		if !e.Pending {
 			return fmt.Errorf("%w: %v", ErrLocked, row)
 		}
@@ -115,7 +143,8 @@ func (t *Table) Lock(row dram.RowAddr) error {
 	if len(t.entries) >= t.cfg.CapacityEntries {
 		return fmt.Errorf("%w: capacity %d", ErrFull, t.cfg.CapacityEntries)
 	}
-	t.entries[idx] = &Entry{Row: row}
+	t.entries = append(t.entries, Entry{Row: row})
+	t.slot[idx] = int32(len(t.entries) - 1)
 	t.stats.Locks++
 	if len(t.entries) > t.stats.MaxOccupied {
 		t.stats.MaxOccupied = len(t.entries)
@@ -127,8 +156,7 @@ func (t *Table) Lock(row dram.RowAddr) error {
 // pending re-lock). Every call models one SRAM lookup.
 func (t *Table) IsLocked(row dram.RowAddr) bool {
 	t.stats.Lookups++
-	e, ok := t.entries[t.geom.LinearIndex(row)]
-	if ok && !e.Pending {
+	if e := t.entryOf(row); e != nil && !e.Pending {
 		t.stats.Hits++
 		return true
 	}
@@ -137,15 +165,14 @@ func (t *Table) IsLocked(row dram.RowAddr) bool {
 
 // Contains reports whether the row has any entry, locked or pending.
 func (t *Table) Contains(row dram.RowAddr) bool {
-	_, ok := t.entries[t.geom.LinearIndex(row)]
-	return ok
+	return t.entryOf(row) != nil
 }
 
 // Unlock transitions a locked row to the pending state with the given
 // re-lock countdown (the paper re-locks after 1k R/W instructions).
 func (t *Table) Unlock(row dram.RowAddr, countdown int) error {
-	e, ok := t.entries[t.geom.LinearIndex(row)]
-	if !ok || e.Pending {
+	e := t.entryOf(row)
+	if e == nil || e.Pending {
 		return fmt.Errorf("%w: %v", ErrNotLocked, row)
 	}
 	e.Pending = true
@@ -156,11 +183,21 @@ func (t *Table) Unlock(row dram.RowAddr, countdown int) error {
 
 // Remove deletes a row's entry entirely.
 func (t *Table) Remove(row dram.RowAddr) error {
-	idx := t.geom.LinearIndex(row)
-	if _, ok := t.entries[idx]; !ok {
+	if !t.geom.Valid(row) {
 		return fmt.Errorf("%w: %v", ErrNotLocked, row)
 	}
-	delete(t.entries, idx)
+	idx := t.geom.LinearIndex(row)
+	si := t.slot[idx]
+	if si < 0 {
+		return fmt.Errorf("%w: %v", ErrNotLocked, row)
+	}
+	last := len(t.entries) - 1
+	if int(si) != last {
+		t.entries[si] = t.entries[last]
+		t.slot[t.geom.LinearIndex(t.entries[si].Row)] = si
+	}
+	t.entries = t.entries[:last]
+	t.slot[idx] = -1
 	return nil
 }
 
@@ -172,18 +209,21 @@ func (t *Table) Retarget(from, to dram.RowAddr) error {
 	if !t.geom.Valid(to) {
 		return fmt.Errorf("locktable: invalid row %v", to)
 	}
+	if !t.geom.Valid(from) {
+		return fmt.Errorf("%w: %v", ErrNotLocked, from)
+	}
 	fromIdx := t.geom.LinearIndex(from)
-	e, ok := t.entries[fromIdx]
-	if !ok {
+	si := t.slot[fromIdx]
+	if si < 0 {
 		return fmt.Errorf("%w: %v", ErrNotLocked, from)
 	}
 	toIdx := t.geom.LinearIndex(to)
-	if _, exists := t.entries[toIdx]; exists {
+	if t.slot[toIdx] >= 0 {
 		return fmt.Errorf("%w: %v", ErrLocked, to)
 	}
-	delete(t.entries, fromIdx)
-	e.Row = to
-	t.entries[toIdx] = e
+	t.slot[fromIdx] = -1
+	t.entries[si].Row = to
+	t.slot[toIdx] = si
 	return nil
 }
 
@@ -192,7 +232,8 @@ func (t *Table) Retarget(from, to dram.RowAddr) error {
 // re-locked on this tick.
 func (t *Table) TickRW() []dram.RowAddr {
 	var relocked []dram.RowAddr
-	for _, e := range t.entries {
+	for i := range t.entries {
+		e := &t.entries[i]
 		if !e.Pending {
 			continue
 		}
@@ -214,9 +255,9 @@ func (t *Table) TickRW() []dram.RowAddr {
 // deterministic order.
 func (t *Table) LockedRows() []dram.RowAddr {
 	var out []dram.RowAddr
-	for _, e := range t.entries {
-		if !e.Pending {
-			out = append(out, e.Row)
+	for i := range t.entries {
+		if !t.entries[i].Pending {
+			out = append(out, t.entries[i].Row)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -228,9 +269,9 @@ func (t *Table) LockedRows() []dram.RowAddr {
 // PendingRows returns all pending (unlocked awaiting re-lock) rows.
 func (t *Table) PendingRows() []dram.RowAddr {
 	var out []dram.RowAddr
-	for _, e := range t.entries {
-		if e.Pending {
-			out = append(out, e.Row)
+	for i := range t.entries {
+		if t.entries[i].Pending {
+			out = append(out, t.entries[i].Row)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -385,6 +385,7 @@ func Evaluate(m *Model, data BatchSource, batchSize int) float64 {
 		batchSize = 64
 	}
 	correct := 0
+	var pred []int // reused across batches
 	for i := 0; i < n; i += batchSize {
 		end := i + batchSize
 		if end > n {
@@ -392,7 +393,7 @@ func Evaluate(m *Model, data BatchSource, batchSize int) float64 {
 		}
 		b := data.Slice(i, end)
 		logits := m.Forward(b.X, false)
-		pred := tensor.ArgMaxRow(logits)
+		pred = tensor.ArgMaxRowInto(pred, logits)
 		for j, p := range pred {
 			if p == b.Y[j] {
 				correct++

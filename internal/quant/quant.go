@@ -11,6 +11,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/nn"
 	"repro/internal/par"
@@ -237,11 +238,7 @@ func (m *Model) HammingDistance(snap [][]int8) int {
 	d := 0
 	for i, qp := range m.Params {
 		for j, q := range qp.Q {
-			x := uint8(q) ^ uint8(snap[i][j])
-			for x != 0 {
-				d += int(x & 1)
-				x >>= 1
-			}
+			d += bits.OnesCount8(uint8(q) ^ uint8(snap[i][j]))
 		}
 	}
 	return d

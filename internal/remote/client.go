@@ -21,6 +21,10 @@ import (
 // out of each of those tasks via exclusion). A success resets the count.
 const downAfter = 3
 
+// defaultReprobeAfter is how long a down-marked worker sits out before it
+// is offered one probe task (Options.ReprobeAfter = 0).
+const defaultReprobeAfter = 15 * time.Second
+
 // Options configures a RemoteExecutor.
 type Options struct {
 	// InflightPerWorker caps the tasks outstanding on one worker; 0 uses
@@ -34,6 +38,12 @@ type Options struct {
 	// request timeout (tasks legitimately run for minutes — cancellation
 	// comes from the scheduler's context instead).
 	Client *http.Client
+	// ReprobeAfter is the backoff before a down-marked worker is offered
+	// one probe task. On success the worker rejoins least-loaded
+	// selection (its failure count resets); on failure it sits out
+	// another full backoff. 0 uses the 15s default; negative disables
+	// re-probation (a down worker stays out for the whole run).
+	ReprobeAfter time.Duration
 }
 
 // worker is one remote daemon the executor can dispatch to.
@@ -42,6 +52,10 @@ type worker struct {
 	name  string // advertised worker name
 	slots chan struct{}
 	fails atomic.Int32 // consecutive transport failures
+	// retryAt is the earliest time (unix nanos) a down worker may be
+	// probed again; claimed by CAS so concurrent dispatches send at most
+	// one probe per backoff window.
+	retryAt atomic.Int64
 }
 
 func (w *worker) down() bool { return w.fails.Load() >= downAfter }
@@ -53,9 +67,11 @@ func (w *worker) down() bool { return w.fails.Load() >= downAfter }
 // failed it, the task falls back to Options.Fallback. Task-level errors
 // (the job itself failed) are never retried — they are deterministic.
 type RemoteExecutor struct {
-	workers  []*worker
-	fallback engine.Executor
-	client   *http.Client
+	workers      []*worker
+	fallback     engine.Executor
+	client       *http.Client
+	reprobeAfter time.Duration
+	now          func() time.Time // injectable clock for tests
 }
 
 // Dial connects to the given worker addresses ("host:port" or full
@@ -67,9 +83,17 @@ func Dial(ctx context.Context, addrs []string, opts Options) (*RemoteExecutor, e
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("remote: no worker addresses")
 	}
-	e := &RemoteExecutor{fallback: opts.Fallback, client: opts.Client}
+	e := &RemoteExecutor{
+		fallback:     opts.Fallback,
+		client:       opts.Client,
+		reprobeAfter: opts.ReprobeAfter,
+		now:          time.Now,
+	}
 	if e.client == nil {
 		e.client = &http.Client{}
+	}
+	if e.reprobeAfter == 0 {
+		e.reprobeAfter = defaultReprobeAfter
 	}
 	for _, addr := range addrs {
 		base := addr
@@ -155,7 +179,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 				// toward down-marking (a consistently mismatched worker
 				// must not get a wasted round-trip per task), exclude it
 				// for this task and keep trying the rest of the fleet.
-				w.fails.Add(1)
+				e.markFailure(w)
 				lastErr = fmt.Errorf("worker %s: %w", w.addr, verr)
 				excluded[w] = true
 				continue
@@ -168,7 +192,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 			// budget on aborted requests.
 			return api.TaskResult{}, ctx.Err()
 		}
-		w.fails.Add(1)
+		e.markFailure(w)
 		lastErr = fmt.Errorf("worker %s: %w", w.addr, err)
 		excluded[w] = true
 	}
@@ -181,21 +205,60 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 	return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: %w (no fallback executor)", spec.Job, spec.Shard, lastErr)
 }
 
+// markFailure records one transport failure against a worker; crossing
+// the down threshold starts (or extends) its re-probation backoff.
+func (e *RemoteExecutor) markFailure(w *worker) {
+	if w.fails.Add(1) >= downAfter && e.reprobeAfter > 0 {
+		w.retryAt.Store(e.now().Add(e.reprobeAfter).UnixNano())
+	}
+}
+
 // acquire reserves an inflight slot on a live, non-excluded worker,
 // preferring the least loaded. The reservation happens here — not at
 // dispatch time — so concurrent tasks that observe the same load spread
 // across the fleet instead of piling onto one worker's queue: a worker
 // with a free slot is always taken over blocking on a saturated one.
-// Returns (nil, nil) when every candidate is excluded or down; the
-// caller owns releasing the returned worker's slot.
+// A down worker whose re-probation backoff has elapsed is claimed for
+// one probe task, dispatched ahead of the live fleet; success resets
+// its failure count and restores it to normal least-loaded selection,
+// failure buys it another backoff. Returns (nil, nil) when every
+// candidate is excluded or down; the caller owns releasing the
+// returned worker's slot.
 func (e *RemoteExecutor) acquire(ctx context.Context, excluded map[*worker]bool) (*worker, error) {
 	for {
 		// Candidates in ascending load order (stable across the loop
-		// body; load is read once per pass).
+		// body; load is read once per pass). A down worker whose probe is
+		// due is handled first and separately: the probe window is only
+		// claimed (retryAt CAS-pushed forward, so concurrent dispatches
+		// send at most one probe) when this dispatch actually commits to
+		// it, and a claimed probe is dispatched ahead of the live fleet —
+		// deferring it behind the least-loaded sort could starve the
+		// probe forever on load ties.
 		var cands []*worker
+		now := e.now().UnixNano()
 		for _, w := range e.workers {
-			if excluded[w] || w.down() {
+			if excluded[w] {
 				continue
+			}
+			if w.down() {
+				if e.reprobeAfter <= 0 {
+					continue
+				}
+				at := w.retryAt.Load()
+				// at == 0: the worker just crossed the down threshold and
+				// markFailure has not stored its backoff yet — not probe
+				// time, a full backoff must elapse first.
+				if at == 0 || now < at || !w.retryAt.CompareAndSwap(at, now+int64(e.reprobeAfter)) {
+					continue
+				}
+				select {
+				case w.slots <- struct{}{}:
+					return w, nil
+				default:
+					// Still busy with pre-down work; the claimed window
+					// is spent, the probe waits for the next backoff.
+					continue
+				}
 			}
 			cands = append(cands, w)
 		}

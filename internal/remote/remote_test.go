@@ -175,6 +175,86 @@ func TestRetryWithExclusion(t *testing.T) {
 	}
 }
 
+// TestDownWorkerReprobedAfterBackoff: a worker down-marked after
+// downAfter consecutive failures sits out the backoff, is offered one
+// probe task once it elapses, and rejoins selection when the probe
+// succeeds — instead of staying out for the whole run.
+func TestDownWorkerReprobedAfterBackoff(t *testing.T) {
+	good := startWorker(t, testRegistry(t), "good", 4)
+
+	// The flaky worker 500s /v1/execute while failing is set and serves
+	// normally otherwise.
+	inner := NewServer(testRegistry(t), "flaky", 4)
+	var failing atomic.Bool
+	var execHits atomic.Int64
+	failing.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == ExecutePath {
+			execHits.Add(1)
+			if failing.Load() {
+				http.Error(w, "transient outage", http.StatusInternalServerError)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	// The good worker is dialed first: on load ties the stable
+	// least-loaded sort prefers it, so this order proves the elapsed
+	// probe is dispatched ahead of the live fleet instead of starving
+	// behind it.
+	re := dial(t, Options{ReprobeAfter: time.Minute}, good.URL, flaky.URL)
+	clock := time.Now()
+	re.now = func() time.Time { return clock }
+
+	run := func() *engine.Report {
+		t.Helper()
+		rep, err := engine.Run(testRegistry(t), engine.Options{Workers: 2, BaseSeed: 5, Executor: re})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// Run 1: the flaky worker fails its way to down-marked.
+	run()
+	downHits := execHits.Load()
+	if downHits < downAfter {
+		t.Fatalf("flaky worker hit %d times, want >= %d to trip down-marking", downHits, downAfter)
+	}
+
+	// Run 2, inside the backoff: the worker must not be probed.
+	run()
+	if got := execHits.Load(); got != downHits {
+		t.Fatalf("down worker probed %d times during backoff", got-downHits)
+	}
+
+	// Heal the worker and advance past the backoff: the next run probes
+	// it, the probe succeeds, and it serves tasks again.
+	failing.Store(false)
+	clock = clock.Add(2 * time.Minute)
+	rep := run()
+	if got := execHits.Load(); got <= downHits {
+		t.Fatal("down worker never re-probed after the backoff elapsed")
+	}
+	for _, w := range re.workers {
+		if w.name == "flaky" && w.down() {
+			t.Fatal("successful probe must restore the worker")
+		}
+	}
+	local, err := engine.Run(testRegistry(t), engine.Options{Workers: 1, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reportText(rep) != reportText(local) {
+		t.Fatal("report diverged across the re-probation cycle")
+	}
+}
+
 // TestFallbackToLocal: when every worker dies after dial, tasks run on
 // the fallback executor and the run still completes correctly.
 func TestFallbackToLocal(t *testing.T) {

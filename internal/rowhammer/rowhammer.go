@@ -7,6 +7,13 @@
 // counts inside the current refresh window, and injects flips into the
 // device's stored bits, so attacks and defenses interact through real state
 // rather than bookkeeping flags.
+//
+// Per-row state is dense — slices indexed by Geometry.LinearIndex with an
+// epoch stamp per row — so the activation hot path is two array accesses,
+// and closing a refresh window is O(1) (the epoch advances; stale counters
+// are invalidated in place rather than freed). The cost is
+// O(Geometry.TotalRows()) memory up front: ~9 bytes per row, ~36MB for the
+// 32GB DefaultGeometry and a few hundred KB for the test geometries.
 package rowhammer
 
 import (
@@ -94,6 +101,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// targetEntry holds the attacker-registered flip bits of one victim row.
+// Entries live in a compact slice whose bit slices are reused across
+// RegisterTarget/ClearTargets cycles, so the per-TryFlip register/clear
+// pattern of the DRAM executor allocates nothing in steady state.
+type targetEntry struct {
+	idx  int32
+	bits []int
+}
+
 // Engine tracks activations and injects disturbance flips into a device.
 //
 // Targeted flips: the paper's threat model (assumptions 4-5) grants the
@@ -108,10 +124,18 @@ type Engine struct {
 	rng  *stats.RNG
 	geom dram.Geometry
 
-	counts      map[int]int // LinearIndex -> activations in current window
+	// counts[i] is row i's activation count in the current refresh
+	// window, valid only when stamp[i] == epoch; touched lists the rows
+	// stamped in this window so scans never walk the whole geometry.
+	counts      []int32
+	stamp       []uint32
+	epoch       uint32
+	touched     []int32
 	windowStart dram.Picoseconds
 
-	targets map[int][]int // victim LinearIndex -> bit positions to flip
+	// targetSlot[i] indexes targets for victim row i, -1 when absent.
+	targetSlot []int32
+	targets    []targetEntry
 
 	flips   []FlipEvent
 	history FlipHistory
@@ -131,13 +155,19 @@ func New(dev *dram.Device, cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	total := dev.Geometry().TotalRows()
 	e := &Engine{
-		cfg:     cfg,
-		dev:     dev,
-		rng:     stats.NewRNG(cfg.Seed),
-		geom:    dev.Geometry(),
-		counts:  make(map[int]int),
-		targets: make(map[int][]int),
+		cfg:        cfg,
+		dev:        dev,
+		rng:        stats.NewRNG(cfg.Seed),
+		geom:       dev.Geometry(),
+		counts:     make([]int32, total),
+		stamp:      make([]uint32, total),
+		epoch:      1,
+		targetSlot: make([]int32, total),
+	}
+	for i := range e.targetSlot {
+		e.targetSlot[i] = -1
 	}
 	dev.AddActivateObserver(e)
 	return e, nil
@@ -146,35 +176,64 @@ func New(dev *dram.Device, cfg Config) (*Engine, error) {
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Epoch returns the current refresh-window epoch (starts at 1; each
+// ResetWindow advances it).
+func (e *Engine) Epoch() uint32 { return e.epoch }
+
 // RegisterTarget records attacker-intended flip bits for a victim row.
 // Duplicate bits are ignored.
 func (e *Engine) RegisterTarget(victim dram.RowAddr, bits ...int) error {
 	if !e.geom.Valid(victim) {
 		return fmt.Errorf("rowhammer: invalid victim %v", victim)
 	}
-	idx := e.geom.LinearIndex(victim)
-	existing := e.targets[idx]
 	for _, b := range bits {
 		if b < 0 || b >= e.geom.RowBytes*8 {
 			return fmt.Errorf("rowhammer: bit %d outside row", b)
 		}
+	}
+	idx := e.geom.LinearIndex(victim)
+	en := e.targetFor(idx)
+	for _, b := range bits {
 		dup := false
-		for _, x := range existing {
+		for _, x := range en.bits {
 			if x == b {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			existing = append(existing, b)
+			en.bits = append(en.bits, b)
 		}
 	}
-	e.targets[idx] = existing
 	return nil
 }
 
-// ClearTargets removes all registered targets.
-func (e *Engine) ClearTargets() { e.targets = make(map[int][]int) }
+// targetFor returns the target entry of a victim row, creating it (with a
+// recycled bit slice where one is available) when absent.
+func (e *Engine) targetFor(idx int) *targetEntry {
+	if si := e.targetSlot[idx]; si >= 0 {
+		return &e.targets[si]
+	}
+	n := len(e.targets)
+	if n < cap(e.targets) {
+		e.targets = e.targets[:n+1]
+		e.targets[n].bits = e.targets[n].bits[:0]
+	} else {
+		e.targets = append(e.targets, targetEntry{})
+	}
+	e.targets[n].idx = int32(idx)
+	e.targetSlot[idx] = int32(n)
+	return &e.targets[n]
+}
+
+// ClearTargets removes all registered targets, keeping the entry storage
+// for reuse.
+func (e *Engine) ClearTargets() {
+	for i := range e.targets {
+		e.targetSlot[e.targets[i].idx] = -1
+	}
+	e.targets = e.targets[:0]
+}
 
 // ObserveActivate implements dram.ActivateObserver.
 func (e *Engine) ObserveActivate(addr dram.RowAddr, now dram.Picoseconds) {
@@ -183,9 +242,15 @@ func (e *Engine) ObserveActivate(addr dram.RowAddr, now dram.Picoseconds) {
 		e.ResetWindow(now)
 	}
 	idx := e.geom.LinearIndex(addr)
-	e.counts[idx]++
+	if e.stamp[idx] != e.epoch {
+		e.stamp[idx] = e.epoch
+		e.counts[idx] = 1
+		e.touched = append(e.touched, int32(idx))
+	} else {
+		e.counts[idx]++
+	}
 	e.history.TotalActivations++
-	if e.counts[idx] == e.cfg.TRH+1 {
+	if int(e.counts[idx]) == e.cfg.TRH+1 {
 		// Threshold crossed in this window: disturb neighbors once. The
 		// count keeps rising; a second crossing needs a fresh window.
 		e.history.ThresholdCrosses++
@@ -207,8 +272,8 @@ func (e *Engine) disturb(aggressor dram.RowAddr, now dram.Picoseconds) {
 
 func (e *Engine) flipVictim(aggressor, victim dram.RowAddr, now dram.Picoseconds) {
 	idx := e.geom.LinearIndex(victim)
-	if bits, ok := e.targets[idx]; ok && len(bits) > 0 {
-		for _, b := range bits {
+	if si := e.targetSlot[idx]; si >= 0 && len(e.targets[si].bits) > 0 {
+		for _, b := range e.targets[si].bits {
 			if err := e.dev.FlipBit(victim, b); err == nil {
 				e.recordFlip(aggressor, victim, b, now)
 			}
@@ -233,13 +298,22 @@ func (e *Engine) recordFlip(aggressor, victim dram.RowAddr, bit int, now dram.Pi
 // row relocation): the accumulated disturbance toward the row's neighbors
 // is neutralised.
 func (e *Engine) ResetRow(a dram.RowAddr) {
-	delete(e.counts, e.geom.LinearIndex(a))
+	idx := e.geom.LinearIndex(a)
+	if e.stamp[idx] == e.epoch {
+		e.counts[idx] = 0
+	}
 }
 
 // ResetWindow starts a new refresh window: all activation counts reset,
-// modelling the refresh of every row.
+// modelling the refresh of every row. The reset is O(1) — the window
+// epoch advances, invalidating every count in place.
 func (e *Engine) ResetWindow(now dram.Picoseconds) {
-	e.counts = make(map[int]int)
+	e.epoch++
+	if e.epoch == 0 { // epoch wrapped: stale stamps could collide
+		clear(e.stamp)
+		e.epoch = 1
+	}
+	e.touched = e.touched[:0]
 	e.windowStart = now
 	e.history.Windows++
 }
@@ -249,7 +323,11 @@ func (e *Engine) WindowStart() dram.Picoseconds { return e.windowStart }
 
 // Count returns the current-window activation count of a row.
 func (e *Engine) Count(a dram.RowAddr) int {
-	return e.counts[e.geom.LinearIndex(a)]
+	idx := e.geom.LinearIndex(a)
+	if e.stamp[idx] != e.epoch {
+		return 0
+	}
+	return int(e.counts[idx])
 }
 
 // Flips returns all injected flip events so far.
@@ -265,9 +343,11 @@ func (e *Engine) HottestRows(n int) []dram.RowAddr {
 	type rc struct {
 		idx, count int
 	}
-	all := make([]rc, 0, len(e.counts))
-	for idx, c := range e.counts {
-		all = append(all, rc{idx, c})
+	all := make([]rc, 0, len(e.touched))
+	for _, idx := range e.touched {
+		if c := e.counts[idx]; c > 0 {
+			all = append(all, rc{int(idx), int(c)})
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].count != all[j].count {

@@ -187,6 +187,91 @@ func TestHottestRowsOrdering(t *testing.T) {
 	}
 }
 
+// TestWindowEpochSemantics pins the epoch-stamped dense reset: a row's
+// counter survives arbitrarily many activations within one window,
+// clears across a single ResetWindow (without touching other windows'
+// history), and History totals keep accumulating across windows.
+func TestWindowEpochSemantics(t *testing.T) {
+	dev, eng := newRig(t, 1000)
+	a := dram.RowAddr{Bank: 0, Row: 10}
+	b := dram.RowAddr{Bank: 1, Row: 20}
+
+	hammer(t, dev, a, 7)
+	hammer(t, dev, b, 3)
+	if eng.Count(a) != 7 || eng.Count(b) != 3 {
+		t.Fatalf("counts within window = (%d, %d), want (7, 3)", eng.Count(a), eng.Count(b))
+	}
+	epoch := eng.Epoch()
+	hist := eng.History()
+	if hist.TotalActivations != 10 {
+		t.Fatalf("TotalActivations = %d, want 10", hist.TotalActivations)
+	}
+
+	eng.ResetWindow(dev.Now())
+	if eng.Epoch() != epoch+1 {
+		t.Fatalf("epoch = %d after reset, want %d", eng.Epoch(), epoch+1)
+	}
+	if eng.Count(a) != 0 || eng.Count(b) != 0 {
+		t.Fatal("one ResetWindow must clear every row's count")
+	}
+	// History is cumulative across windows: totals are unchanged by the
+	// reset, and new activations keep adding to them.
+	if got := eng.History().TotalActivations; got != 10 {
+		t.Fatalf("TotalActivations changed across reset: %d", got)
+	}
+	hammer(t, dev, a, 2)
+	if eng.Count(a) != 2 {
+		t.Fatalf("fresh-window count = %d, want 2", eng.Count(a))
+	}
+	if got := eng.History().TotalActivations; got != 12 {
+		t.Fatalf("TotalActivations = %d, want 12", got)
+	}
+	if eng.History().Windows == 0 {
+		t.Fatal("window rollovers must be counted")
+	}
+}
+
+// TestEpochWrapClearsStamps drives the window epoch over the uint32 wrap
+// and checks a stale stamp from epoch 1 cannot masquerade as current.
+func TestEpochWrapClearsStamps(t *testing.T) {
+	dev, eng := newRig(t, 1000)
+	a := dram.RowAddr{Bank: 0, Row: 10}
+	hammer(t, dev, a, 4) // stamps the row at epoch 1
+	eng.epoch = ^uint32(0)
+	eng.ResetWindow(dev.Now())
+	if eng.Epoch() != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1 (restart)", eng.Epoch())
+	}
+	if eng.Count(a) != 0 {
+		t.Fatalf("stale epoch-1 stamp leaked a count of %d through the wrap", eng.Count(a))
+	}
+	hammer(t, dev, a, 2)
+	if eng.Count(a) != 2 {
+		t.Fatalf("post-wrap count = %d, want 2", eng.Count(a))
+	}
+}
+
+// TestClearTargetsReusesStorage: the register/clear cycle the DRAM
+// executor runs per flip attempt must not leak or misroute targets.
+func TestClearTargetsReusesStorage(t *testing.T) {
+	dev, eng := newRig(t, 5)
+	v1 := dram.RowAddr{Bank: 0, Row: 11}
+	v2 := dram.RowAddr{Bank: 0, Row: 21}
+	eng.RegisterTarget(v1, 3)
+	eng.ClearTargets()
+	// After a clear, v1 must be untargeted and a new registration on v2
+	// (recycling v1's slot) must only affect v2.
+	eng.RegisterTarget(v2, 4)
+	hammer(t, dev, dram.RowAddr{Bank: 0, Row: 10}, 6) // crosses next to v1
+	hammer(t, dev, dram.RowAddr{Bank: 0, Row: 20}, 6) // crosses next to v2
+	if set, _ := dev.PeekBit(v1, 3); set {
+		t.Fatal("cleared target must not flip")
+	}
+	if set, _ := dev.PeekBit(v2, 4); !set {
+		t.Fatal("re-registered target must flip")
+	}
+}
+
 func TestRegisterTargetValidation(t *testing.T) {
 	_, eng := newRig(t, 10)
 	if err := eng.RegisterTarget(dram.RowAddr{Bank: 99, Row: 0}, 0); err == nil {

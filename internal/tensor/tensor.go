@@ -319,11 +319,22 @@ func col2imImage(x, cols []float32, img, c, h, w, outH, outW, kh, kw, stride, pa
 // ArgMaxRow returns the index of the maximum element in each row of a 2-D
 // tensor (class predictions from logits).
 func ArgMaxRow(t *Tensor) []int {
+	return ArgMaxRowInto(nil, t)
+}
+
+// ArgMaxRowInto is ArgMaxRow writing into dst, which is grown only when
+// its capacity is short — evaluation loops pass the previous batch's
+// slice back in so per-batch predictions cost no allocation.
+func ArgMaxRowInto(dst []int, t *Tensor) []int {
 	if len(t.Shape) != 2 {
 		panic("tensor: ArgMaxRow needs a 2-D tensor")
 	}
 	rows, cols := t.Shape[0], t.Shape[1]
-	out := make([]int, rows)
+	out := dst
+	if cap(out) < rows {
+		out = make([]int, rows)
+	}
+	out = out[:rows]
 	for i := 0; i < rows; i++ {
 		row := t.Data[i*cols : (i+1)*cols]
 		best := 0

@@ -1,0 +1,36 @@
+package trace
+
+// Replay gauge (make bench-attack): drives a mixed read/write/hammer
+// trace through the controller over the dense lock-table and rowhammer
+// state. Allocs/op tracks the zero-alloc dispatch path (reused read and
+// write buffers, array-indexed lock lookups, epoch-stamped hammer
+// counters).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// BenchmarkReplayDense replays a 3000-entry trace: 2000 random
+// privileged reads, 500 writes, 500 attacker hammers on one row.
+func BenchmarkReplayDense(b *testing.B) {
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &Trace{}
+	RandomAccess(tr, sys.Device().Geometry(), 1<<16, 2000, 64, 7)
+	for i := 0; i < 500; i++ {
+		tr.Append(Entry{Kind: Write, Phys: int64((i % 64) * 256), Len: 64, Privileged: true})
+	}
+	HammerBurst(tr, dram.RowAddr{Bank: 0, Row: 40}, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(tr, sys.Controller()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

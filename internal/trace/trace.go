@@ -261,6 +261,12 @@ func (s ReplayStats) RowHitRate() float64 {
 }
 
 // Replay drives the trace through the controller and aggregates statistics.
+//
+// The per-entry dispatch is allocation-free in steady state: one write
+// payload and one read destination are reused across every entry (grown
+// only when an entry is larger than anything seen before), and read
+// results land in the reused destination via Request.Buf instead of a
+// per-request buffer.
 func Replay(t *Trace, ctl *controller.Controller) (ReplayStats, error) {
 	var rs ReplayStats
 	startSwaps := ctl.Stats().Swaps
@@ -268,7 +274,9 @@ func Replay(t *Trace, ctl *controller.Controller) (ReplayStats, error) {
 	startMisses := ctl.Stats().RowMisses
 	startEnergy := ctl.Device().Stats().EnergyPJ
 	payload := make([]byte, 256)
-	for i, e := range t.Entries {
+	readBuf := make([]byte, 256)
+	for i := range t.Entries {
+		e := &t.Entries[i]
 		rs.Requests++
 		switch e.Kind {
 		case Hammer:
@@ -282,20 +290,23 @@ func Replay(t *Trace, ctl *controller.Controller) (ReplayStats, error) {
 				rs.DeniedLatency += lat
 			}
 		case Read:
+			if e.Len > len(readBuf) {
+				readBuf = make([]byte, e.Len)
+			}
 			resp, err := ctl.Submit(controller.Request{
 				Kind: controller.ReqRead, Phys: e.Phys, Len: e.Len, Privileged: e.Privileged,
+				Buf: readBuf,
 			})
 			if err != nil {
 				return rs, fmt.Errorf("trace: entry %d: %w", i, err)
 			}
 			rs.accumulate(resp, e.Privileged)
 		case Write:
-			n := e.Len
-			if n > len(payload) {
-				payload = make([]byte, n)
+			if e.Len > len(payload) {
+				payload = make([]byte, e.Len)
 			}
 			resp, err := ctl.Submit(controller.Request{
-				Kind: controller.ReqWrite, Phys: e.Phys, Data: payload[:n], Privileged: e.Privileged,
+				Kind: controller.ReqWrite, Phys: e.Phys, Data: payload[:e.Len], Privileged: e.Privileged,
 			})
 			if err != nil {
 				return rs, fmt.Errorf("trace: entry %d: %w", i, err)
