@@ -12,20 +12,22 @@ test:
 	$(GO) test ./...
 
 # Race smoke on the concurrent packages: the engine scheduler/executor,
-# sharded state and disk cache, the remote worker server/client and its
-# wire types, the worker-budget semaphore and the parallel tensor/nn
-# kernels it feeds, the goroutine-parallel BFA candidate scoring and the
-# rowhammer engine it drives, plus the trace replay layer.
+# sharded state and disk cache, the remote worker server/client, the job
+# broker and its wire types, the worker-budget semaphore and the
+# parallel tensor/nn kernels it feeds, the goroutine-parallel BFA
+# candidate scoring and the rowhammer engine it drives, plus the trace
+# replay layer.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/remote/ \
-		./internal/api/ ./internal/trace/ \
+		./internal/queue/ ./internal/api/ ./internal/trace/ \
 		./internal/par/ ./internal/tensor/ ./internal/nn/ \
 		./internal/attack/ ./internal/rowhammer/
 
-# Loopback end-to-end gate for the remote executor: boots dramlockerd on
-# 127.0.0.1, runs the tiny preset through -remote at workers 1 and 4, and
-# asserts the reports are byte-identical to local runs (plus a warm
-# -require-cached replay over a shared -cache-dir).
+# Loopback end-to-end gate for the remote executors: boots dramlockerd
+# on 127.0.0.1 in both topologies — push worker (-remote) and job-queue
+# broker with a pull worker (-broker) — runs the tiny preset through
+# each at workers 1 and 4, and asserts the reports are byte-identical to
+# local runs (plus warm -require-cached replays over shared -cache-dirs).
 e2e-remote:
 	bash scripts/e2e_remote.sh
 

@@ -12,7 +12,9 @@
 //	dramlocker -exp all -preset tiny -json
 //	dramlocker -exp all -preset paper -cache-dir ~/.cache/dramlocker
 //	dramlocker -exp all -preset tiny -remote 10.0.0.7:9740,10.0.0.8:9740
+//	dramlocker -exp all -preset tiny -broker 10.0.0.9:9741 -tenant ci
 //	dramlocker -list
+//	dramlocker -list -json
 //
 // Experiments: fig1a fig1b mc table1 fig7a fig7b defense fig8a fig8b
 // fig8pta table2 perf all, or any glob over the full job names
@@ -27,6 +29,18 @@
 // excluded and their tasks retried elsewhere, falling back to local
 // execution when the whole fleet is unreachable. Daemons must serve the
 // presets the run selects (dramlockerd -preset ...).
+//
+// Queue execution: -broker submits the tasks to a dramlockerd -broker
+// job queue instead, where registered pull workers pick them up —
+// membership is dynamic, capacity is shared across tenants by weighted
+// fairness, and stragglers are hedged. -tenant names this run's
+// fairness bucket and -priority orders it within the tenant. The same
+// scheduler-side guarantees hold: the report is byte-identical to a
+// local or -remote run. -remote and -broker are mutually exclusive.
+//
+// -list prints the registered jobs with shard counts and cache-key
+// stems; -list -json emits the same listing as the dlexec2 api.Listing
+// wire schema, for broker tooling and scripts.
 //
 // Caching: results are memoised per job and per shard under a key built
 // from the experiment id, the preset hash and the base seed. By default
@@ -50,6 +64,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/remote"
@@ -76,6 +92,9 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable result caching entirely (recompute everything)")
 	requireCached := flag.Bool("require-cached", false, "fail unless every job is served from the cache (CI warm-run gate)")
 	remoteAddrs := flag.String("remote", "", "comma-separated dramlockerd worker addresses (host:port); empty = in-process execution")
+	brokerAddr := flag.String("broker", "", "dramlockerd -broker address (host:port); submit tasks through the job queue instead of -remote push")
+	tenant := flag.String("tenant", "", "broker fairness bucket this run submits under (default: the broker's default tenant)")
+	priority := flag.Int("priority", 0, "broker priority within the tenant (higher dispatches first)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -110,7 +129,7 @@ func main() {
 		exp: *exp, preset: *preset, workers: *workers,
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
-		remote: *remoteAddrs,
+		remote: *remoteAddrs, broker: *brokerAddr, tenant: *tenant, priority: *priority,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -155,6 +174,9 @@ type config struct {
 	noCache       bool
 	requireCached bool
 	remote        string
+	broker        string
+	tenant        string
+	priority      int
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -164,22 +186,10 @@ func run(ctx context.Context, cfg config) error {
 	}
 
 	if cfg.list {
-		// Shard counts and cache keys let operators predict remote
-		// fan-out (units = shards, or 1 for monoliths) and cache reuse
-		// before submitting a run.
-		fmt.Printf("%-16s %-6s %-24s %s\n", "JOB", "UNITS", "CACHE KEY", "TITLE")
-		for _, j := range reg.Jobs() {
-			units := "1"
-			if n := len(j.Shards); n > 0 {
-				units = fmt.Sprintf("%d", n)
-			}
-			key := j.Key
-			if key == "" {
-				key = "-"
-			}
-			fmt.Printf("%-16s %-6s %-24s %s\n", j.Name, units, key, j.Title)
-		}
-		return nil
+		return listJobs(reg, cfg.jsonOut)
+	}
+	if cfg.remote != "" && cfg.broker != "" {
+		return fmt.Errorf("-remote and -broker are mutually exclusive (push vs queue dispatch)")
 	}
 
 	cache, err := buildCache(cfg)
@@ -204,6 +214,19 @@ func run(ctx context.Context, cfg config) error {
 		opts.Executor = re
 		if !cfg.quiet {
 			fmt.Fprintf(os.Stderr, "remote    %s\n", strings.Join(re.Workers(), " "))
+		}
+	}
+	if cfg.broker != "" {
+		qe, err := remote.DialQueue(ctx, cfg.broker, remote.QueueOptions{
+			Tenant:   cfg.tenant,
+			Priority: cfg.priority,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Executor = qe
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "broker    %s\n", qe.Broker())
 		}
 	}
 	if !cfg.quiet {
@@ -240,6 +263,48 @@ func run(ctx context.Context, cfg config) error {
 			return fmt.Errorf("-require-cached: %d of %d jobs were computed, not replayed from the cache",
 				computed, len(rep.Results))
 		}
+	}
+	return nil
+}
+
+// listJobs renders the registry listing. Shard counts and cache keys
+// let operators predict remote fan-out (units = shards, or 1 for
+// monoliths) and cache reuse before submitting a run. With jsonOut the
+// listing is emitted as the dlexec2 api.Listing wire schema, so broker
+// tooling and scripts consume the same shape the protocol uses.
+func listJobs(reg *engine.Registry, jsonOut bool) error {
+	if jsonOut {
+		listing := api.Listing{Proto: api.Version}
+		for _, j := range reg.Jobs() {
+			units := 1
+			if n := len(j.Shards); n > 0 {
+				units = n
+			}
+			listing.Jobs = append(listing.Jobs, api.JobInfo{
+				Name:  j.Name,
+				Title: j.Title,
+				Units: units,
+				Key:   j.Key,
+			})
+		}
+		buf, err := json.MarshalIndent(listing, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	fmt.Printf("%-16s %-6s %-24s %s\n", "JOB", "UNITS", "CACHE KEY", "TITLE")
+	for _, j := range reg.Jobs() {
+		units := "1"
+		if n := len(j.Shards); n > 0 {
+			units = fmt.Sprintf("%d", n)
+		}
+		key := j.Key
+		if key == "" {
+			key = "-"
+		}
+		fmt.Printf("%-16s %-6s %-24s %s\n", j.Name, units, key, j.Title)
 	}
 	return nil
 }

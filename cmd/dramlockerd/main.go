@@ -1,29 +1,47 @@
-// Command dramlockerd is the remote worker daemon: it serves this
-// repository's experiment jobs to dramlocker schedulers over HTTP, so a
-// run can fan its shards out across machines.
+// Command dramlockerd is the distributed-execution daemon. It runs in
+// one of three modes:
 //
-// Usage:
-//
-//	dramlockerd                                  # all presets on 127.0.0.1:9740
+//	dramlockerd                                  # push worker on 127.0.0.1:9740
 //	dramlockerd -addr 0.0.0.0:9740 -capacity 8
 //	dramlockerd -preset tiny,small -name rack7
+//	dramlockerd -broker -addr 0.0.0.0:9741       # job-queue broker
+//	dramlockerd -broker -hedge-after 2m -weights ci=1,interactive=4
+//	dramlockerd -pull 10.0.0.9:9741              # pull worker for that broker
 //
-// The daemon builds the same job registry as the CLI (one job per preset
-// × experiment, shards included) and executes the tasks a scheduler
-// POSTs to /v1/execute; GET /v1/status reports identity, registry size
-// and load. Tasks arrive as (job name, shard index, seed, cache-key stem)
-// — internal/api, protocol version dlexec1 — and the daemon refuses any
-// task whose cache key its own registry cannot reproduce, so a worker
-// built from different preset knobs or experiment code can never feed a
-// scheduler's cache. Results, ordering, merging and caching all stay on
-// the scheduler side; the daemon is stateless between tasks and keeps no
-// result cache of its own.
+// Push worker (default): builds the same job registry as the CLI (one
+// job per preset × experiment, shards included) and executes the tasks a
+// scheduler POSTs to /v1/execute; GET /v1/status reports identity,
+// registry size, protocol and drain state. Tasks arrive as (job name,
+// shard index, seed, cache-key stem) — internal/api, protocol dlexec2 —
+// and the daemon refuses any task whose cache key its own registry
+// cannot reproduce, so a worker built from different preset knobs or
+// experiment code can never feed a scheduler's cache.
+//
+// Broker (-broker): serves the dlexec2 job queue instead — schedulers
+// submit jobs (dramlocker -broker), workers register and pull leases
+// (dramlockerd -pull). The broker executes nothing and holds no
+// registry; it routes opaque tasks with weighted per-tenant fairness
+// (-weights tenant=N,...), requeues tasks whose lease expires
+// (-lease-ttl), and hedges stragglers onto idle workers (-hedge-after,
+// 0 disables). GET /v1/status answers with role "broker".
+//
+// Pull worker (-pull broker-addr): registers with a broker and works
+// its queue — poll, execute against the local registry, renew, report.
+// Membership is dynamic: workers join and leave freely, and a worker
+// that dies mid-lease is recovered by lease expiry.
+//
+// In every mode SIGINT/SIGTERM drain before exit: a push worker flips
+// /v1/status to draining and refuses new tasks while in-flight ones
+// finish; a broker refuses new submissions and registrations; a pull
+// worker tells the broker to stop offering it leases and reports what
+// it already holds. Results, ordering, merging and caching all stay on
+// the scheduler side; daemons are stateless between tasks and keep no
+// result cache of their own.
 //
 // -capacity bounds concurrent task executions (default: NumCPU). The
 // compute kernels inside each task share the process-wide internal/par
 // worker budget exactly as in the CLI, so a saturated daemon runs serial
-// kernels inside parallel tasks. SIGINT/SIGTERM drain in-flight tasks
-// and exit.
+// kernels inside parallel tasks.
 package main
 
 import (
@@ -37,31 +55,40 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/queue"
 	"repro/internal/remote"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9740", "listen address (host:port)")
-	preset := flag.String("preset", "tiny,small,paper", "comma-separated presets whose jobs this worker serves")
-	name := flag.String("name", "", "worker name advertised in /v1/status (default: hostname)")
+	addr := flag.String("addr", "127.0.0.1:9740", "listen address (host:port); ignored with -pull")
+	preset := flag.String("preset", "tiny,small,paper", "comma-separated presets whose jobs this worker serves; ignored with -broker")
+	name := flag.String("name", "", "daemon name advertised in /v1/status (default: hostname)")
 	capacity := flag.Int("capacity", 0, "max concurrent task executions (0 = number of CPUs)")
+	broker := flag.Bool("broker", false, "run the job-queue broker instead of a push worker")
+	pull := flag.String("pull", "", "run a pull worker against the broker at this address instead of a push worker")
+	leaseTTL := flag.Duration("lease-ttl", queue.DefaultLeaseTTL, "broker: lease duration before an unrenewed task requeues")
+	hedgeAfter := flag.Duration("hedge-after", 0, "broker: duplicate a straggling task onto an idle worker after this long (0 = off)")
+	weights := flag.String("weights", "", "broker: per-tenant fairness weights, tenant=N[,tenant=N...] (absent tenants weigh 1)")
 	flag.Parse()
 
-	if err := run(*addr, *preset, *name, *capacity); err != nil {
+	if *broker && *pull != "" {
+		fmt.Fprintln(os.Stderr, "dramlockerd: -broker and -pull are mutually exclusive")
+		os.Exit(1)
+	}
+	if err := run(*addr, *preset, *name, *capacity, *broker, *pull, *leaseTTL, *hedgeAfter, *weights); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, preset, name string, capacity int) error {
-	reg, err := experiments.BuildRegistry(experiments.SplitList(preset))
-	if err != nil {
-		return err
-	}
+func run(addr, preset, name string, capacity int, broker bool, pull string, leaseTTL, hedgeAfter time.Duration, weights string) error {
+	var err error
 	if name == "" {
 		if name, err = os.Hostname(); err != nil || name == "" {
 			name = "dramlockerd"
@@ -71,16 +98,46 @@ func run(addr, preset, name string, capacity int) error {
 		capacity = runtime.NumCPU()
 	}
 
-	// Bind before announcing, so ":0" resolves to a concrete port and the
-	// log line doubles as a readiness signal (the e2e gate relies on it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if broker {
+		w, err := parseWeights(weights)
+		if err != nil {
+			return err
+		}
+		return runBroker(ctx, stop, addr, name, queue.Config{
+			LeaseTTL:   leaseTTL,
+			HedgeAfter: hedgeAfter,
+			Weights:    w,
+		})
+	}
+
+	reg, err := experiments.BuildRegistry(experiments.SplitList(preset))
+	if err != nil {
+		return err
+	}
+
+	if pull != "" {
+		w := remote.NewPullWorker(pull, reg, name, capacity, nil)
+		log.Printf("dramlockerd %q pulling from broker %s (%d jobs, capacity %d, proto %s)",
+			name, pull, reg.Len(), capacity, remote.ProtoVersion)
+		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		log.Printf("dramlockerd: drained, exiting")
+		return nil
+	}
+
+	// Push worker: bind before announcing, so ":0" resolves to a concrete
+	// port and the log line doubles as a readiness signal (the e2e gate
+	// relies on it).
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: remote.NewServer(reg, name, capacity)}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ws := remote.NewServer(reg, name, capacity)
+	srv := &http.Server{Handler: ws}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -93,10 +150,11 @@ func run(addr, preset, name string, capacity int) error {
 	case <-ctx.Done():
 	}
 
-	// Drain: let in-flight tasks finish before exiting; the grace period
-	// bounds the wait, and releasing the signal handler here means a
-	// second Ctrl-C hard-exits immediately.
+	// Drain: advertise it (schedulers route around a draining worker),
+	// let in-flight tasks finish, bound the wait; releasing the signal
+	// handler here means a second Ctrl-C hard-exits immediately.
 	stop()
+	ws.Drain()
 	log.Printf("dramlockerd: shutting down (draining in-flight tasks)")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -104,4 +162,54 @@ func run(addr, preset, name string, capacity int) error {
 		return err
 	}
 	return nil
+}
+
+// runBroker serves the job queue until a signal, then drains.
+func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, cfg queue.Config) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bs := remote.NewBrokerServer(queue.New(cfg), name)
+	srv := &http.Server{Handler: bs}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("dramlockerd %q brokering on %s (lease %v, hedge %v, proto %s)",
+		name, ln.Addr(), cfg.LeaseTTL, cfg.HedgeAfter, remote.ProtoVersion)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	bs.Drain()
+	log.Printf("dramlockerd: broker draining (no new submissions)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// parseWeights parses "tenant=N[,tenant=N...]" into a weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	w := make(map[string]int)
+	for _, part := range experiments.SplitList(s) {
+		tenant, val, ok := strings.Cut(part, "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("dramlockerd: bad -weights entry %q (want tenant=N)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("dramlockerd: bad -weights value %q (want a positive integer)", part)
+		}
+		w[tenant] = n
+	}
+	return w, nil
 }

@@ -1,6 +1,16 @@
 // Package api defines the versioned JSON wire types of the executor
-// protocol: the contract between the engine's scheduler and anything that
-// can execute a task, in-process or across the network.
+// protocol (dlexec2): the contract between the engine's scheduler and
+// anything that can execute a task, in-process or across the network.
+//
+// The protocol has two halves. The direct half (this file) is the push
+// transport: TaskSpec/TaskResult exchanged over one request, plus
+// WorkerStatus introspection. The queue half (queue.go) is the broker
+// service: JobSubmit/JobStatus on the submitting side and
+// WorkerHello/PollRequest/Lease/LeaseRenew/TaskDone on the pulling
+// side, for pull-based dispatch with dynamic worker membership.
+// Failures travel as typed Errors (error.go): a stable code plus a
+// Retryable flag, so clients decide retry/exclusion policy from the
+// error itself instead of guessing from transport status codes.
 //
 // A task is one schedulable unit — a monolithic job or a single shard of
 // a sharded job. Jobs carry Go closures that cannot cross a process
@@ -25,12 +35,14 @@ package api
 
 import (
 	"encoding/json"
-	"fmt"
 )
 
 // Version identifies the executor protocol revision. Bump it whenever a
 // wire type changes shape or meaning; mismatched peers reject each other.
-const Version = "dlexec1"
+//
+// dlexec2 added the queue service (broker, leases, dynamic membership),
+// the typed Error taxonomy, and the Draining/Role status fields.
+const Version = "dlexec2"
 
 // MonolithShard is the TaskSpec.Shard value for a monolithic job (no
 // shard indexing).
@@ -62,10 +74,10 @@ func (s TaskSpec) Validate() error {
 		return err
 	}
 	if s.Job == "" {
-		return fmt.Errorf("api: task spec names no job")
+		return Errf(CodeBadRequest, "task spec names no job")
 	}
 	if s.Shard < MonolithShard {
-		return fmt.Errorf("api: task %q has invalid shard index %d", s.Job, s.Shard)
+		return Errf(CodeBadRequest, "task %q has invalid shard index %d", s.Job, s.Shard)
 	}
 	return nil
 }
@@ -106,22 +118,32 @@ func (r TaskResult) Validate(spec TaskSpec) error {
 		return err
 	}
 	if r.Job != spec.Job || r.Shard != spec.Shard {
-		return fmt.Errorf("api: result for task %s[%d] answers %s[%d]",
+		return Errf(CodeBadRequest, "result for task %s[%d] answers %s[%d]",
 			spec.Job, spec.Shard, r.Job, r.Shard)
 	}
 	if r.Key != spec.Key {
-		return fmt.Errorf("api: task %q cache-key echo mismatch: sent %q, worker has %q (worker built from different presets or code?)",
+		return Errf(CodeKeyMismatch, "task %q cache-key echo mismatch: sent %q, worker has %q (worker built from different presets or code?)",
 			spec.Job, spec.Key, r.Key)
 	}
 	return nil
 }
 
-// WorkerStatus describes one worker daemon (the /v1/status payload).
+// WorkerStatus describes one daemon (the /v1/status payload). Proto and
+// Draining let operators and schedulers see, before dispatching or
+// registering anything, whether the daemon is compatible and accepting
+// work — a mixed-fleet upgrade fails at dial/registration, not
+// mid-lease.
 type WorkerStatus struct {
 	// Proto must equal Version.
 	Proto string `json:"proto"`
 	// Name identifies the worker (hostname by default).
 	Name string `json:"name"`
+	// Role is what the daemon does: "worker" (executes tasks, push or
+	// pull) or "broker" (queues and dispatches them).
+	Role string `json:"role,omitempty"`
+	// Draining reports the daemon is shutting down: it finishes in-flight
+	// work but refuses new tasks and registrations.
+	Draining bool `json:"draining,omitempty"`
 	// Jobs counts the jobs resolvable from the worker's registry.
 	Jobs int `json:"jobs"`
 	// JobNames lists them (registration order) so operators can see what
@@ -138,7 +160,7 @@ type WorkerStatus struct {
 // CheckProto verifies a message's protocol stamp.
 func CheckProto(proto string) error {
 	if proto != Version {
-		return fmt.Errorf("api: protocol version mismatch: got %q, want %q", proto, Version)
+		return Errf(CodeProtoMismatch, "protocol version mismatch: got %q, want %q", proto, Version)
 	}
 	return nil
 }

@@ -47,29 +47,31 @@ func NewNamedLocalExecutor(reg *Registry, name string) *LocalExecutor {
 // Execute resolves spec against the registry and runs the named job (or
 // shard). Panics inside the job surface as TaskResult.Err; resolution
 // failures — unknown job, shard out of range, protocol or cache-key
-// mismatch — surface as Go errors so a scheduler can tell "this worker
-// cannot run the task" from "the task failed".
+// mismatch — surface as typed *api.Error values so a scheduler (or the
+// worker daemon wrapping this executor) can tell "this worker cannot
+// run the task" from "the task failed", and key retry policy off
+// api.Error.Retryable.
 func (e *LocalExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
 	if err := spec.Validate(); err != nil {
 		return api.TaskResult{}, err
 	}
 	j, ok := e.reg.Get(spec.Job)
 	if !ok {
-		return api.TaskResult{}, fmt.Errorf("engine: unknown job %q (executor registry out of sync with scheduler?)", spec.Job)
+		return api.TaskResult{}, api.Errf(api.CodeUnknownJob, "unknown job %q (executor registry out of sync with scheduler?)", spec.Job)
 	}
 	if spec.Key != j.Key {
-		return api.TaskResult{}, fmt.Errorf("engine: job %q cache-key mismatch: scheduler sent %q, this registry derived %q (different preset knobs or code version)",
+		return api.TaskResult{}, api.Errf(api.CodeKeyMismatch, "job %q cache-key mismatch: scheduler sent %q, this registry derived %q (different preset knobs or code version)",
 			spec.Job, spec.Key, j.Key)
 	}
 	name, run := j.Name, j.Run
 	if spec.Shard != api.MonolithShard {
 		if spec.Shard >= len(j.Shards) {
-			return api.TaskResult{}, fmt.Errorf("engine: job %q has %d shards, task wants shard %d", spec.Job, len(j.Shards), spec.Shard)
+			return api.TaskResult{}, api.Errf(api.CodeBadRequest, "job %q has %d shards, task wants shard %d", spec.Job, len(j.Shards), spec.Shard)
 		}
 		sh := j.Shards[spec.Shard]
 		name, run = j.Name+"/"+sh.Name, sh.Run
 	} else if run == nil {
-		return api.TaskResult{}, fmt.Errorf("engine: job %q is sharded; it cannot run as a monolithic task", spec.Job)
+		return api.TaskResult{}, api.Errf(api.CodeBadRequest, "job %q is sharded; it cannot run as a monolithic task", spec.Job)
 	}
 	if err := ctx.Err(); err != nil {
 		return api.TaskResult{}, err

@@ -1,0 +1,871 @@
+// Package queue implements the dlexec2 job broker: a persistent
+// in-daemon queue that takes job submissions from schedulers and hands
+// the individual tasks to workers through pull-based leases.
+//
+// The broker is transport-agnostic — internal/remote wraps it in HTTP —
+// and deliberately knows nothing about experiments: a task is an opaque
+// api.TaskSpec routed by (tenant, priority, submission order). Four
+// mechanisms make it a service rather than a dispatcher:
+//
+//   - Weighted per-tenant fairness. Pending tasks queue per tenant, and
+//     dispatch picks the tenant with the lowest virtual time
+//     (served/weight, stride scheduling), so a tenant that floods the
+//     queue still only gets its weighted share while others have work.
+//     Priority orders tasks within a tenant, never across tenants.
+//
+//   - Leases. A dispatched task is not gone, it is leased: the worker
+//     must finish or renew within the TTL or the task requeues. Worker
+//     death needs no failure detector beyond the clock.
+//
+//   - Dynamic membership. Workers register (Hello), stay alive by
+//     polling or heartbeating, and leave by draining. A silent worker
+//     expires after a few TTLs and its leases requeue.
+//
+//   - Hedged re-dispatch. When a poller has capacity and the queue is
+//     empty, a task whose lease has been outstanding longer than the
+//     hedge threshold is dispatched a second time. This is safe — not
+//     merely tolerable — because tasks are deterministic and
+//     cache-keyed: the first result wins and the loser is verified to
+//     be a byte-identical duplicate (observable in Stats and DoneReply
+//     as a cache hit).
+//
+// Every public method is safe for concurrent use. Time is injectable
+// (Config.Now) and all expiry is evaluated lazily on access, so tests
+// drive lease expiry, hedging and membership timeouts with a fake clock
+// and zero sleeps.
+package queue
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultLeaseTTL = 30 * time.Second
+	// defaultWorkerExpiryTTLs scales LeaseTTL into how long a worker may
+	// stay completely silent (no poll, heartbeat, renew or done) before
+	// its registration and leases are dropped.
+	defaultWorkerExpiryTTLs = 3
+	// defaultJobRetention is how long a finished job's status (and its
+	// leases, for duplicate detection) stay queryable.
+	defaultJobRetention = 10 * time.Minute
+)
+
+// Config tunes a Broker. The zero value is usable.
+type Config struct {
+	// LeaseTTL is the lease duration; 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// HedgeAfter is how long a task's oldest lease may be outstanding
+	// before an idle poller is offered a duplicate lease for it; 0
+	// disables hedging. Each task gets at most one hedge at a time, and
+	// never on the worker already holding it.
+	HedgeAfter time.Duration
+	// Weights assigns per-tenant fairness weights; tenants absent from
+	// the map (and the map being nil) weigh 1. Weights below 1 read
+	// as 1.
+	Weights map[string]int
+	// WorkerExpiry is how long a silent worker stays registered;
+	// 0 means 3×LeaseTTL.
+	WorkerExpiry time.Duration
+	// JobRetention is how long finished/canceled jobs stay queryable;
+	// 0 means 10 minutes.
+	JobRetention time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time broker census.
+type Stats struct {
+	// Pending tasks are queued, waiting for a poller.
+	Pending int
+	// Leased tasks are out on at least one active lease.
+	Leased int
+	// Workers counts live registrations.
+	Workers int
+	// Jobs counts retained jobs (queued, running and recently done).
+	Jobs int
+	// Submitted / Completed / Failed count tasks over the broker's
+	// lifetime; Failed is the subset of Completed with a task error.
+	Submitted, Completed, Failed int
+	// Requeues counts lease expiries that put a task back in the queue.
+	Requeues int
+	// Hedges counts duplicate leases granted for stragglers.
+	Hedges int
+	// Duplicates counts results that arrived after the task was already
+	// done; DupCacheHits is the subset whose bytes matched the recorded
+	// winner (all of them, when tasks are deterministic).
+	Duplicates, DupCacheHits int
+}
+
+type taskState uint8
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+	taskCanceled
+)
+
+// task is one queued unit.
+type task struct {
+	id    string // "<job id>/<index>", for logs
+	job   *job
+	idx   int
+	spec  api.TaskSpec
+	seq   uint64 // global submission order, the FIFO tie-breaker
+	state taskState
+	// leases holds the active leases (normally one; two while hedged).
+	leases map[string]*lease
+	result *api.TaskResult
+}
+
+// job is one submission: tasks sharing tenant and priority.
+type job struct {
+	id       string
+	tenant   string
+	priority int
+	tasks    []*task
+	done     int
+	failed   int
+	canceled bool
+	// finished closes when the job reaches JobDone or JobCanceled
+	// (WaitStatus parks on it).
+	finished   chan struct{}
+	finishedAt time.Time
+}
+
+func (j *job) complete() bool { return j.canceled || j.done == len(j.tasks) }
+
+func (j *job) state() api.JobState {
+	switch {
+	case j.canceled:
+		return api.JobCanceled
+	case j.done == len(j.tasks):
+		return api.JobDone
+	case j.done > 0 || j.running():
+		return api.JobRunning
+	default:
+		return api.JobQueued
+	}
+}
+
+func (j *job) running() bool {
+	for _, t := range j.tasks {
+		if t.state == taskLeased {
+			return true
+		}
+	}
+	return false
+}
+
+// lease is one grant of one task to one worker.
+type lease struct {
+	id       string
+	t        *task
+	worker   string
+	start    time.Time
+	deadline time.Time
+	hedged   bool
+	// active is false once the lease expired, was superseded by a
+	// recorded result, or its worker died. Inactive leases are kept (until
+	// their job is swept) so a late TaskDone is recognised as a duplicate
+	// instead of an unknown lease.
+	active bool
+}
+
+// workerRec is one live registration.
+type workerRec struct {
+	id       string
+	name     string
+	capacity int
+	lastSeen time.Time
+	draining bool
+	leases   map[string]*lease
+}
+
+// tenantQ is one tenant's pending queue plus its fairness state.
+type tenantQ struct {
+	name   string
+	weight int
+	served uint64 // tasks dispatched, the stride-scheduling numerator
+	q      []*task
+}
+
+// insert places t keeping the dispatch order invariant: priority
+// descending, then submission sequence ascending. A requeued task
+// re-enters at its original position relative to its peers.
+func (tq *tenantQ) insert(t *task) {
+	i := sort.Search(len(tq.q), func(i int) bool {
+		if tq.q[i].job.priority != t.job.priority {
+			return tq.q[i].job.priority < t.job.priority
+		}
+		return tq.q[i].seq > t.seq
+	})
+	tq.q = append(tq.q, nil)
+	copy(tq.q[i+1:], tq.q[i:])
+	tq.q[i] = t
+}
+
+// Broker is the queue service. See the package comment for semantics.
+type Broker struct {
+	mu  sync.Mutex
+	cfg Config
+	now func() time.Time
+
+	seq     uint64 // id source (jobs, leases, workers, task order)
+	jobs    map[string]*job
+	leases  map[string]*lease
+	workers map[string]*workerRec
+	tenants map[string]*tenantQ
+
+	// wake is closed and replaced whenever new work becomes available;
+	// long-polls park on it.
+	wake chan struct{}
+
+	stats Stats
+}
+
+// New builds a Broker from cfg (zero value fine).
+func New(cfg Config) *Broker {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.WorkerExpiry <= 0 {
+		cfg.WorkerExpiry = defaultWorkerExpiryTTLs * cfg.LeaseTTL
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = defaultJobRetention
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Broker{
+		cfg:     cfg,
+		now:     now,
+		jobs:    make(map[string]*job),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerRec),
+		tenants: make(map[string]*tenantQ),
+		wake:    make(chan struct{}),
+	}
+}
+
+// LeaseTTL reports the configured lease duration (advertised in
+// HelloReply).
+func (b *Broker) LeaseTTL() time.Duration { return b.cfg.LeaseTTL }
+
+// nextID mints a prefixed sequential id. Sequential — not random — ids
+// keep broker behavior fully deterministic under test.
+func (b *Broker) nextID(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s%d", prefix, b.seq)
+}
+
+// wakeAll releases every parked long-poll (new work arrived).
+func (b *Broker) wakeAll() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+// tenantFor returns (creating on demand) the tenant's queue.
+func (b *Broker) tenantFor(name string) *tenantQ {
+	tq := b.tenants[name]
+	if tq == nil {
+		w := 1
+		if b.cfg.Weights != nil && b.cfg.Weights[name] > 1 {
+			w = b.cfg.Weights[name]
+		}
+		tq = &tenantQ{name: name, weight: w}
+		b.tenants[name] = tq
+	}
+	return tq
+}
+
+// Submit enqueues a job and returns its id.
+func (b *Broker) Submit(s api.JobSubmit) (api.SubmitReply, error) {
+	if err := s.Validate(); err != nil {
+		return api.SubmitReply{}, err
+	}
+	tenant := s.Tenant
+	if tenant == "" {
+		tenant = api.DefaultTenant
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+
+	j := &job{
+		id:       b.nextID("j"),
+		tenant:   tenant,
+		priority: s.Priority,
+		finished: make(chan struct{}),
+	}
+	tq := b.tenantFor(tenant)
+	for i, spec := range s.Tasks {
+		t := &task{
+			id:     fmt.Sprintf("%s/%d", j.id, i),
+			job:    j,
+			idx:    i,
+			spec:   spec,
+			seq:    b.seq + uint64(i) + 1,
+			leases: make(map[string]*lease),
+		}
+		j.tasks = append(j.tasks, t)
+		tq.insert(t)
+	}
+	b.seq += uint64(len(s.Tasks))
+	b.jobs[j.id] = j
+	b.stats.Submitted += len(j.tasks)
+	b.wakeAll()
+	return api.SubmitReply{Proto: api.Version, ID: j.id}, nil
+}
+
+// Status reports a job's progress; Results is populated once done.
+func (b *Broker) Status(id string) (api.JobStatus, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	j := b.jobs[id]
+	if j == nil {
+		return api.JobStatus{}, api.JobNotFound(id)
+	}
+	return b.statusLocked(j), nil
+}
+
+func (b *Broker) statusLocked(j *job) api.JobStatus {
+	st := api.JobStatus{
+		Proto:    api.Version,
+		ID:       j.id,
+		Tenant:   j.tenant,
+		Priority: j.priority,
+		State:    j.state(),
+		Total:    len(j.tasks),
+		Done:     j.done,
+		Failed:   j.failed,
+	}
+	if st.State == api.JobDone {
+		st.Results = make([]api.TaskResult, len(j.tasks))
+		for i, t := range j.tasks {
+			st.Results[i] = *t.result
+		}
+	}
+	return st
+}
+
+// WaitStatus blocks until the job finishes (done or canceled), the wait
+// elapses, or ctx cancels, then reports its status — the long-poll
+// backing of the submit side. wait <= 0 degrades to Status.
+func (b *Broker) WaitStatus(ctx context.Context, id string, wait time.Duration) (api.JobStatus, error) {
+	b.mu.Lock()
+	b.sweep()
+	j := b.jobs[id]
+	if j == nil {
+		b.mu.Unlock()
+		return api.JobStatus{}, api.JobNotFound(id)
+	}
+	if wait <= 0 || j.complete() {
+		st := b.statusLocked(j)
+		b.mu.Unlock()
+		return st, nil
+	}
+	fin := j.finished
+	b.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-fin:
+	case <-timer.C:
+	case <-ctx.Done():
+		return api.JobStatus{}, ctx.Err()
+	}
+	return b.Status(id)
+}
+
+// Cancel cancels a job: pending tasks leave the queue immediately;
+// leased tasks keep running on their workers but their results are
+// discarded on arrival (the lease is already paid for — the broker just
+// stops caring).
+func (b *Broker) Cancel(req api.CancelRequest) error {
+	if err := api.CheckProto(req.Proto); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	j := b.jobs[req.ID]
+	if j == nil {
+		return api.JobNotFound(req.ID)
+	}
+	if j.complete() {
+		if j.canceled {
+			return nil // idempotent
+		}
+		return api.Errf(api.CodeCanceled, "job %s already finished; cancel has no effect", j.id)
+	}
+	j.canceled = true
+	j.finishedAt = b.now()
+	tq := b.tenants[j.tenant]
+	for _, t := range j.tasks {
+		switch t.state {
+		case taskPending:
+			tq.remove(t)
+			t.state = taskCanceled
+		case taskLeased:
+			t.state = taskCanceled
+			b.releaseLeases(t)
+		}
+	}
+	close(j.finished)
+	return nil
+}
+
+// remove drops t from the pending queue (cancel path).
+func (tq *tenantQ) remove(t *task) {
+	for i, q := range tq.q {
+		if q == t {
+			tq.q = append(tq.q[:i], tq.q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Hello registers a worker. This is where a mixed-fleet upgrade fails
+// loudly: an incompatible protocol revision is rejected before the
+// worker ever holds a lease.
+func (b *Broker) Hello(h api.WorkerHello) (api.HelloReply, error) {
+	if err := h.Validate(); err != nil {
+		return api.HelloReply{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	w := &workerRec{
+		id:       b.nextID("w"),
+		name:     h.Name,
+		capacity: h.Capacity,
+		lastSeen: b.now(),
+		leases:   make(map[string]*lease),
+	}
+	b.workers[w.id] = w
+	return api.HelloReply{
+		Proto:      api.Version,
+		WorkerID:   w.id,
+		LeaseTTLNS: int64(b.cfg.LeaseTTL),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's liveness.
+func (b *Broker) Heartbeat(hb api.Heartbeat) error {
+	if err := api.CheckProto(hb.Proto); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	w := b.workers[hb.WorkerID]
+	if w == nil {
+		return api.WorkerNotFound(hb.WorkerID)
+	}
+	w.lastSeen = b.now()
+	return nil
+}
+
+// Drain marks a worker as leaving: no new leases are offered to it; its
+// in-flight leases finish normally.
+func (b *Broker) Drain(d api.DrainRequest) error {
+	if err := api.CheckProto(d.Proto); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w := b.workers[d.WorkerID]
+	if w == nil {
+		return api.WorkerNotFound(d.WorkerID)
+	}
+	w.draining = true
+	w.lastSeen = b.now()
+	return nil
+}
+
+// Poll grants up to req.Max leases to the worker. With req.WaitNS > 0
+// and nothing to dispatch, the call parks until work arrives, the wait
+// elapses, or ctx cancels (long poll).
+func (b *Broker) Poll(ctx context.Context, req api.PollRequest) (api.PollReply, error) {
+	if err := api.CheckProto(req.Proto); err != nil {
+		return api.PollReply{}, err
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	deadline := time.Time{}
+	if req.WaitNS > 0 {
+		deadline = time.Now().Add(time.Duration(req.WaitNS))
+	}
+	for {
+		b.mu.Lock()
+		b.sweep()
+		w := b.workers[req.WorkerID]
+		if w == nil {
+			b.mu.Unlock()
+			return api.PollReply{}, api.WorkerNotFound(req.WorkerID)
+		}
+		w.lastSeen = b.now()
+		var leases []api.Lease
+		if !w.draining {
+			for len(leases) < max {
+				l := b.dispatchOne(w)
+				if l == nil {
+					break
+				}
+				leases = append(leases, api.Lease{
+					ID:         l.id,
+					Task:       l.t.spec,
+					DeadlineNS: l.deadline.UnixNano(),
+					Hedged:     l.hedged,
+				})
+			}
+		}
+		wake := b.wake
+		next := b.nextEventLocked()
+		b.mu.Unlock()
+		if len(leases) > 0 || deadline.IsZero() || !time.Now().Before(deadline) {
+			return api.PollReply{Proto: api.Version, Leases: leases}, nil
+		}
+		// Park until new work (wake), the long-poll deadline, or the next
+		// time-triggered dispatch change — a lease expiring into a requeue
+		// or a straggler becoming hedge-eligible. Without the latter a
+		// parked poll would sit out the whole wait while a requeued task
+		// sat in the queue (expiry is evaluated lazily, on entry).
+		until := time.Until(deadline)
+		if !next.IsZero() {
+			if d := next.Sub(b.now()) + time.Millisecond; d < until {
+				until = d
+			}
+			if until < time.Millisecond {
+				until = time.Millisecond
+			}
+		}
+		timer := time.NewTimer(until)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return api.PollReply{}, ctx.Err()
+		}
+	}
+}
+
+// nextEventLocked returns the earliest instant (broker clock) at which
+// the passage of time alone could make new dispatch possible: an active
+// lease expiring (requeue) or a single-leased task crossing the hedge
+// threshold. Zero when no such instant is pending.
+func (b *Broker) nextEventLocked() time.Time {
+	var next time.Time
+	sooner := func(t time.Time) {
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
+	for _, l := range b.leases {
+		if !l.active {
+			continue
+		}
+		sooner(l.deadline)
+		if b.cfg.HedgeAfter > 0 && len(l.t.leases) == 1 {
+			sooner(l.start.Add(b.cfg.HedgeAfter))
+		}
+	}
+	return next
+}
+
+// dispatchOne picks the next task for w, preferring fresh pending work
+// (weighted-fair across tenants, priority-then-FIFO within one) and
+// falling back to hedging a straggler. Returns nil when there is
+// nothing for this worker.
+func (b *Broker) dispatchOne(w *workerRec) *lease {
+	// Weighted fair pick: among tenants with pending work, the lowest
+	// virtual time served/weight wins; ties break on tenant name so the
+	// schedule is deterministic.
+	var pick *tenantQ
+	for _, tq := range b.tenants {
+		if len(tq.q) == 0 {
+			continue
+		}
+		if pick == nil {
+			pick = tq
+			continue
+		}
+		a, c := tq.served*uint64(pick.weight), pick.served*uint64(tq.weight)
+		if a < c || (a == c && tq.name < pick.name) {
+			pick = tq
+		}
+	}
+	if pick != nil {
+		t := pick.q[0]
+		pick.q = pick.q[1:]
+		pick.served++
+		return b.grantLocked(t, w, false)
+	}
+	return b.hedgeOne(w)
+}
+
+// hedgeOne grants a duplicate lease for the longest-outstanding
+// straggler, if hedging is on and one qualifies: its oldest active
+// lease is older than HedgeAfter, it has no hedge out already, and this
+// worker doesn't hold it. Candidates are scanned in task submission
+// order so the choice is deterministic.
+func (b *Broker) hedgeOne(w *workerRec) *lease {
+	if b.cfg.HedgeAfter <= 0 {
+		return nil
+	}
+	now := b.now()
+	var cand *task
+	var candStart time.Time
+	for _, j := range b.jobs {
+		if j.canceled {
+			continue
+		}
+		for _, t := range j.tasks {
+			if t.state != taskLeased || len(t.leases) != 1 {
+				continue
+			}
+			var start time.Time
+			mine := false
+			for _, l := range t.leases {
+				start = l.start
+				mine = l.worker == w.id
+			}
+			if mine || now.Sub(start) < b.cfg.HedgeAfter {
+				continue
+			}
+			if cand == nil || start.Before(candStart) ||
+				(start.Equal(candStart) && t.seq < cand.seq) {
+				cand, candStart = t, start
+			}
+		}
+	}
+	if cand == nil {
+		return nil
+	}
+	b.stats.Hedges++
+	return b.grantLocked(cand, w, true)
+}
+
+// grantLocked creates and indexes a lease of t to w.
+func (b *Broker) grantLocked(t *task, w *workerRec, hedged bool) *lease {
+	now := b.now()
+	l := &lease{
+		id:       b.nextID("l"),
+		t:        t,
+		worker:   w.id,
+		start:    now,
+		deadline: now.Add(b.cfg.LeaseTTL),
+		hedged:   hedged,
+		active:   true,
+	}
+	t.state = taskLeased
+	t.leases[l.id] = l
+	w.leases[l.id] = l
+	b.leases[l.id] = l
+	return l
+}
+
+// Renew extends the still-active leases named in req; expired or
+// superseded leases are simply absent from the reply.
+func (b *Broker) Renew(req api.LeaseRenew) (api.RenewReply, error) {
+	if err := api.CheckProto(req.Proto); err != nil {
+		return api.RenewReply{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	w := b.workers[req.WorkerID]
+	if w == nil {
+		return api.RenewReply{}, api.WorkerNotFound(req.WorkerID)
+	}
+	w.lastSeen = b.now()
+	reply := api.RenewReply{Proto: api.Version}
+	for _, id := range req.LeaseIDs {
+		l := w.leases[id]
+		if l == nil || !l.active {
+			continue
+		}
+		l.deadline = b.now().Add(b.cfg.LeaseTTL)
+		if reply.Deadlines == nil {
+			reply.Deadlines = make(map[string]int64)
+		}
+		reply.Deadlines[id] = l.deadline.UnixNano()
+	}
+	return reply, nil
+}
+
+// Done records a lease's result. First result wins: if the task already
+// finished (a hedge or an expired-lease re-dispatch got there first),
+// the reply flags a duplicate and whether its bytes matched the winner.
+// Results for canceled jobs are discarded.
+func (b *Broker) Done(req api.TaskDone) (api.DoneReply, error) {
+	if err := api.CheckProto(req.Proto); err != nil {
+		return api.DoneReply{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	if w := b.workers[req.WorkerID]; w != nil {
+		w.lastSeen = b.now()
+	}
+	l := b.leases[req.LeaseID]
+	if l == nil {
+		return api.DoneReply{}, api.LeaseNotFound(req.LeaseID)
+	}
+	t := l.t
+	if err := req.Result.Validate(t.spec); err != nil {
+		return api.DoneReply{}, err
+	}
+	b.dropLease(l)
+	switch t.state {
+	case taskDone:
+		b.stats.Duplicates++
+		hit := sameResult(*t.result, req.Result)
+		if hit {
+			b.stats.DupCacheHits++
+		}
+		return api.DoneReply{Proto: api.Version, Duplicate: true, CacheHit: hit}, nil
+	case taskCanceled:
+		return api.DoneReply{Proto: api.Version}, nil
+	case taskPending:
+		// The lease expired and the task requeued, but the original
+		// holder finished anyway — first result wins, so pull the task
+		// back out of the queue before recording it.
+		b.tenantFor(t.job.tenant).remove(t)
+	}
+	res := req.Result
+	t.result = &res
+	t.state = taskDone
+	b.releaseLeases(t)
+	j := t.job
+	j.done++
+	b.stats.Completed++
+	if res.Err != "" {
+		j.failed++
+		b.stats.Failed++
+	}
+	if j.done == len(j.tasks) {
+		j.finishedAt = b.now()
+		close(j.finished)
+	}
+	return api.DoneReply{Proto: api.Version, Accepted: true}, nil
+}
+
+// sameResult reports byte-identity of the fields that constitute a
+// task's payload (the determinism contract: Text, Data and Err; never
+// timings or worker stamps).
+func sameResult(a, c api.TaskResult) bool {
+	return a.Text == c.Text && a.Err == c.Err && bytes.Equal(a.Data, c.Data)
+}
+
+// dropLease deactivates l and unlinks it from its worker and task (it
+// stays in b.leases for duplicate detection until its job is swept).
+func (b *Broker) dropLease(l *lease) {
+	if !l.active {
+		return
+	}
+	l.active = false
+	delete(l.t.leases, l.id)
+	if w := b.workers[l.worker]; w != nil {
+		delete(w.leases, l.id)
+	}
+}
+
+// releaseLeases deactivates every remaining active lease of t (its
+// result just landed, or its job was canceled). The holders keep
+// computing — their TaskDone will be answered as duplicate/discarded.
+func (b *Broker) releaseLeases(t *task) {
+	for _, l := range t.leases {
+		l.active = false
+		if w := b.workers[l.worker]; w != nil {
+			delete(w.leases, l.id)
+		}
+	}
+	clear(t.leases)
+}
+
+// sweep (callers hold mu) applies the clock: expired leases requeue
+// their tasks, silent workers are dropped, finished jobs past retention
+// are forgotten. Lazy sweeping on every entry point keeps the broker
+// timer-free and fully deterministic under an injected clock.
+func (b *Broker) sweep() {
+	now := b.now()
+	// Silent workers first: dropping one releases all its leases.
+	for id, w := range b.workers {
+		if now.Sub(w.lastSeen) > b.cfg.WorkerExpiry {
+			for _, l := range w.leases {
+				l.active = false
+				delete(l.t.leases, l.id)
+				b.requeue(l.t)
+			}
+			delete(b.workers, id)
+		}
+	}
+	for _, l := range b.leases {
+		if l.active && now.After(l.deadline) {
+			b.dropLease(l)
+			b.requeue(l.t)
+		}
+	}
+	for id, j := range b.jobs {
+		if j.complete() && now.Sub(j.finishedAt) > b.cfg.JobRetention {
+			for lid, l := range b.leases {
+				if l.t.job == j {
+					delete(b.leases, lid)
+				}
+			}
+			delete(b.jobs, id)
+		}
+	}
+}
+
+// requeue returns a leased task to its tenant queue after its last
+// active lease vanished (expiry or worker death). Tasks still covered
+// by another lease (a hedge) stay leased.
+func (b *Broker) requeue(t *task) {
+	if t.state != taskLeased || len(t.leases) > 0 {
+		return
+	}
+	t.state = taskPending
+	b.tenantFor(t.job.tenant).insert(t)
+	b.stats.Requeues++
+	b.wakeAll()
+}
+
+// Stats snapshots the broker.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	s := b.stats
+	for _, tq := range b.tenants {
+		s.Pending += len(tq.q)
+	}
+	seen := make(map[*task]bool)
+	for _, l := range b.leases {
+		if l.active && !seen[l.t] {
+			seen[l.t] = true
+			s.Leased++
+		}
+	}
+	s.Workers = len(b.workers)
+	s.Jobs = len(b.jobs)
+	return s
+}

@@ -1,0 +1,232 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/queue"
+)
+
+// Queue (broker) HTTP routes. The submit side is a scheduler's API, the
+// worker side is the pull-dispatch lease API; both speak typed api
+// messages with api.Error bodies on failure.
+const (
+	SubmitPath    = "/v2/submit"    // POST api.JobSubmit -> api.SubmitReply
+	JobStatusPath = "/v2/job"       // GET ?id=...[&wait=seconds] -> api.JobStatus
+	CancelPath    = "/v2/cancel"    // POST api.CancelRequest -> {}
+	HelloPath     = "/v2/hello"     // POST api.WorkerHello -> api.HelloReply
+	HeartbeatPath = "/v2/heartbeat" // POST api.Heartbeat -> {}
+	DrainPath     = "/v2/drain"     // POST api.DrainRequest -> {}
+	PollPath      = "/v2/poll"      // POST api.PollRequest -> api.PollReply (long poll)
+	RenewPath     = "/v2/renew"     // POST api.LeaseRenew -> api.RenewReply
+	DonePath      = "/v2/done"      // POST api.TaskDone -> api.DoneReply
+)
+
+// maxStatusWait bounds the job-status long poll so a stuck client
+// cannot park a handler forever; clients simply re-issue the wait.
+const maxStatusWait = 30 * time.Second
+
+// BrokerServer fronts an internal/queue.Broker over HTTP: schedulers
+// submit jobs and wait on them, workers register and pull leases. The
+// broker holds no registry and executes nothing — cache-key safety is
+// enforced by the workers (each refuses tasks its own registry cannot
+// reproduce) and re-checked by the submitting scheduler on the result
+// echo, so a broker cannot poison anyone's cache even in principle.
+//
+// GET /v1/status answers like a worker daemon (role "broker"), so
+// operators can probe protocol compatibility and drain state of any
+// dlexec2 daemon the same way.
+type BrokerServer struct {
+	name     string
+	b        *queue.Broker
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// NewBrokerServer wraps b in the HTTP service, named name in statuses.
+func NewBrokerServer(b *queue.Broker, name string) *BrokerServer {
+	s := &BrokerServer{name: name, b: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST "+SubmitPath, s.handleSubmit)
+	s.mux.HandleFunc("GET "+JobStatusPath, s.handleJobStatus)
+	s.mux.HandleFunc("POST "+CancelPath, s.handleCancel)
+	s.mux.HandleFunc("POST "+HelloPath, s.handleHello)
+	s.mux.HandleFunc("POST "+HeartbeatPath, s.handleHeartbeat)
+	s.mux.HandleFunc("POST "+DrainPath, s.handleDrain)
+	s.mux.HandleFunc("POST "+PollPath, s.handlePoll)
+	s.mux.HandleFunc("POST "+RenewPath, s.handleRenew)
+	s.mux.HandleFunc("POST "+DonePath, s.handleDone)
+	s.mux.HandleFunc("GET "+StatusPath, s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *BrokerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Broker exposes the wrapped queue (stats, direct driving in tests).
+func (s *BrokerServer) Broker() *queue.Broker { return s.b }
+
+// Drain refuses new submissions and registrations; queued and leased
+// work keeps flowing so the backlog empties.
+func (s *BrokerServer) Drain() { s.draining.Store(true) }
+
+// decodeInto parses the request body into msg, answering malformed
+// bodies with a typed bad_request.
+func decodeInto(w http.ResponseWriter, r *http.Request, msg any) bool {
+	if err := json.NewDecoder(r.Body).Decode(msg); err != nil {
+		writeError(w, api.Errf(api.CodeBadRequest, "bad message: %v", err))
+		return false
+	}
+	return true
+}
+
+// reply writes a 200 JSON body.
+func reply(w http.ResponseWriter, msg any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(msg)
+}
+
+func (s *BrokerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		return
+	}
+	var sub api.JobSubmit
+	if !decodeInto(w, r, &sub) {
+		return
+	}
+	rep, err := s.b.Submit(sub)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	wait := time.Duration(0)
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v + "s")
+		if err != nil {
+			writeError(w, api.Errf(api.CodeBadRequest, "bad wait %q: %v", v, err))
+			return
+		}
+		wait = min(d, maxStatusWait)
+	}
+	st, err := s.b.WaitStatus(r.Context(), id, wait)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, st)
+}
+
+func (s *BrokerServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req api.CancelRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := s.b.Cancel(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, struct{}{})
+}
+
+func (s *BrokerServer) handleHello(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		return
+	}
+	var h api.WorkerHello
+	if !decodeInto(w, r, &h) {
+		return
+	}
+	rep, err := s.b.Hello(h)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb api.Heartbeat
+	if !decodeInto(w, r, &hb) {
+		return
+	}
+	if err := s.b.Heartbeat(hb); err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, struct{}{})
+}
+
+func (s *BrokerServer) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var d api.DrainRequest
+	if !decodeInto(w, r, &d) {
+		return
+	}
+	if err := s.b.Drain(d); err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, struct{}{})
+}
+
+func (s *BrokerServer) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req api.PollRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	rep, err := s.b.Poll(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaseRenew
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	rep, err := s.b.Renew(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleDone(w http.ResponseWriter, r *http.Request) {
+	var req api.TaskDone
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	rep, err := s.b.Done(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.b.Stats()
+	reply(w, api.WorkerStatus{
+		Proto:    api.Version,
+		Name:     s.name,
+		Role:     "broker",
+		Draining: s.draining.Load(),
+		Capacity: st.Workers,
+		Inflight: st.Leased,
+		Jobs:     st.Jobs,
+	})
+}

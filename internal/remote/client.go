@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -158,9 +157,13 @@ func (e *RemoteExecutor) Workers() []string {
 }
 
 // Execute implements engine.Executor. The spec is tried on live workers
-// in least-loaded order; each transport failure excludes that worker for
-// this task (and, after downAfter consecutive failures, for the rest of
-// the run) until either a worker answers or the fallback runs.
+// in least-loaded order. Retry policy keys off the typed error the
+// worker returned (api.Error.Retryable), never off HTTP status codes: a
+// retryable failure — transport error, draining or out-of-sync worker —
+// excludes that worker for this task (and, after downAfter consecutive
+// failures, for the rest of the run) and tries the next one; a
+// non-retryable failure (the request itself is bad) fails the task
+// immediately, because every worker would refuse it the same way.
 func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
 	excluded := make(map[*worker]bool)
 	var lastErr error
@@ -175,10 +178,11 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 		res, err := e.post(ctx, w, spec)
 		if err == nil {
 			if verr := res.Validate(spec); verr != nil {
-				// Answered, but from an incompatible build: count it
-				// toward down-marking (a consistently mismatched worker
-				// must not get a wasted round-trip per task), exclude it
-				// for this task and keep trying the rest of the fleet.
+				// Answered, but with a mismatched echo (foreign build or
+				// broken worker): count it toward down-marking (a
+				// consistently mismatched worker must not get a wasted
+				// round-trip per task), exclude it for this task and keep
+				// trying the rest of the fleet.
 				e.markFailure(w)
 				lastErr = fmt.Errorf("worker %s: %w", w.addr, verr)
 				excluded[w] = true
@@ -191,6 +195,13 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 			// The run was cancelled; don't burn the fleet's failure
 			// budget on aborted requests.
 			return api.TaskResult{}, ctx.Err()
+		}
+		if !api.Retryable(err) {
+			// The worker positively identified our request as the
+			// problem (malformed spec); trying the rest of the fleet
+			// would reproduce the refusal, and the worker is healthy —
+			// no failure is recorded against it.
+			return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: worker %s: %w", spec.Job, spec.Shard, w.addr, err)
 		}
 		e.markFailure(w)
 		lastErr = fmt.Errorf("worker %s: %w", w.addr, err)
@@ -309,8 +320,9 @@ func (e *RemoteExecutor) post(ctx context.Context, w *worker, spec api.TaskSpec)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return api.TaskResult{}, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		// Non-200 bodies are typed api.Error JSON (see writeError); the
+		// caller keys its retry/exclusion decision off the decoded code.
+		return api.TaskResult{}, decodeError(resp)
 	}
 	var res api.TaskResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {

@@ -1,0 +1,89 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// httpStatus maps an api error code onto an HTTP status. The status is
+// cosmetic — clients key behavior off the JSON body's code and
+// Retryable flag — but keeping it truthful makes curl and access logs
+// readable.
+func httpStatus(code api.Code) int {
+	switch code {
+	case api.CodeBadRequest, api.CodeProtoMismatch:
+		return http.StatusBadRequest
+	case api.CodeUnknownJob, api.CodeKeyMismatch:
+		return http.StatusUnprocessableEntity
+	case api.CodeNotFound:
+		return http.StatusNotFound
+	case api.CodeCanceled:
+		return http.StatusConflict
+	case api.CodeDraining, api.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders err as the dlexec2 error body: a JSON api.Error
+// with a matching HTTP status. Untyped errors are wrapped as
+// CodeInternal so every non-200 response has the same shape.
+func writeError(w http.ResponseWriter, err error) {
+	ae, ok := api.AsError(err)
+	if !ok {
+		ae = api.Errf(api.CodeInternal, "%v", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(ae.Code))
+	json.NewEncoder(w).Encode(ae)
+}
+
+// decodeError reconstructs the typed error from a non-200 response.
+// Bodies that are not an api.Error (a proxy's HTML error page, a
+// pre-dlexec2 daemon's plain text) degrade to an untyped error, which
+// clients treat as a retryable transport failure.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var ae api.Error
+	if err := json.Unmarshal(body, &ae); err == nil && ae.Code != "" {
+		return &ae
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// postJSON is the shared request helper: ship req as JSON to url and
+// decode a 200 into out; non-200s come back as decodeError's typed (or
+// transport) error.
+func postJSON(ctx context.Context, client *http.Client, url string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode reply: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// statusPollWait is the long-poll window QueueExecutor asks the broker
+// to hold a job-status request open for (seconds on the wire).
+const statusPollWait = 10 * time.Second
+
+// QueueOptions configures a QueueExecutor.
+type QueueOptions struct {
+	// Tenant is the fairness bucket submissions run under; empty means
+	// api.DefaultTenant.
+	Tenant string
+	// Priority orders this scheduler's tasks within its tenant.
+	Priority int
+	// Client is the HTTP client; nil uses a default with no overall
+	// timeout (status long-polls are the normal case).
+	Client *http.Client
+}
+
+// QueueExecutor is an engine.Executor that routes tasks through a
+// dlexec2 broker: each task is submitted as a one-task job and the
+// executor long-polls the job status until a worker's result lands.
+// Because the scheduler still owns seeding, ordering, merging and
+// caching, a report produced through the queue is byte-identical to a
+// local or push-remote run — the broker only changes who executes.
+type QueueExecutor struct {
+	base     string
+	name     string
+	tenant   string
+	priority int
+	client   *http.Client
+}
+
+// DialQueue connects to the broker at addr ("host:port" or a full URL),
+// verifies it speaks the current protocol version, and returns an
+// executor over it. Like Dial, startup is strict: an unreachable,
+// version-mismatched or draining broker is a configuration error.
+func DialQueue(ctx context.Context, addr string, opts QueueOptions) (*QueueExecutor, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	e := &QueueExecutor{
+		base:     base,
+		tenant:   opts.Tenant,
+		priority: opts.Priority,
+		client:   orDefaultClient(opts.Client),
+	}
+	st, err := e.status(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("remote: broker %s: %w", addr, err)
+	}
+	if st.Draining {
+		return nil, fmt.Errorf("remote: broker %s (%s) is draining", addr, st.Name)
+	}
+	e.name = st.Name
+	return e, nil
+}
+
+// status fetches and validates the broker's /v1/status.
+func (e *QueueExecutor) status(ctx context.Context) (api.WorkerStatus, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.base+StatusPath, nil)
+	if err != nil {
+		return api.WorkerStatus{}, err
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return api.WorkerStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.WorkerStatus{}, decodeError(resp)
+	}
+	var st api.WorkerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return api.WorkerStatus{}, fmt.Errorf("status: %w", err)
+	}
+	if err := api.CheckProto(st.Proto); err != nil {
+		return api.WorkerStatus{}, err
+	}
+	return st, nil
+}
+
+// Broker describes the dialled broker as "name@addr" (for CLI logging).
+func (e *QueueExecutor) Broker() string { return e.name + "@" + e.base }
+
+// Execute implements engine.Executor: submit the task as a one-task
+// job, long-poll its status until done, and hand back the result. The
+// result's echo is validated here (the scheduler's own defense — a
+// broker or worker cannot slip a foreign result into the cache). A
+// cancelled ctx best-effort cancels the job so abandoned work leaves
+// the queue.
+func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	var sub api.SubmitReply
+	err := postJSON(ctx, e.client, e.base+SubmitPath, api.JobSubmit{
+		Proto:    api.Version,
+		Tenant:   e.tenant,
+		Priority: e.priority,
+		Tasks:    []api.TaskSpec{spec},
+	}, &sub)
+	if err != nil {
+		return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: submit: %w", spec.Job, spec.Shard, err)
+	}
+	for {
+		st, err := e.jobStatus(ctx, sub.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				e.cancel(sub.ID)
+				return api.TaskResult{}, ctx.Err()
+			}
+			// Transient broker trouble: the job is already queued; keep
+			// polling rather than lose it.
+			if _, typed := api.AsError(err); !typed {
+				sleepCtx(ctx, errBackoff)
+				continue
+			}
+			return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: job %s: %w", spec.Job, spec.Shard, sub.ID, err)
+		}
+		switch st.State {
+		case api.JobDone:
+			res := st.Results[0]
+			if verr := res.Validate(spec); verr != nil {
+				return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: broker %s: %w", spec.Job, spec.Shard, e.base, verr)
+			}
+			return res, nil
+		case api.JobCanceled:
+			return api.TaskResult{}, api.Errf(api.CodeCanceled, "job %s was canceled", sub.ID)
+		}
+	}
+}
+
+// jobStatus long-polls one job's status.
+func (e *QueueExecutor) jobStatus(ctx context.Context, id string) (api.JobStatus, error) {
+	url := fmt.Sprintf("%s%s?id=%s&wait=%d", e.base, JobStatusPath, id, int(statusPollWait.Seconds()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.JobStatus{}, decodeError(resp)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return api.JobStatus{}, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// cancel best-effort cancels an abandoned job.
+func (e *QueueExecutor) cancel(id string) {
+	ctx, done := context.WithTimeout(context.Background(), 5*time.Second)
+	defer done()
+	postJSON(ctx, e.client, e.base+CancelPath, api.CancelRequest{Proto: api.Version, ID: id}, nil)
+}

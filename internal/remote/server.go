@@ -1,24 +1,38 @@
 // Package remote moves the engine's Executor seam across process
-// boundaries: a Server exposes a local registry + executor over HTTP, and
-// a RemoteExecutor client dispatches the scheduler's tasks to a fleet of
-// such workers.
+// boundaries, speaking protocol dlexec2 (internal/api) over HTTP in two
+// topologies:
+//
+//   - Push: a Server exposes a local registry + executor
+//     (POST /v1/execute), and a RemoteExecutor client dispatches the
+//     scheduler's tasks to a static list of such workers, least-loaded
+//     first.
+//   - Queue: a BrokerServer fronts an internal/queue broker
+//     (submit/poll/cancel plus the worker lease API), PullWorker
+//     attaches a registry to a broker and pulls leases, and
+//     QueueExecutor submits the scheduler's tasks through the broker.
 //
 // The wire contract is internal/api: a task ships as (job name, shard
-// index, seed, cache-key stem) — never code — and the worker re-resolves
-// the closures from its own registry, refusing tasks whose cache key it
-// cannot reproduce. Because the scheduler keeps ordering, merging,
-// seeding and caching local (see internal/engine), a report produced over
-// this transport is byte-identical to a local run.
+// index, seed, cache-key stem) — never code — and the executing worker
+// re-resolves the closures from its own registry, refusing tasks whose
+// cache key it cannot reproduce. Because the scheduler keeps ordering,
+// merging, seeding and caching local (see internal/engine), a report
+// produced over either transport is byte-identical to a local run.
 //
-// Endpoints (all JSON):
+// Failures travel as typed api.Error JSON bodies: a stable code plus a
+// Retryable flag. Clients never guess from HTTP status codes — a
+// non-retryable error fails the task immediately, a retryable one
+// excludes the failing worker and tries the rest of the fleet.
+//
+// Push endpoints (all JSON):
 //
 //	POST /v1/execute  api.TaskSpec -> api.TaskResult
-//	GET  /v1/status   -> api.WorkerStatus
+//	GET  /v1/status   -> api.WorkerStatus (proto, role, drain state)
+//
+// Queue endpoints are listed on BrokerServer.
 package remote
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"sync/atomic"
 
@@ -26,7 +40,7 @@ import (
 	"repro/internal/engine"
 )
 
-// ExecutePath and StatusPath are the protocol's HTTP routes.
+// ExecutePath and StatusPath are the push protocol's HTTP routes.
 const (
 	ExecutePath = "/v1/execute"
 	StatusPath  = "/v1/status"
@@ -48,6 +62,7 @@ type Server struct {
 	slots     chan struct{}
 	inflight  atomic.Int64
 	completed atomic.Uint64
+	draining  atomic.Bool
 	mux       *http.ServeMux
 }
 
@@ -76,18 +91,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Drain flips the server into drain mode: /v1/status advertises it and
+// new /v1/execute requests are refused with CodeDraining (retryable —
+// the client moves the task to another worker). In-flight executions
+// finish normally. The daemon calls this on SIGTERM before shutting the
+// listener down, so a fleet rollout never strands a task mid-dispatch.
+func (s *Server) Drain() { s.draining.Store(true) }
+
 // handleExecute runs one task. Task-level failures (job error, panic)
 // travel inside the TaskResult with status 200; resolution failures —
-// unknown job, protocol or cache-key mismatch — are 4xx so the client
-// treats them as "this worker cannot run the task".
+// unknown job, protocol or cache-key mismatch, draining — are typed
+// api.Error bodies so the client knows whether another worker could
+// serve the task.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, api.Errf(api.CodeDraining, "worker %s is draining", s.name))
+		return
+	}
 	var spec api.TaskSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, fmt.Sprintf("remote: bad task spec: %v", err), http.StatusBadRequest)
+		writeError(w, api.Errf(api.CodeBadRequest, "bad task spec: %v", err))
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, err)
 		return
 	}
 
@@ -108,18 +135,22 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	// an aborted scheduler does not leave orphaned work running.
 	res, err := s.exec.Execute(r.Context(), spec)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 }
 
-// handleStatus reports the worker's identity, registry and load.
+// handleStatus reports the worker's identity, registry, load, protocol
+// and drain state, so schedulers and operators see compatibility and
+// availability before dispatching anything.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := api.WorkerStatus{
 		Proto:     api.Version,
 		Name:      s.name,
+		Role:      "worker",
+		Draining:  s.draining.Load(),
 		Jobs:      s.reg.Len(),
 		JobNames:  s.reg.Names(),
 		Capacity:  s.capacity,

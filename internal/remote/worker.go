@@ -1,0 +1,253 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+// pollWait is the long-poll window a PullWorker asks the broker to hold
+// an empty poll open for. Short enough that liveness (lastSeen) stays
+// fresh, long enough that an idle worker costs ~one request per window.
+const pollWait = 10 * time.Second
+
+// errBackoff is the pause after a failed poll (broker unreachable,
+// transient error) before trying again.
+const errBackoff = time.Second
+
+// PullWorker attaches a registry to a broker and works its queue:
+// register (hello), pull leases, execute against the local registry,
+// renew long-running leases at TTL/3, and report results. Membership is
+// soft state — if the broker forgets the worker (restart, expiry), the
+// next not_found answer triggers a fresh hello and work continues.
+//
+// Cache-key safety is enforced here, not at the broker: the executor
+// refuses tasks whose cache key this registry cannot reproduce, and the
+// refusal is retryable, so the worker abandons the lease (no TaskDone)
+// and the broker requeues the task for a compatible worker.
+type PullWorker struct {
+	base     string
+	name     string
+	exec     engine.Executor
+	capacity int
+	client   *http.Client
+
+	mu       sync.Mutex
+	workerID string
+	ttl      time.Duration
+}
+
+// NewPullWorker builds a worker for the broker at addr ("host:port" or
+// full URL), executing over reg with at most capacity concurrent tasks;
+// capacity <= 0 panics — resolve the default (NumCPU) at the call site.
+// client nil uses a default with no overall timeout (long polls and long
+// tasks are the normal case).
+func NewPullWorker(addr string, reg *engine.Registry, name string, capacity int, client *http.Client) *PullWorker {
+	if capacity <= 0 {
+		panic("remote: pull worker capacity must be positive")
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &PullWorker{
+		base:     strings.TrimRight(base, "/"),
+		name:     name,
+		exec:     engine.NewNamedLocalExecutor(reg, name),
+		capacity: capacity,
+		client:   orDefaultClient(client),
+	}
+}
+
+func orDefaultClient(c *http.Client) *http.Client {
+	if c == nil {
+		return &http.Client{}
+	}
+	return c
+}
+
+// Run registers with the broker and works leases until ctx cancels,
+// then drains: the broker is told to stop offering leases, in-flight
+// tasks finish (or are cancelled with ctx) and report, and Run returns
+// ctx's error. A broker that is down at start is an error; a broker
+// that dies later is retried forever — pull workers are the resilient
+// side of the topology.
+func (p *PullWorker) Run(ctx context.Context) error {
+	if err := p.hello(ctx); err != nil {
+		return fmt.Errorf("remote: broker %s: %w", p.base, err)
+	}
+	slots := make(chan struct{}, p.capacity)
+	var wg sync.WaitGroup
+	for ctx.Err() == nil {
+		// Hold a slot before polling so we never lease work we cannot
+		// start; parallelism comes from executing in goroutines while
+		// this loop returns to poll for the next lease.
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		lease, err := p.pollOne(ctx)
+		if err != nil {
+			<-slots
+			if ctx.Err() != nil {
+				break
+			}
+			if ae, ok := api.AsError(err); ok && ae.Code == api.CodeNotFound {
+				// Broker forgot us (restart or expiry): re-register.
+				if herr := p.hello(ctx); herr != nil {
+					sleepCtx(ctx, errBackoff)
+				}
+				continue
+			}
+			sleepCtx(ctx, errBackoff)
+			continue
+		}
+		if lease == nil {
+			<-slots
+			continue
+		}
+		wg.Add(1)
+		go func(l api.Lease) {
+			defer func() { <-slots; wg.Done() }()
+			p.runLease(ctx, l)
+		}(*lease)
+	}
+	// Best-effort drain on a fresh context (ctx is already cancelled);
+	// in-flight runLease calls report on the same grace context.
+	grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	p.postBroker(grace, DrainPath, api.DrainRequest{Proto: api.Version, WorkerID: p.id()}, nil)
+	wg.Wait()
+	return ctx.Err()
+}
+
+func (p *PullWorker) id() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workerID
+}
+
+// hello (re-)registers with the broker, adopting its lease TTL.
+func (p *PullWorker) hello(ctx context.Context) error {
+	var rep api.HelloReply
+	err := postJSON(ctx, p.client, p.base+HelloPath,
+		api.WorkerHello{Proto: api.Version, Name: p.name, Capacity: p.capacity}, &rep)
+	if err != nil {
+		return err
+	}
+	if err := api.CheckProto(rep.Proto); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.workerID = rep.WorkerID
+	p.ttl = time.Duration(rep.LeaseTTLNS)
+	p.mu.Unlock()
+	return nil
+}
+
+// pollOne long-polls the broker for a single lease.
+func (p *PullWorker) pollOne(ctx context.Context) (*api.Lease, error) {
+	var rep api.PollReply
+	err := p.postBroker(ctx, PollPath, api.PollRequest{
+		Proto:    api.Version,
+		WorkerID: p.id(),
+		Max:      1,
+		WaitNS:   int64(pollWait),
+	}, &rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Leases) == 0 {
+		return nil, nil
+	}
+	return &rep.Leases[0], nil
+}
+
+// runLease executes one lease and reports its result. While the task
+// runs, a renewal loop extends the lease at TTL/3 so only worker death
+// — never a slow task — trips the broker's expiry requeue.
+func (p *PullWorker) runLease(ctx context.Context, l api.Lease) {
+	renewDone := make(chan struct{})
+	defer close(renewDone)
+	go p.renewLoop(ctx, l.ID, renewDone)
+
+	res, err := p.exec.Execute(ctx, l.Task)
+	if err != nil {
+		if api.Retryable(err) {
+			// This worker cannot serve the task (registry out of sync,
+			// cancelled mid-run) but another might: abandon the lease
+			// without a TaskDone and let the broker requeue it.
+			return
+		}
+		// Non-retryable: every worker would refuse identically, so
+		// record the refusal as the task's deterministic outcome instead
+		// of requeueing it forever.
+		res = api.TaskResult{Proto: api.Version, Job: l.Task.Job, Shard: l.Task.Shard,
+			Key: l.Task.Key, Worker: p.name, Err: err.Error()}
+	}
+	// Report on a grace context so a shutdown mid-report still lands the
+	// finished work.
+	rctx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+	}
+	p.postBroker(rctx, DonePath, api.TaskDone{
+		Proto:    api.Version,
+		WorkerID: p.id(),
+		LeaseID:  l.ID,
+		Result:   res,
+	}, nil)
+}
+
+// renewLoop extends lease id at TTL/3 until done closes.
+func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struct{}) {
+	p.mu.Lock()
+	ttl := p.ttl
+	p.mu.Unlock()
+	if ttl <= 0 {
+		return
+	}
+	ticker := time.NewTicker(ttl / 3)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			var rep api.RenewReply
+			p.postBroker(ctx, RenewPath, api.LeaseRenew{
+				Proto:    api.Version,
+				WorkerID: p.id(),
+				LeaseIDs: []string{id},
+			}, &rep)
+		}
+	}
+}
+
+// postBroker ships one broker message, resolving the path off the base.
+func (p *PullWorker) postBroker(ctx context.Context, path string, req, out any) error {
+	return postJSON(ctx, p.client, p.base+path, req, out)
+}
+
+// sleepCtx pauses for d or until ctx cancels.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

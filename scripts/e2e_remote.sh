@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Loopback end-to-end gate for the remote executor (make e2e-remote).
+# Loopback end-to-end gate for the remote executors (make e2e-remote).
 #
-# Proves the transport-independence guarantee on a real daemon: a tiny
-# preset run dispatched to dramlockerd over 127.0.0.1 must render the
-# same report as the in-process pool at workers 1 and 4 (modulo timings,
-# normalised exactly like CI's cold/warm cache gate), and a warm re-run
-# over the shared -cache-dir must replay 100% from cache without touching
-# the daemon (-require-cached).
+# Proves the transport-independence guarantee on real daemons, for both
+# distributed topologies:
+#
+#   push:  a tiny preset run dispatched to dramlockerd over 127.0.0.1
+#          (-remote) must render the same report as the in-process pool
+#          at workers 1 and 4 (modulo timings, normalised exactly like
+#          CI's cold/warm cache gate), and a warm re-run over the shared
+#          -cache-dir must replay 100% from cache without touching the
+#          daemon (-require-cached).
+#   queue: the same runs submitted through a dramlockerd -broker job
+#          queue (-broker), served by a registered pull worker
+#          (dramlockerd -pull), must be byte-identical too — same
+#          normalisation, same worker counts, same warm replay gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,8 +21,12 @@ cd "$(dirname "$0")/.."
 EXPS=fig1b,mc,table1,fig7a,fig7b,defense
 WORK=$(mktemp -d)
 DAEMON_PID=""
+BROKER_PID=""
+PULL_PID=""
 cleanup() {
-    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    for pid in "$DAEMON_PID" "$BROKER_PID" "$PULL_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -67,5 +78,46 @@ norm "$WORK/cold.txt" > "$WORK/cold.norm"
 norm "$WORK/warm.txt" > "$WORK/warm.norm"
 diff -u "$WORK/cold.norm" "$WORK/warm.norm"
 echo "warm -remote run replayed 100% from cache ($(wc -l < "$WORK/rescache/results.jsonl") entries)"
+
+# ---- Queue (broker) topology ------------------------------------------
+# Same guarantee through the pull-based job queue: a broker that holds no
+# registry, one registered pull worker that does, and the scheduler
+# submitting over -broker.
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 >"$WORK/broker.log" 2>&1 &
+BROKER_PID=$!
+
+BADDR=""
+for i in $(seq 1 100); do
+    BADDR=$(sed -nE 's/.* brokering on (127\.0\.0\.1:[0-9]+) .*/\1/p' "$WORK/broker.log" | head -n1)
+    [ -n "$BADDR" ] && break
+    kill -0 "$BROKER_PID" 2>/dev/null || { echo "broker died:"; cat "$WORK/broker.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$BADDR" ] || { echo "broker never came up:"; cat "$WORK/broker.log"; exit 1; }
+echo "broker up on $BADDR"
+
+"$WORK/dramlockerd" -pull "$BADDR" -preset tiny -name pull1 >"$WORK/pull.log" 2>&1 &
+PULL_PID=$!
+
+run_queue() { "$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers "$1" -quiet -broker "$BADDR" "${@:2}"; }
+
+for w in 1 4; do
+    run_queue "$w" > "$WORK/queue$w.txt"
+    norm "$WORK/queue$w.txt" > "$WORK/queue$w.norm"
+    if ! diff -u "$WORK/local$w.norm" "$WORK/queue$w.norm"; then
+        echo "FAIL: queue report diverged from local at workers=$w"
+        exit 1
+    fi
+    echo "workers=$w: queue report byte-identical to local"
+done
+
+# Warm replay through the broker: the scheduler-side cache short-circuits
+# before any submission, so the gate passes even with the queue in front.
+run_queue 4 -cache-dir "$WORK/qcache" > "$WORK/qcold.txt"
+run_queue 4 -cache-dir "$WORK/qcache" -require-cached > "$WORK/qwarm.txt"
+norm "$WORK/qcold.txt" > "$WORK/qcold.norm"
+norm "$WORK/qwarm.txt" > "$WORK/qwarm.norm"
+diff -u "$WORK/qcold.norm" "$WORK/qwarm.norm"
+echo "warm -broker run replayed 100% from cache ($(wc -l < "$WORK/qcache/results.jsonl") entries)"
 
 echo "e2e-remote: OK"
