@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check e2e-remote ci
+.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote ci
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,30 @@ race:
 # broker with a pull worker (-broker) — runs the tiny preset through
 # each at workers 1 and 4, and asserts the reports are byte-identical to
 # local runs (plus warm -require-cached replays over shared -cache-dirs).
+# Ends with the crash-recovery leg: a journaled broker is SIGKILLed
+# mid-run, restarted over its journal, and the run must finish
+# byte-identical anyway.
 e2e-remote:
 	bash scripts/e2e_remote.sh
+
+# Persistent result cache gate: a cold tiny-preset run populates the
+# on-disk cache, the warm run must serve 100% from it and render a
+# byte-identical normalised report (CI runs exactly this script).
+cache-gate:
+	bash scripts/cache_gate.sh
+
+# Static analysis, pinned so CI and laptops agree. staticcheck is
+# fetched on demand by `go run`; where the module proxy is unreachable
+# (offline or air-gapped builds) the probe fails and lint skips with a
+# note instead of breaking the build — CI always has the network, so
+# the gate is real there.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+lint:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) unavailable (no module proxy?); skipping"; \
+	fi
 
 # One iteration of every benchmark outside the compute-kernel and
 # attack-layer packages (regenerates the paper tables without timing
@@ -84,4 +106,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check build test race e2e-remote
+ci: vet fmt-check lint build test race e2e-remote cache-gate

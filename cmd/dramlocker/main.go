@@ -13,6 +13,8 @@
 //	dramlocker -exp all -preset paper -cache-dir ~/.cache/dramlocker
 //	dramlocker -exp all -preset tiny -remote 10.0.0.7:9740,10.0.0.8:9740
 //	dramlocker -exp all -preset tiny -broker 10.0.0.9:9741 -tenant ci
+//	dramlocker -broker 10.0.0.9:9741 -stats
+//	dramlocker -broker 10.0.0.9:9741 -stats -json
 //	dramlocker -list
 //	dramlocker -list -json
 //
@@ -42,6 +44,13 @@
 // stems; -list -json emits the same listing as the dlexec2 api.Listing
 // wire schema, for broker tooling and scripts.
 //
+// -stats (with -broker) fetches the broker's GET /v2/metrics and
+// renders a one-screen operational summary: queue census, lifetime
+// counters, journal activity and per-tenant depth/age gauges. With
+// -json the raw api.BrokerMetrics payload is emitted instead — the
+// same schema the broker serves, so scripts and the e2e gates parse
+// one shape.
+//
 // Caching: results are memoised per job and per shard under a key built
 // from the experiment id, the preset hash and the base seed. By default
 // the cache lives in process memory (deduping repeated and preset-free
@@ -67,6 +76,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -95,6 +106,7 @@ func main() {
 	brokerAddr := flag.String("broker", "", "dramlockerd -broker address (host:port); submit tasks through the job queue instead of -remote push")
 	tenant := flag.String("tenant", "", "broker fairness bucket this run submits under (default: the broker's default tenant)")
 	priority := flag.Int("priority", 0, "broker priority within the tenant (higher dispatches first)")
+	stats := flag.Bool("stats", false, "with -broker: fetch and render the broker's /v2/metrics, then exit (-json for the raw payload)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -130,6 +142,7 @@ func main() {
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
 		remote: *remoteAddrs, broker: *brokerAddr, tenant: *tenant, priority: *priority,
+		stats: *stats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -177,6 +190,7 @@ type config struct {
 	broker        string
 	tenant        string
 	priority      int
+	stats         bool
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -187,6 +201,12 @@ func run(ctx context.Context, cfg config) error {
 
 	if cfg.list {
 		return listJobs(reg, cfg.jsonOut)
+	}
+	if cfg.stats {
+		if cfg.broker == "" {
+			return fmt.Errorf("-stats needs -broker (whose /v2/metrics to fetch)")
+		}
+		return showStats(ctx, cfg.broker, cfg.jsonOut)
 	}
 	if cfg.remote != "" && cfg.broker != "" {
 		return fmt.Errorf("-remote and -broker are mutually exclusive (push vs queue dispatch)")
@@ -305,6 +325,72 @@ func listJobs(reg *engine.Registry, jsonOut bool) error {
 			key = "-"
 		}
 		fmt.Printf("%-16s %-6s %-24s %s\n", j.Name, units, key, j.Title)
+	}
+	return nil
+}
+
+// showStats fetches a broker's /v2/metrics and renders it: the raw
+// api.BrokerMetrics JSON with jsonOut, otherwise a one-screen
+// operational summary.
+func showStats(ctx context.Context, addr string, jsonOut bool) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+remote.MetricsPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("broker %s: %s: %s", addr, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var m api.BrokerMetrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		return fmt.Errorf("broker %s: decode metrics: %w", addr, err)
+	}
+	if err := api.CheckProto(m.Proto); err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	if jsonOut {
+		buf, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	fmt.Printf("broker     %s (proto %s)\n", base, m.Proto)
+	fmt.Printf("queue      %d pending, %d leased, %d workers, %d jobs retained\n",
+		m.Pending, m.Leased, m.Workers, m.Jobs)
+	fmt.Printf("lifetime   %d submitted, %d completed (%d failed), %d requeues, %d hedges\n",
+		m.Submitted, m.Completed, m.Failed, m.Requeues, m.Hedges)
+	fmt.Printf("duplicates %d (%d byte-identical cache hits), %d submissions rejected (queue_full)\n",
+		m.Duplicates, m.DupCacheHits, m.Rejected)
+	if jm := m.Journal; jm != nil {
+		fmt.Printf("journal    %d appends (%d fsyncs), replayed %d jobs / %d tasks (%d requeued, %d lines skipped), %d compactions\n",
+			jm.Appends, jm.Fsyncs, jm.ReplayedJobs, jm.ReplayedTasks,
+			jm.Requeued, jm.Skipped, jm.Compactions)
+	}
+	for _, t := range m.Tenants {
+		limit := "unlimited"
+		if t.MaxQueued > 0 {
+			limit = fmt.Sprintf("%d", t.MaxQueued)
+		}
+		fmt.Printf("tenant     %-12s weight %d, pending %d (oldest %v), served %d, limit %s\n",
+			t.Tenant, t.Weight, t.Pending,
+			time.Duration(t.OldestAgeNS).Round(time.Millisecond), t.Served, limit)
 	}
 	return nil
 }

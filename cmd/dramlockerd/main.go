@@ -6,6 +6,7 @@
 //	dramlockerd -preset tiny,small -name rack7
 //	dramlockerd -broker -addr 0.0.0.0:9741       # job-queue broker
 //	dramlockerd -broker -hedge-after 2m -weights ci=1,interactive=4
+//	dramlockerd -broker -journal-dir /var/lib/dramlocker -max-queued 1000
 //	dramlockerd -pull 10.0.0.9:9741              # pull worker for that broker
 //
 // Push worker (default): builds the same job registry as the CLI (one
@@ -23,7 +24,15 @@
 // registry; it routes opaque tasks with weighted per-tenant fairness
 // (-weights tenant=N,...), requeues tasks whose lease expires
 // (-lease-ttl), and hedges stragglers onto idle workers (-hedge-after,
-// 0 disables). GET /v1/status answers with role "broker".
+// 0 disables). GET /v1/status answers with role "broker". With
+// -journal-dir the backlog is crash-safe: submissions, completions and
+// cancels are fsynced to an append-only journal and replayed (then
+// compacted) on restart, so a SIGKILLed broker resumes where it died.
+// -max-queued (and per-tenant -max-queued-tenant overrides, in the
+// -weights syntax) caps each tenant's pending queue; submissions past
+// the cap get the retryable queue_full error. GET /v2/metrics exports
+// the queue census, journal counters and per-tenant gauges as JSON or
+// (?format=prometheus) Prometheus text.
 //
 // Pull worker (-pull broker-addr): registers with a broker and works
 // its queue — poll, execute against the local registry, renew, report.
@@ -75,19 +84,40 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", queue.DefaultLeaseTTL, "broker: lease duration before an unrenewed task requeues")
 	hedgeAfter := flag.Duration("hedge-after", 0, "broker: duplicate a straggling task onto an idle worker after this long (0 = off)")
 	weights := flag.String("weights", "", "broker: per-tenant fairness weights, tenant=N[,tenant=N...] (absent tenants weigh 1)")
+	journalDir := flag.String("journal-dir", "", "broker: journal submissions/results under this directory and replay them on startup (empty = in-memory only)")
+	maxQueued := flag.Int("max-queued", 0, "broker: per-tenant pending-task limit; submissions past it get queue_full (0 = unlimited)")
+	maxQueuedTenant := flag.String("max-queued-tenant", "", "broker: per-tenant overrides of -max-queued, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
 	flag.Parse()
 
 	if *broker && *pull != "" {
 		fmt.Fprintln(os.Stderr, "dramlockerd: -broker and -pull are mutually exclusive")
 		os.Exit(1)
 	}
-	if err := run(*addr, *preset, *name, *capacity, *broker, *pull, *leaseTTL, *hedgeAfter, *weights); err != nil {
+	bf := brokerFlags{
+		leaseTTL:        *leaseTTL,
+		hedgeAfter:      *hedgeAfter,
+		weights:         *weights,
+		journalDir:      *journalDir,
+		maxQueued:       *maxQueued,
+		maxQueuedTenant: *maxQueuedTenant,
+	}
+	if err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, preset, name string, capacity int, broker bool, pull string, leaseTTL, hedgeAfter time.Duration, weights string) error {
+// brokerFlags carries the -broker mode's tuning flags.
+type brokerFlags struct {
+	leaseTTL        time.Duration
+	hedgeAfter      time.Duration
+	weights         string
+	journalDir      string
+	maxQueued       int
+	maxQueuedTenant string
+}
+
+func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags) error {
 	var err error
 	if name == "" {
 		if name, err = os.Hostname(); err != nil || name == "" {
@@ -102,14 +132,20 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, leas
 	defer stop()
 
 	if broker {
-		w, err := parseWeights(weights)
+		w, err := parseTenantInts("-weights", bf.weights, 1)
 		if err != nil {
 			return err
 		}
-		return runBroker(ctx, stop, addr, name, queue.Config{
-			LeaseTTL:   leaseTTL,
-			HedgeAfter: hedgeAfter,
-			Weights:    w,
+		limits, err := parseTenantInts("-max-queued-tenant", bf.maxQueuedTenant, 0)
+		if err != nil {
+			return err
+		}
+		return runBroker(ctx, stop, addr, name, bf.journalDir, queue.Config{
+			LeaseTTL:        bf.leaseTTL,
+			HedgeAfter:      bf.hedgeAfter,
+			Weights:         w,
+			MaxQueued:       bf.maxQueued,
+			MaxQueuedTenant: limits,
 		})
 	}
 
@@ -164,13 +200,30 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, leas
 	return nil
 }
 
-// runBroker serves the job queue until a signal, then drains.
-func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, cfg queue.Config) error {
+// runBroker serves the job queue until a signal, then drains. With a
+// journal dir the backlog is crash-safe: submissions, completions and
+// cancels are journaled (fsynced before the reply) and replayed on the
+// next startup.
+func runBroker(ctx context.Context, stop context.CancelFunc, addr, name, journalDir string, cfg queue.Config) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	bs := remote.NewBrokerServer(queue.New(cfg), name)
+	if journalDir != "" {
+		jl, err := queue.OpenJournal(journalDir)
+		if err != nil {
+			return err
+		}
+		defer jl.Close()
+		cfg.Journal = jl
+	}
+	b := queue.New(cfg)
+	if m := b.Metrics(); m.Journal != nil {
+		log.Printf("dramlockerd: journal %s: replayed %d jobs / %d tasks (%d requeued, %d completed, %d lines skipped)",
+			journalDir, m.Journal.ReplayedJobs, m.Journal.ReplayedTasks,
+			m.Journal.Requeued, m.Completed, m.Journal.Skipped)
+	}
+	bs := remote.NewBrokerServer(b, name)
 	srv := &http.Server{Handler: bs}
 
 	errCh := make(chan error, 1)
@@ -194,8 +247,10 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 	return nil
 }
 
-// parseWeights parses "tenant=N[,tenant=N...]" into a weight map.
-func parseWeights(s string) (map[string]int, error) {
+// parseTenantInts parses the shared "tenant=N[,tenant=N...]" syntax
+// used by -weights and -max-queued-tenant; minVal is the smallest
+// accepted N (1 for weights, 0 for queue limits where 0 = unlimited).
+func parseTenantInts(flagName, s string, minVal int) (map[string]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -203,11 +258,11 @@ func parseWeights(s string) (map[string]int, error) {
 	for _, part := range experiments.SplitList(s) {
 		tenant, val, ok := strings.Cut(part, "=")
 		if !ok || tenant == "" {
-			return nil, fmt.Errorf("dramlockerd: bad -weights entry %q (want tenant=N)", part)
+			return nil, fmt.Errorf("dramlockerd: bad %s entry %q (want tenant=N)", flagName, part)
 		}
 		n, err := strconv.Atoi(val)
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("dramlockerd: bad -weights value %q (want a positive integer)", part)
+		if err != nil || n < minVal {
+			return nil, fmt.Errorf("dramlockerd: bad %s value %q (want an integer >= %d)", flagName, part, minVal)
 		}
 		w[tenant] = n
 	}

@@ -107,3 +107,42 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("result round-trip changed: %+v vs %+v", res2, res)
 	}
 }
+
+func TestJobSubmitBatchValidate(t *testing.T) {
+	ok := JobSubmit{Proto: Version, Tasks: []TaskSpec{
+		{Proto: Version, Job: "j", Seed: 1, Key: "j@hash"},
+	}}
+	if err := (JobSubmitBatch{Proto: Version, Jobs: []JobSubmit{ok}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (JobSubmitBatch{Proto: "dlexec0", Jobs: []JobSubmit{ok}}).Validate(); err == nil {
+		t.Fatal("foreign proto must be rejected")
+	}
+	if err := (JobSubmitBatch{Proto: Version}).Validate(); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+	// A bad job fails the envelope and names its index, so the submitter
+	// can see which of its jobs is malformed.
+	err := (JobSubmitBatch{Proto: Version, Jobs: []JobSubmit{ok, {Proto: Version}}}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("want the bad job's index in the error, got %v", err)
+	}
+}
+
+func TestCodesEnumerationComplete(t *testing.T) {
+	// Codes() is the wire-contract enumeration; every code must have an
+	// explicit retry decision and appear exactly once.
+	seen := make(map[Code]bool)
+	for _, c := range Codes() {
+		if seen[c] {
+			t.Fatalf("code %s listed twice", c)
+		}
+		seen[c] = true
+		if _, ok := retryableByCode[c]; !ok {
+			t.Fatalf("code %s has no retryability entry", c)
+		}
+	}
+	if len(seen) != len(retryableByCode) {
+		t.Fatalf("Codes() lists %d codes, retryableByCode has %d", len(seen), len(retryableByCode))
+	}
+}

@@ -41,6 +41,10 @@ const (
 	// CodeCanceled: the referenced job was canceled; its tasks will never
 	// produce results.
 	CodeCanceled Code = "canceled"
+	// CodeQueueFull: admission control rejected the submission because
+	// the tenant's pending queue is at its depth limit. Back off and
+	// resubmit once the backlog drains.
+	CodeQueueFull Code = "queue_full"
 	// CodeInternal: an unexpected failure on the serving side.
 	CodeInternal Code = "internal"
 )
@@ -58,7 +62,18 @@ var retryableByCode = map[Code]bool{
 	CodeDraining:      true,
 	CodeUnavailable:   true,
 	CodeCanceled:      false,
+	CodeQueueFull:     true,
 	CodeInternal:      true,
+}
+
+// Codes lists every defined Code (wire-contract enumeration, handy for
+// exhaustive round-trip tests and metrics label allow-lists).
+func Codes() []Code {
+	return []Code{
+		CodeBadRequest, CodeProtoMismatch, CodeUnknownJob, CodeKeyMismatch,
+		CodeNotFound, CodeDraining, CodeUnavailable, CodeCanceled,
+		CodeQueueFull, CodeInternal,
+	}
 }
 
 // Error is the typed protocol error: a stable code, a human-readable

@@ -1,0 +1,77 @@
+package api
+
+// Broker metrics: the GET /v2/metrics read side. One schema serves
+// every consumer — the broker renders it as JSON (and derives the
+// Prometheus text exposition from the same struct), `dramlocker
+// -broker -stats` pretty-prints it, and the e2e crash-recovery gate
+// scrapes it to decide when to SIGKILL the broker.
+
+// BrokerMetrics is a point-in-time census of a broker plus its
+// lifetime counters, journal state and per-tenant gauges.
+type BrokerMetrics struct {
+	// Proto must equal Version.
+	Proto string `json:"proto"`
+
+	// Gauges: current queue census.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Workers int `json:"workers"`
+	Jobs    int `json:"jobs"`
+
+	// Counters over the broker's lifetime (a journal-backed broker
+	// restores Submitted/Completed/Failed across restarts on replay).
+	Submitted    int `json:"submitted"`
+	Completed    int `json:"completed"`
+	Failed       int `json:"failed"`
+	Requeues     int `json:"requeues"`
+	Hedges       int `json:"hedges"`
+	Duplicates   int `json:"duplicates"`
+	DupCacheHits int `json:"dup_cache_hits"`
+	// Rejected counts job submissions refused by admission control
+	// (queue_full).
+	Rejected int `json:"rejected"`
+
+	// Journal is present only when the broker runs with a journal.
+	Journal *JournalMetrics `json:"journal,omitempty"`
+	// Tenants lists every tenant the broker has seen, sorted by name.
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
+}
+
+// JournalMetrics counts journal activity: write-side totals since the
+// broker started, and what the startup replay found.
+type JournalMetrics struct {
+	// Appends / Fsyncs count journal writes and the subset followed by
+	// an fsync (submissions, completions and cancels sync; lease grants
+	// don't — losing one only costs a redundant re-execution).
+	Appends int `json:"appends"`
+	Fsyncs  int `json:"fsyncs"`
+	// ReplayedJobs / ReplayedTasks count what startup replay restored.
+	ReplayedJobs  int `json:"replayed_jobs"`
+	ReplayedTasks int `json:"replayed_tasks"`
+	// Requeued counts replayed tasks that were leased-but-unfinished at
+	// crash time and went back to pending.
+	Requeued int `json:"requeued"`
+	// Skipped counts corrupt or stale journal lines dropped during
+	// replay (corruption degrades to skip-with-warning, like the disk
+	// result cache).
+	Skipped int `json:"skipped"`
+	// Compactions counts journal rewrites (one after each successful
+	// replay).
+	Compactions int `json:"compactions"`
+}
+
+// TenantMetrics is one tenant's queue gauges.
+type TenantMetrics struct {
+	Tenant string `json:"tenant"`
+	// Weight is the fairness weight; Served the stride-scheduling
+	// numerator (tasks dispatched to date).
+	Weight int `json:"weight"`
+	Served int `json:"served"`
+	// Pending is the current queue depth; MaxQueued its admission limit
+	// (0 = unlimited).
+	Pending   int `json:"pending"`
+	MaxQueued int `json:"max_queued,omitempty"`
+	// OldestAgeNS is how long the oldest pending task has been queued
+	// (0 when the queue is empty).
+	OldestAgeNS int64 `json:"oldest_age_ns,omitempty"`
+}

@@ -48,6 +48,46 @@ type SubmitReply struct {
 	ID    string `json:"id"`
 }
 
+// JobSubmitBatch submits several jobs in one request, cutting the
+// per-task round-trips of a sharded run to one POST per submission
+// wave. Jobs are admitted independently: each gets its own SubmitItem,
+// so one tenant hitting its queue-depth limit fails only its own jobs.
+type JobSubmitBatch struct {
+	// Proto must equal Version (each enclosed JobSubmit echoes it too).
+	Proto string      `json:"proto"`
+	Jobs  []JobSubmit `json:"jobs"`
+}
+
+// Validate checks the envelope and every enclosed submission.
+func (bt JobSubmitBatch) Validate() error {
+	if err := CheckProto(bt.Proto); err != nil {
+		return err
+	}
+	if len(bt.Jobs) == 0 {
+		return Errf(CodeBadRequest, "batch submits no jobs")
+	}
+	for i, s := range bt.Jobs {
+		if err := s.Validate(); err != nil {
+			return Errf(CodeBadRequest, "job %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// SubmitItem is one job's outcome inside a SubmitBatchReply: the
+// assigned id, or that job's own typed error (e.g. queue_full).
+type SubmitItem struct {
+	ID  string `json:"id,omitempty"`
+	Err *Error `json:"error,omitempty"`
+}
+
+// SubmitBatchReply answers a JobSubmitBatch with per-job outcomes,
+// indexed like the submitted Jobs.
+type SubmitBatchReply struct {
+	Proto string       `json:"proto"`
+	Jobs  []SubmitItem `json:"jobs"`
+}
+
 // JobState is the lifecycle of a submitted job.
 type JobState string
 

@@ -40,6 +40,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,6 +79,19 @@ type Config struct {
 	// JobRetention is how long finished/canceled jobs stay queryable;
 	// 0 means 10 minutes.
 	JobRetention time.Duration
+	// MaxQueued caps every tenant's pending queue depth (admission
+	// control): a submission that would push the queue past the limit is
+	// rejected with queue_full. 0 means unlimited. Requeues of
+	// already-admitted tasks are never gated, and neither is journal
+	// replay — limits apply to new work only.
+	MaxQueued int
+	// MaxQueuedTenant overrides MaxQueued per tenant (0 or negative =
+	// unlimited for that tenant).
+	MaxQueuedTenant map[string]int
+	// Journal, when non-nil, makes the backlog crash-safe: submissions,
+	// grants, completions and cancels are journaled (see OpenJournal),
+	// and New replays + compacts the journal before serving.
+	Journal *Journal
 	// Now is the clock; nil means time.Now. Tests inject a fake.
 	Now func() time.Time
 }
@@ -102,6 +117,9 @@ type Stats struct {
 	// done; DupCacheHits is the subset whose bytes matched the recorded
 	// winner (all of them, when tasks are deterministic).
 	Duplicates, DupCacheHits int
+	// Rejected counts job submissions refused by admission control
+	// (queue_full).
+	Rejected int
 }
 
 type taskState uint8
@@ -121,6 +139,9 @@ type task struct {
 	spec  api.TaskSpec
 	seq   uint64 // global submission order, the FIFO tie-breaker
 	state taskState
+	// enqueued is when the task last entered the pending queue (submit,
+	// replay or requeue); the metrics queue-age gauge reads it.
+	enqueued time.Time
 	// leases holds the active leases (normally one; two while hedged).
 	leases map[string]*lease
 	result *api.TaskResult
@@ -194,6 +215,7 @@ type workerRec struct {
 type tenantQ struct {
 	name   string
 	weight int
+	limit  int    // admission cap on len(q); 0 = unlimited
 	served uint64 // tasks dispatched, the stride-scheduling numerator
 	q      []*task
 }
@@ -247,7 +269,7 @@ func New(cfg Config) *Broker {
 	if now == nil {
 		now = time.Now
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:     cfg,
 		now:     now,
 		jobs:    make(map[string]*job),
@@ -256,6 +278,10 @@ func New(cfg Config) *Broker {
 		tenants: make(map[string]*tenantQ),
 		wake:    make(chan struct{}),
 	}
+	if cfg.Journal != nil {
+		b.replayJournal(cfg.Journal)
+	}
+	return b
 }
 
 // LeaseTTL reports the configured lease duration (advertised in
@@ -283,40 +309,103 @@ func (b *Broker) tenantFor(name string) *tenantQ {
 		if b.cfg.Weights != nil && b.cfg.Weights[name] > 1 {
 			w = b.cfg.Weights[name]
 		}
-		tq = &tenantQ{name: name, weight: w}
+		limit := b.cfg.MaxQueued
+		if l, ok := b.cfg.MaxQueuedTenant[name]; ok {
+			limit = l
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		tq = &tenantQ{name: name, weight: w, limit: limit}
 		b.tenants[name] = tq
 	}
 	return tq
 }
 
-// Submit enqueues a job and returns its id.
+// Submit enqueues a job and returns its id. Admission control may
+// reject it with queue_full (retryable); journaled brokers fsync the
+// submission before replying, so an acknowledged job survives a crash.
 func (b *Broker) Submit(s api.JobSubmit) (api.SubmitReply, error) {
 	if err := s.Validate(); err != nil {
 		return api.SubmitReply{}, err
 	}
-	tenant := s.Tenant
-	if tenant == "" {
-		tenant = api.DefaultTenant
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	id, err := b.submitLocked(s)
+	if err != nil {
+		return api.SubmitReply{}, err
+	}
+	b.journalSyncLocked()
+	b.wakeAll()
+	return api.SubmitReply{Proto: api.Version, ID: id}, nil
+}
+
+// SubmitBatch enqueues several jobs in one call with per-job outcomes:
+// admission control rejects jobs individually, so one full tenant fails
+// only its own submissions, and a single fsync covers the whole batch —
+// the round-trip (and durability) cost of a sharded run's submission
+// wave is O(1), not O(tasks).
+func (b *Broker) SubmitBatch(bt api.JobSubmitBatch) (api.SubmitBatchReply, error) {
+	if err := bt.Validate(); err != nil {
+		return api.SubmitBatchReply{}, err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sweep()
+	rep := api.SubmitBatchReply{Proto: api.Version, Jobs: make([]api.SubmitItem, len(bt.Jobs))}
+	accepted := false
+	for i, s := range bt.Jobs {
+		id, err := b.submitLocked(s)
+		if err != nil {
+			ae, ok := api.AsError(err)
+			if !ok {
+				ae = api.Errf(api.CodeInternal, "%v", err)
+			}
+			rep.Jobs[i] = api.SubmitItem{Err: ae}
+			continue
+		}
+		rep.Jobs[i] = api.SubmitItem{ID: id}
+		accepted = true
+	}
+	if accepted {
+		b.journalSyncLocked()
+		b.wakeAll()
+	}
+	return rep, nil
+}
 
+// submitLocked admits one validated submission against its tenant's
+// depth limit, enqueues it, and journals it (unsynced — the caller
+// fsyncs once per submission wave before replying).
+func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
+	tenant := s.Tenant
+	if tenant == "" {
+		tenant = api.DefaultTenant
+	}
+	tq := b.tenantFor(tenant)
+	if tq.limit > 0 && len(tq.q)+len(s.Tasks) > tq.limit {
+		b.stats.Rejected++
+		return "", api.Errf(api.CodeQueueFull,
+			"tenant %q queue is full (%d pending, limit %d, job adds %d tasks); back off and resubmit",
+			tenant, len(tq.q), tq.limit, len(s.Tasks))
+	}
 	j := &job{
 		id:       b.nextID("j"),
 		tenant:   tenant,
 		priority: s.Priority,
 		finished: make(chan struct{}),
 	}
-	tq := b.tenantFor(tenant)
+	now := b.now()
 	for i, spec := range s.Tasks {
 		t := &task{
-			id:     fmt.Sprintf("%s/%d", j.id, i),
-			job:    j,
-			idx:    i,
-			spec:   spec,
-			seq:    b.seq + uint64(i) + 1,
-			leases: make(map[string]*lease),
+			id:       fmt.Sprintf("%s/%d", j.id, i),
+			job:      j,
+			idx:      i,
+			spec:     spec,
+			seq:      b.seq + uint64(i) + 1,
+			enqueued: now,
+			leases:   make(map[string]*lease),
 		}
 		j.tasks = append(j.tasks, t)
 		tq.insert(t)
@@ -324,8 +413,21 @@ func (b *Broker) Submit(s api.JobSubmit) (api.SubmitReply, error) {
 	b.seq += uint64(len(s.Tasks))
 	b.jobs[j.id] = j
 	b.stats.Submitted += len(j.tasks)
-	b.wakeAll()
-	return api.SubmitReply{Proto: api.Version, ID: j.id}, nil
+	if b.cfg.Journal != nil {
+		b.cfg.Journal.append(journalEntry{
+			Kind: entrySubmit, Job: j.id,
+			Tenant: tenant, Priority: s.Priority, Tasks: s.Tasks,
+		}, false)
+	}
+	return j.id, nil
+}
+
+// journalSyncLocked makes everything appended so far durable (no-op
+// without a journal).
+func (b *Broker) journalSyncLocked() {
+	if b.cfg.Journal != nil {
+		b.cfg.Journal.sync()
+	}
 }
 
 // Status reports a job's progress; Results is populated once done.
@@ -425,6 +527,9 @@ func (b *Broker) Cancel(req api.CancelRequest) error {
 		}
 	}
 	close(j.finished)
+	if b.cfg.Journal != nil {
+		b.cfg.Journal.append(journalEntry{Kind: entryCancel, Job: j.id}, true)
+	}
 	return nil
 }
 
@@ -679,6 +784,13 @@ func (b *Broker) grantLocked(t *task, w *workerRec, hedged bool) *lease {
 	t.leases[l.id] = l
 	w.leases[l.id] = l
 	b.leases[l.id] = l
+	if b.cfg.Journal != nil {
+		// Unsynced: losing a grant record only costs a redundant,
+		// byte-identical re-execution after replay.
+		b.cfg.Journal.append(journalEntry{
+			Kind: entryGrant, Job: t.job.id, Task: t.idx, Worker: w.name,
+		}, false)
+	}
 	return l
 }
 
@@ -765,6 +877,14 @@ func (b *Broker) Done(req api.TaskDone) (api.DoneReply, error) {
 		j.finishedAt = b.now()
 		close(j.finished)
 	}
+	if b.cfg.Journal != nil {
+		// Synced before the reply: once the worker hears Accepted it
+		// will never re-run this task, so the result must outlive a
+		// crash.
+		b.cfg.Journal.append(journalEntry{
+			Kind: entryDone, Job: j.id, Task: t.idx, Result: &res,
+		}, true)
+	}
 	return api.DoneReply{Proto: api.Version, Accepted: true}, nil
 }
 
@@ -844,6 +964,7 @@ func (b *Broker) requeue(t *task) {
 		return
 	}
 	t.state = taskPending
+	t.enqueued = b.now()
 	b.tenantFor(t.job.tenant).insert(t)
 	b.stats.Requeues++
 	b.wakeAll()
@@ -858,14 +979,247 @@ func (b *Broker) Stats() Stats {
 	for _, tq := range b.tenants {
 		s.Pending += len(tq.q)
 	}
+	s.Leased = b.leasedLocked()
+	s.Workers = len(b.workers)
+	s.Jobs = len(b.jobs)
+	return s
+}
+
+// leasedLocked counts tasks out on at least one active lease.
+func (b *Broker) leasedLocked() int {
+	n := 0
 	seen := make(map[*task]bool)
 	for _, l := range b.leases {
 		if l.active && !seen[l.t] {
 			seen[l.t] = true
-			s.Leased++
+			n++
 		}
 	}
-	s.Workers = len(b.workers)
-	s.Jobs = len(b.jobs)
-	return s
+	return n
+}
+
+// Metrics snapshots the broker as the /v2/metrics payload: the Stats
+// counters plus per-tenant depth/age gauges and, on a journaled
+// broker, the journal's counters.
+func (b *Broker) Metrics() api.BrokerMetrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	now := b.now()
+	m := api.BrokerMetrics{
+		Proto:        api.Version,
+		Leased:       b.leasedLocked(),
+		Workers:      len(b.workers),
+		Jobs:         len(b.jobs),
+		Submitted:    b.stats.Submitted,
+		Completed:    b.stats.Completed,
+		Failed:       b.stats.Failed,
+		Requeues:     b.stats.Requeues,
+		Hedges:       b.stats.Hedges,
+		Duplicates:   b.stats.Duplicates,
+		DupCacheHits: b.stats.DupCacheHits,
+		Rejected:     b.stats.Rejected,
+	}
+	names := make([]string, 0, len(b.tenants))
+	for name := range b.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tq := b.tenants[name]
+		tm := api.TenantMetrics{
+			Tenant:    name,
+			Weight:    tq.weight,
+			Served:    int(tq.served),
+			Pending:   len(tq.q),
+			MaxQueued: tq.limit,
+		}
+		// Queue order is priority-then-FIFO, not age, so scan for the
+		// oldest resident.
+		for _, t := range tq.q {
+			if d := now.Sub(t.enqueued).Nanoseconds(); d > tm.OldestAgeNS {
+				tm.OldestAgeNS = d
+			}
+		}
+		m.Pending += len(tq.q)
+		m.Tenants = append(m.Tenants, tm)
+	}
+	if b.cfg.Journal != nil {
+		jm := b.cfg.Journal.metrics()
+		m.Journal = &jm
+	}
+	return m
+}
+
+// replayJournal rebuilds broker state from the journal, then compacts
+// it. Runs inside New, before the broker is shared, so no locking.
+//
+// Jobs are restored in journal (submission) order with fresh task
+// sequence numbers, preserving the original FIFO; recorded results are
+// reattached verbatim (byte-identical replies across the restart);
+// tasks that were pending or leased-but-unfinished at crash time
+// re-enter their tenant queue — a lease without a completion record is
+// exactly the work a crashed broker must hand out again. Admission
+// limits do not gate replay: everything in the journal was already
+// admitted.
+func (b *Broker) replayJournal(jl *Journal) {
+	type rec struct {
+		tenant   string
+		priority int
+		tasks    []api.TaskSpec
+		results  map[int]*api.TaskResult
+		granted  map[int]bool
+		canceled bool
+	}
+	recs := make(map[string]*rec)
+	var order []string
+	for _, e := range jl.load() {
+		switch e.Kind {
+		case entrySubmit:
+			if e.Job == "" || len(e.Tasks) == 0 || recs[e.Job] != nil {
+				jl.noteSkip("unusable submit entry for job %q", e.Job)
+				continue
+			}
+			recs[e.Job] = &rec{
+				tenant: e.Tenant, priority: e.Priority, tasks: e.Tasks,
+				results: make(map[int]*api.TaskResult),
+				granted: make(map[int]bool),
+			}
+			order = append(order, e.Job)
+		case entryGrant:
+			if r := recs[e.Job]; r != nil && e.Task >= 0 && e.Task < len(r.tasks) {
+				r.granted[e.Task] = true
+			}
+		case entryDone:
+			r := recs[e.Job]
+			if r == nil || e.Result == nil || e.Task < 0 || e.Task >= len(r.tasks) {
+				jl.noteSkip("unusable done entry for job %q task %d", e.Job, e.Task)
+				continue
+			}
+			r.results[e.Task] = e.Result
+		case entryCancel:
+			if r := recs[e.Job]; r != nil {
+				r.canceled = true
+			}
+		default:
+			jl.noteSkip("entry of unknown kind %q", e.Kind)
+		}
+	}
+
+	now := b.now()
+	jobs, tasks, requeued := 0, 0, 0
+	var maxID uint64
+	for _, id := range order {
+		r := recs[id]
+		if n, ok := numericID(id, "j"); ok && n > maxID {
+			maxID = n
+		}
+		j := &job{
+			id: id, tenant: r.tenant, priority: r.priority,
+			canceled: r.canceled,
+			finished: make(chan struct{}),
+		}
+		tq := b.tenantFor(j.tenant)
+		for i, spec := range r.tasks {
+			t := &task{
+				id:       fmt.Sprintf("%s/%d", id, i),
+				job:      j,
+				idx:      i,
+				spec:     spec,
+				seq:      b.seq + uint64(i) + 1,
+				enqueued: now,
+				leases:   make(map[string]*lease),
+			}
+			j.tasks = append(j.tasks, t)
+			switch {
+			case r.canceled:
+				t.state = taskCanceled
+			case r.results[i] != nil:
+				res := *r.results[i]
+				t.result = &res
+				t.state = taskDone
+				j.done++
+				b.stats.Completed++
+				if res.Err != "" {
+					j.failed++
+					b.stats.Failed++
+				}
+			default:
+				tq.insert(t)
+				if r.granted[i] {
+					requeued++
+				}
+			}
+		}
+		b.seq += uint64(len(r.tasks))
+		b.jobs[id] = j
+		b.stats.Submitted += len(j.tasks)
+		if j.complete() {
+			j.finishedAt = now
+			close(j.finished)
+		}
+		jobs++
+		tasks += len(j.tasks)
+	}
+	// Keep the id sequence ahead of every replayed job id so new ids
+	// never collide with journaled ones.
+	if maxID > b.seq {
+		b.seq = maxID
+	}
+	jl.noteReplay(jobs, tasks, requeued)
+	jl.compact(b.liveEntriesLocked())
+}
+
+// liveEntriesLocked serialises the broker's retained state as a
+// minimal journal — one submit per job, its recorded results, a cancel
+// marker where needed — in numeric job-id order, so compaction is
+// deterministic and sheds grants and swept jobs.
+func (b *Broker) liveEntriesLocked() []journalEntry {
+	ids := make([]string, 0, len(b.jobs))
+	for id := range b.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool {
+		a, aok := numericID(ids[i], "j")
+		c, cok := numericID(ids[k], "j")
+		if aok && cok && a != c {
+			return a < c
+		}
+		return ids[i] < ids[k]
+	})
+	var out []journalEntry
+	for _, id := range ids {
+		j := b.jobs[id]
+		specs := make([]api.TaskSpec, len(j.tasks))
+		for i, t := range j.tasks {
+			specs[i] = t.spec
+		}
+		out = append(out, journalEntry{
+			Kind: entrySubmit, Job: id,
+			Tenant: j.tenant, Priority: j.priority, Tasks: specs,
+		})
+		for _, t := range j.tasks {
+			if t.state == taskDone && t.result != nil {
+				out = append(out, journalEntry{Kind: entryDone, Job: id, Task: t.idx, Result: t.result})
+			}
+		}
+		if j.canceled {
+			out = append(out, journalEntry{Kind: entryCancel, Job: id})
+		}
+	}
+	return out
+}
+
+// numericID parses a "<prefix><n>" broker id; replay uses it to keep
+// the id sequence ahead of journaled ids and to order compacted jobs.
+func numericID(id, prefix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, prefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }

@@ -1,0 +1,287 @@
+package queue
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/api"
+)
+
+// The journal makes the broker's backlog survive a crash. It is one
+// append-only JSON-lines file, <dir>/journal.jsonl, in the same
+// versioned cache-entry style as the engine's disk result cache: every
+// line is a journalEntry stamped with journalFormatVersion, corrupt or
+// stale lines are skipped with a warning on replay (damage degrades to
+// lost entries, never to a refusal to start), and a truncated tail —
+// the expected wound from SIGKILL mid-write — costs at most the last
+// record.
+//
+// What is written, and how durably, follows from what a loss costs:
+//
+//   - submit, done, cancel are fsynced before the broker replies. These
+//     are the records a client acts on (it stops resubmitting once the
+//     SubmitReply arrives, stops polling once results land), so they
+//     must survive the crash that immediately follows the reply.
+//   - grant (lease) entries are appended without fsync. Losing one
+//     re-runs a task that was already leased — wasted work, not lost
+//     work — and tasks are deterministic, so the re-run is
+//     byte-identical.
+//
+// On startup the broker replays the journal (rebuilding jobs, recorded
+// results and the pending queues; leased-but-unfinished tasks requeue)
+// and then compacts it: the replayed live state is rewritten to a
+// fresh file that atomically replaces the old one, shedding grants,
+// superseded entries and swept jobs.
+
+// journalFormatVersion stamps every entry; bump on any layout change so
+// replay skips entries written by incompatible code.
+const journalFormatVersion = "qjournal1"
+
+// journalFile is the JSON-lines file name inside the journal dir.
+const journalFile = "journal.jsonl"
+
+// Journal entry kinds.
+const (
+	entrySubmit = "submit"
+	entryGrant  = "grant"
+	entryDone   = "done"
+	entryCancel = "cancel"
+)
+
+// journalEntry is one persisted line. Kind selects which fields are
+// meaningful: submit carries the job (tenant, priority, tasks), grant
+// and done carry a task index (and done a result), cancel only the job
+// id.
+type journalEntry struct {
+	V    string `json:"v"`
+	Kind string `json:"kind"`
+	Job  string `json:"job"`
+
+	Tenant   string         `json:"tenant,omitempty"`
+	Priority int            `json:"priority,omitempty"`
+	Tasks    []api.TaskSpec `json:"tasks,omitempty"`
+
+	Task   int             `json:"task,omitempty"`
+	Worker string          `json:"worker,omitempty"`
+	Result *api.TaskResult `json:"result,omitempty"`
+}
+
+// Journal is the broker's write-ahead record. All methods are safe for
+// concurrent use; append failures are logged once per cause and
+// otherwise swallowed — persistence degrades, the queue keeps serving
+// (exactly like the disk result cache).
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	appends, fsyncs, compactions  int
+	replayJobs, replayTasks       int
+	replayRequeued, replaySkipped int
+}
+
+// OpenJournal opens (creating as needed) the journal under dir. The
+// returned Journal is handed to the broker via Config.Journal; queue
+// replay and compaction happen inside New.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("queue: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Close flushes and closes the backing file.
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	err := jl.f.Close()
+	jl.f = nil
+	return err
+}
+
+// append writes one entry; with sync it also fsyncs, making the entry
+// durable before the caller replies to its client.
+func (jl *Journal) append(e journalEntry, sync bool) {
+	e.V = journalFormatVersion
+	line, err := json.Marshal(e)
+	if err != nil {
+		log.Printf("queue: journal: marshal %s entry: %v", e.Kind, err)
+		return
+	}
+	line = append(line, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return
+	}
+	if _, err := jl.f.Write(line); err != nil {
+		log.Printf("queue: journal: append: %v", err)
+		return
+	}
+	jl.appends++
+	if sync {
+		if err := jl.f.Sync(); err != nil {
+			log.Printf("queue: journal: fsync: %v", err)
+			return
+		}
+		jl.fsyncs++
+	}
+}
+
+// sync fsyncs everything appended so far; one sync can cover a whole
+// batch of appends.
+func (jl *Journal) sync() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return
+	}
+	if err := jl.f.Sync(); err != nil {
+		log.Printf("queue: journal: fsync: %v", err)
+		return
+	}
+	jl.fsyncs++
+}
+
+// load reads every well-formed current-version entry, in file order.
+// Malformed lines, wrong-version entries and a truncated tail are
+// counted as skips and logged; a scanner error abandons the remainder
+// of the file but keeps everything read so far.
+func (jl *Journal) load() []journalEntry {
+	f, err := os.Open(jl.path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+
+	var entries []journalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			jl.noteSkip("line %d: %v", lineNo, err)
+			continue
+		}
+		if e.V != journalFormatVersion {
+			jl.noteSkip("line %d: version %q (want %q)", lineNo, e.V, journalFormatVersion)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		jl.noteSkip("after line %d: %v", lineNo, err)
+	}
+	return entries
+}
+
+// noteSkip records one unusable journal line (or region) and warns.
+func (jl *Journal) noteSkip(format string, args ...any) {
+	jl.mu.Lock()
+	jl.replaySkipped++
+	jl.mu.Unlock()
+	log.Printf("queue: journal: skipping %s", fmt.Sprintf(format, args...))
+}
+
+// compact atomically replaces the journal with just the live entries:
+// written to a sibling temp file, fsynced, then renamed over the
+// original. On any failure the old journal (fully replayable) stays in
+// place and appends continue against it.
+func (jl *Journal) compact(live []journalEntry) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	tmp := jl.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("queue: journal: compact: %v", err)
+		return
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range live {
+		e.V = journalFormatVersion
+		line, err := json.Marshal(e)
+		if err != nil {
+			log.Printf("queue: journal: compact: marshal: %v", err)
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		log.Printf("queue: journal: compact: %v", err)
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("queue: journal: compact: %v", err)
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, jl.path); err != nil {
+		log.Printf("queue: journal: compact: %v", err)
+		os.Remove(tmp)
+		return
+	}
+	// Re-point the append handle at the compacted file (the old handle
+	// references the replaced inode).
+	if jl.f != nil {
+		jl.f.Close()
+	}
+	jl.f, err = os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Printf("queue: journal: reopen after compact: %v", err)
+		jl.f = nil
+		return
+	}
+	jl.compactions++
+}
+
+// metrics snapshots the journal's counters.
+func (jl *Journal) metrics() api.JournalMetrics {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return api.JournalMetrics{
+		Appends:       jl.appends,
+		Fsyncs:        jl.fsyncs,
+		ReplayedJobs:  jl.replayJobs,
+		ReplayedTasks: jl.replayTasks,
+		Requeued:      jl.replayRequeued,
+		Skipped:       jl.replaySkipped,
+		Compactions:   jl.compactions,
+	}
+}
+
+// noteReplay records what startup replay restored.
+func (jl *Journal) noteReplay(jobs, tasks, requeued int) {
+	jl.mu.Lock()
+	jl.replayJobs = jobs
+	jl.replayTasks = tasks
+	jl.replayRequeued = requeued
+	jl.mu.Unlock()
+}

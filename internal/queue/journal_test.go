@@ -1,0 +1,215 @@
+package queue
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// journalFor opens a journal under dir, closing it with the test. Two
+// journals over the same dir model a broker restart: the "crashed"
+// broker's handle stays open (a SIGKILL never closes anything) while
+// the successor replays the same file.
+func journalFor(t *testing.T, dir string) *Journal {
+	t.Helper()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	return jl
+}
+
+// TestJournalReplayRestoresBacklog is the crash-recovery contract: a
+// broker rebuilt over the journal of a killed one serves the same job
+// ids, keeps recorded results byte-identical, and hands
+// leased-but-unfinished tasks out again.
+func TestJournalReplayRestoresBacklog(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	b1 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+
+	idA := submit(t, b1, "", 0, spec("a", 0), spec("a", 1))
+	idB := submit(t, b1, "", 0, spec("b", 0))
+	w1 := hello(t, b1, "w1")
+	leases := poll(t, b1, w1, 2)
+	if len(leases) != 2 {
+		t.Fatalf("want 2 leases before the crash, got %d", len(leases))
+	}
+	done(t, b1, w1, leases[0], "pre-crash")
+	// leases[1] is still out when the broker "dies" here.
+
+	b2 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	st, err := b2.Status(idA)
+	if err != nil {
+		t.Fatalf("job %s lost across restart: %v", idA, err)
+	}
+	if st.State != api.JobRunning || st.Done != 1 {
+		t.Fatalf("job A after replay: state %s done %d, want running/1", st.State, st.Done)
+	}
+	if st, err = b2.Status(idB); err != nil || st.State != api.JobQueued {
+		t.Fatalf("job B after replay: %v %v, want queued", st, err)
+	}
+	m := b2.Metrics()
+	if m.Journal == nil {
+		t.Fatal("journaled broker reports no journal metrics")
+	}
+	if m.Journal.ReplayedJobs != 2 || m.Journal.ReplayedTasks != 3 || m.Journal.Requeued != 1 {
+		t.Fatalf("replay metrics = %+v, want 2 jobs / 3 tasks / 1 requeued", *m.Journal)
+	}
+
+	// The successor must be able to finish the run: the interrupted
+	// lease's task and job B's task are both pollable again.
+	w2 := hello(t, b2, "w2")
+	rest := poll(t, b2, w2, 4)
+	if len(rest) != 2 {
+		t.Fatalf("want the 2 unfinished tasks after replay, got %d leases", len(rest))
+	}
+	for _, l := range rest {
+		done(t, b2, w2, l, "post-crash")
+	}
+	st, err = b2.Status(idA)
+	if err != nil || st.State != api.JobDone {
+		t.Fatalf("job A after finishing: %v %v", st, err)
+	}
+	// The pre-crash result came back verbatim from the journal.
+	want := resultFor(leases[0].Task, "pre-crash")
+	got := st.Results[leases[0].Task.Shard]
+	if got.Text != want.Text || string(got.Data) != string(want.Data) {
+		t.Fatalf("replayed result diverged: %+v vs %+v", got, want)
+	}
+	// New submissions on the successor must not collide with replayed ids.
+	idC := submit(t, b2, "", 0, spec("c", 0))
+	if idC == idA || idC == idB {
+		t.Fatalf("post-replay job id %s collides with a replayed id", idC)
+	}
+}
+
+// TestJournalReplaySkipsCorruptTail: damage degrades to skipped lines,
+// never to a refusal to start — the valid prefix's backlog survives a
+// garbage line, a wrong-version entry and the half-written tail a
+// SIGKILL mid-append leaves behind.
+func TestJournalReplaySkipsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	b1 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	id := submit(t, b1, "", 0, spec("a", 0), spec("a", 1))
+
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"v":"qjournal0","kind":"submit","job":"jX"}` + "\n")
+	f.WriteString(`{"v":"qjournal1","kind":"sub`) // truncated mid-record, no newline
+	f.Close()
+
+	b2 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	st, err := b2.Status(id)
+	if err != nil || st.State != api.JobQueued || st.Total != 2 {
+		t.Fatalf("backlog lost to a corrupt tail: %v %v", st, err)
+	}
+	m := b2.Metrics()
+	if m.Journal.Skipped != 3 {
+		t.Fatalf("skipped = %d, want 3 (garbage, wrong version, truncated tail)", m.Journal.Skipped)
+	}
+	if m.Journal.ReplayedJobs != 1 || m.Journal.ReplayedTasks != 2 {
+		t.Fatalf("replay metrics = %+v, want the intact job back", *m.Journal)
+	}
+}
+
+// TestJournalCompactionShedsGrants: replay rewrites the journal to just
+// the live state — grant entries (redundant once requeued) disappear,
+// cancel markers survive, and a third broker replays the compacted file
+// to the same state.
+func TestJournalCompactionShedsGrants(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	b1 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	idKeep := submit(t, b1, "", 0, spec("keep", 0))
+	idGone := submit(t, b1, "", 0, spec("gone", 0))
+	w := hello(t, b1, "w1")
+	if got := len(poll(t, b1, w, 1)); got != 1 { // leaves a grant entry behind
+		t.Fatalf("want 1 lease, got %d", got)
+	}
+	if err := b1.Cancel(api.CancelRequest{Proto: api.Version, ID: idGone}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"grant"`) {
+		t.Fatal("precondition: journal should hold a grant entry before compaction")
+	}
+
+	b2 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	if m := b2.Metrics(); m.Journal.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", m.Journal.Compactions)
+	}
+	raw, err = os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"kind":"grant"`) {
+		t.Fatalf("compacted journal still holds grant entries:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), `"kind":"cancel"`) {
+		t.Fatalf("compacted journal lost the cancel marker:\n%s", raw)
+	}
+
+	b3 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
+	if st, err := b3.Status(idKeep); err != nil || st.State != api.JobQueued {
+		t.Fatalf("live job after double replay: %v %v", st, err)
+	}
+	if st, err := b3.Status(idGone); err != nil || st.State != api.JobCanceled {
+		t.Fatalf("canceled job after double replay: %v %v, want canceled", st, err)
+	}
+}
+
+// TestJournalSyncTiering: client-visible records (submit, done) are
+// fsynced, grants are not — and a whole submission batch shares one
+// fsync rather than paying one per job.
+func TestJournalSyncTiering(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	jl := journalFor(t, dir)
+	b := newBroker(t, Config{Journal: jl}, clk)
+
+	submit(t, b, "", 0, spec("a", 0))
+	after1 := jl.metrics()
+	if after1.Fsyncs != 1 {
+		t.Fatalf("fsyncs after one submit = %d, want 1", after1.Fsyncs)
+	}
+
+	batch := api.JobSubmitBatch{Proto: api.Version, Jobs: []api.JobSubmit{
+		{Proto: api.Version, Tasks: []api.TaskSpec{spec("b", 0)}},
+		{Proto: api.Version, Tasks: []api.TaskSpec{spec("c", 0)}},
+		{Proto: api.Version, Tasks: []api.TaskSpec{spec("d", 0)}},
+	}}
+	if _, err := b.SubmitBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	after2 := jl.metrics()
+	if got := after2.Fsyncs - after1.Fsyncs; got != 1 {
+		t.Fatalf("a 3-job batch cost %d fsyncs, want 1", got)
+	}
+
+	w := hello(t, b, "w1")
+	leases := poll(t, b, w, 4)
+	after3 := jl.metrics()
+	if after3.Fsyncs != after2.Fsyncs {
+		t.Fatalf("granting leases fsynced (%d -> %d); grants are the unsynced tier", after2.Fsyncs, after3.Fsyncs)
+	}
+	if after3.Appends <= after2.Appends {
+		t.Fatal("grants should still be appended, just not fsynced")
+	}
+	done(t, b, w, leases[0], "r")
+	if after4 := jl.metrics(); after4.Fsyncs != after3.Fsyncs+1 {
+		t.Fatalf("done must fsync before the reply (%d -> %d)", after3.Fsyncs, after4.Fsyncs)
+	}
+}

@@ -14,15 +14,17 @@ import (
 // worker side is the pull-dispatch lease API; both speak typed api
 // messages with api.Error bodies on failure.
 const (
-	SubmitPath    = "/v2/submit"    // POST api.JobSubmit -> api.SubmitReply
-	JobStatusPath = "/v2/job"       // GET ?id=...[&wait=seconds] -> api.JobStatus
-	CancelPath    = "/v2/cancel"    // POST api.CancelRequest -> {}
-	HelloPath     = "/v2/hello"     // POST api.WorkerHello -> api.HelloReply
-	HeartbeatPath = "/v2/heartbeat" // POST api.Heartbeat -> {}
-	DrainPath     = "/v2/drain"     // POST api.DrainRequest -> {}
-	PollPath      = "/v2/poll"      // POST api.PollRequest -> api.PollReply (long poll)
-	RenewPath     = "/v2/renew"     // POST api.LeaseRenew -> api.RenewReply
-	DonePath      = "/v2/done"      // POST api.TaskDone -> api.DoneReply
+	SubmitPath      = "/v2/submit"      // POST api.JobSubmit -> api.SubmitReply
+	SubmitBatchPath = "/v2/submitbatch" // POST api.JobSubmitBatch -> api.SubmitBatchReply
+	JobStatusPath   = "/v2/job"         // GET ?id=...[&wait=seconds] -> api.JobStatus
+	CancelPath      = "/v2/cancel"      // POST api.CancelRequest -> {}
+	HelloPath       = "/v2/hello"       // POST api.WorkerHello -> api.HelloReply
+	HeartbeatPath   = "/v2/heartbeat"   // POST api.Heartbeat -> {}
+	DrainPath       = "/v2/drain"       // POST api.DrainRequest -> {}
+	PollPath        = "/v2/poll"        // POST api.PollRequest -> api.PollReply (long poll)
+	RenewPath       = "/v2/renew"       // POST api.LeaseRenew -> api.RenewReply
+	DonePath        = "/v2/done"        // POST api.TaskDone -> api.DoneReply
+	MetricsPath     = "/v2/metrics"     // GET [?format=prometheus] -> api.BrokerMetrics
 )
 
 // maxStatusWait bounds the job-status long poll so a stuck client
@@ -50,6 +52,7 @@ type BrokerServer struct {
 func NewBrokerServer(b *queue.Broker, name string) *BrokerServer {
 	s := &BrokerServer{name: name, b: b, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST "+SubmitPath, s.handleSubmit)
+	s.mux.HandleFunc("POST "+SubmitBatchPath, s.handleSubmitBatch)
 	s.mux.HandleFunc("GET "+JobStatusPath, s.handleJobStatus)
 	s.mux.HandleFunc("POST "+CancelPath, s.handleCancel)
 	s.mux.HandleFunc("POST "+HelloPath, s.handleHello)
@@ -59,6 +62,7 @@ func NewBrokerServer(b *queue.Broker, name string) *BrokerServer {
 	s.mux.HandleFunc("POST "+RenewPath, s.handleRenew)
 	s.mux.HandleFunc("POST "+DonePath, s.handleDone)
 	s.mux.HandleFunc("GET "+StatusPath, s.handleStatus)
+	s.mux.HandleFunc("GET "+MetricsPath, s.handleMetrics)
 	return s
 }
 
@@ -105,6 +109,33 @@ func (s *BrokerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply(w, rep)
+}
+
+func (s *BrokerServer) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		return
+	}
+	var bt api.JobSubmitBatch
+	if !decodeInto(w, r, &bt) {
+		return
+	}
+	rep, err := s.b.SubmitBatch(bt)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, rep)
+}
+
+func (s *BrokerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.b.Metrics()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, m)
+		return
+	}
+	reply(w, m)
 }
 
 func (s *BrokerServer) handleJobStatus(w http.ResponseWriter, r *http.Request) {

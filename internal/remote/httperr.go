@@ -25,6 +25,8 @@ func httpStatus(code api.Code) int {
 		return http.StatusNotFound
 	case api.CodeCanceled:
 		return http.StatusConflict
+	case api.CodeQueueFull:
+		return http.StatusTooManyRequests
 	case api.CodeDraining, api.CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:

@@ -1,0 +1,90 @@
+package remote
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// roundTrip pushes err through the real wire path — writeError renders
+// the HTTP response, decodeError reconstructs the client-side error.
+func roundTrip(t *testing.T, err error) (*api.Error, int) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	writeError(rec, err)
+	resp := rec.Result()
+	defer resp.Body.Close()
+	got := decodeError(resp)
+	ae, ok := api.AsError(got)
+	if !ok {
+		t.Fatalf("decodeError lost the type: %v", got)
+	}
+	return ae, resp.StatusCode
+}
+
+// TestErrorRoundTripAllCodes is the wire contract for every defined
+// code: Code, Msg and Retryable survive writeError -> HTTP ->
+// decodeError unchanged, and no code falls through to a 200 status.
+func TestErrorRoundTripAllCodes(t *testing.T) {
+	for _, code := range api.Codes() {
+		in := api.Errf(code, "probe %s with %q and spaces", code, "quoted")
+		ae, status := roundTrip(t, in)
+		if ae.Code != in.Code || ae.Msg != in.Msg || ae.Retryable != in.Retryable {
+			t.Errorf("%s: round-trip mangled %+v into %+v", code, in, ae)
+		}
+		if status < 400 {
+			t.Errorf("%s: status %d, want an error status", code, status)
+		}
+	}
+}
+
+// TestErrorRoundTripPreservesFlippedRetryable: clients key off the
+// Retryable flag the server set, not off a client-side code table — a
+// server that overrides the canonical retryability must be believed.
+func TestErrorRoundTripPreservesFlippedRetryable(t *testing.T) {
+	for _, code := range api.Codes() {
+		in := api.Errf(code, "flipped")
+		in.Retryable = !in.Retryable
+		ae, _ := roundTrip(t, in)
+		if ae.Retryable != in.Retryable {
+			t.Errorf("%s: flipped Retryable=%v came back %v", code, in.Retryable, ae.Retryable)
+		}
+	}
+}
+
+// TestErrorRoundTripUntyped: plain Go errors are wrapped as internal on
+// the way out, and non-JSON bodies (proxy error pages) degrade to an
+// untyped error on the way back — never a panic, never a false 200.
+func TestErrorRoundTripUntyped(t *testing.T) {
+	ae, status := roundTrip(t, fmt.Errorf("disk on fire"))
+	if ae.Code != api.CodeInternal || !ae.Retryable {
+		t.Fatalf("untyped error should wire as retryable internal: %+v", ae)
+	}
+	if status != 500 {
+		t.Fatalf("status %d, want 500", status)
+	}
+
+	rec := httptest.NewRecorder()
+	rec.WriteHeader(502)
+	rec.WriteString("<html>bad gateway</html>")
+	resp := rec.Result()
+	defer resp.Body.Close()
+	err := decodeError(resp)
+	if _, typed := api.AsError(err); typed {
+		t.Fatalf("HTML body must decode untyped, got %v", err)
+	}
+	if !api.Retryable(err) {
+		t.Fatal("untyped transport errors default to retryable")
+	}
+}
+
+// TestQueueFullMapsTo429 pins the admission code's cosmetic status so
+// off-the-shelf HTTP tooling (rate-limit dashboards, curl --retry)
+// reads it correctly.
+func TestQueueFullMapsTo429(t *testing.T) {
+	if _, status := roundTrip(t, api.Errf(api.CodeQueueFull, "full")); status != 429 {
+		t.Fatalf("queue_full status %d, want 429", status)
+	}
+}

@@ -1,0 +1,66 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/api"
+)
+
+// writePrometheus renders broker metrics in the Prometheus text
+// exposition format (version 0.0.4): the JSON schema's gauges and
+// counters as dramlocker_broker_* series, tenants as labelled series.
+// Hand-rolled on purpose — the format is lines of "name{labels} value"
+// and a client dependency would be the only third-party import in the
+// repo.
+func writePrometheus(w io.Writer, m api.BrokerMetrics) {
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g("dramlocker_broker_pending_tasks", "Tasks queued waiting for a poller.", int64(m.Pending))
+	g("dramlocker_broker_leased_tasks", "Tasks out on at least one active lease.", int64(m.Leased))
+	g("dramlocker_broker_workers", "Live worker registrations.", int64(m.Workers))
+	g("dramlocker_broker_jobs", "Retained jobs (queued, running, recently done).", int64(m.Jobs))
+	c("dramlocker_broker_tasks_submitted_total", "Tasks submitted over the broker's lifetime.", int64(m.Submitted))
+	c("dramlocker_broker_tasks_completed_total", "Tasks completed (including deterministic failures).", int64(m.Completed))
+	c("dramlocker_broker_tasks_failed_total", "Completed tasks that carried a task error.", int64(m.Failed))
+	c("dramlocker_broker_requeues_total", "Lease expiries that returned a task to the queue.", int64(m.Requeues))
+	c("dramlocker_broker_hedges_total", "Duplicate leases granted for stragglers.", int64(m.Hedges))
+	c("dramlocker_broker_duplicate_results_total", "Results that arrived after the task was already done.", int64(m.Duplicates))
+	c("dramlocker_broker_duplicate_cache_hits_total", "Duplicate results byte-identical to the recorded winner.", int64(m.DupCacheHits))
+	c("dramlocker_broker_rejected_jobs_total", "Job submissions refused by admission control (queue_full).", int64(m.Rejected))
+	if jm := m.Journal; jm != nil {
+		c("dramlocker_broker_journal_appends_total", "Journal entries appended.", int64(jm.Appends))
+		c("dramlocker_broker_journal_fsyncs_total", "Journal fsyncs (durable submit/done/cancel barriers).", int64(jm.Fsyncs))
+		c("dramlocker_broker_journal_replayed_jobs", "Jobs restored by the startup journal replay.", int64(jm.ReplayedJobs))
+		c("dramlocker_broker_journal_replayed_tasks", "Tasks restored by the startup journal replay.", int64(jm.ReplayedTasks))
+		c("dramlocker_broker_journal_requeued_tasks", "Replayed tasks that were leased-but-unfinished and requeued.", int64(jm.Requeued))
+		c("dramlocker_broker_journal_skipped_entries", "Corrupt or stale journal lines dropped during replay.", int64(jm.Skipped))
+		c("dramlocker_broker_journal_compactions_total", "Journal compactions (one per successful replay).", int64(jm.Compactions))
+	}
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(w, "# HELP dramlocker_tenant_pending_tasks Tasks pending per tenant.\n# TYPE dramlocker_tenant_pending_tasks gauge\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dramlocker_tenant_pending_tasks{tenant=%q} %d\n", t.Tenant, t.Pending)
+		}
+		fmt.Fprintf(w, "# HELP dramlocker_tenant_oldest_age_seconds Age of the oldest pending task per tenant.\n# TYPE dramlocker_tenant_oldest_age_seconds gauge\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dramlocker_tenant_oldest_age_seconds{tenant=%q} %g\n", t.Tenant, float64(t.OldestAgeNS)/1e9)
+		}
+		fmt.Fprintf(w, "# HELP dramlocker_tenant_served_total Tasks dispatched per tenant (stride numerator).\n# TYPE dramlocker_tenant_served_total counter\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dramlocker_tenant_served_total{tenant=%q} %d\n", t.Tenant, t.Served)
+		}
+		fmt.Fprintf(w, "# HELP dramlocker_tenant_weight Fairness weight per tenant.\n# TYPE dramlocker_tenant_weight gauge\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dramlocker_tenant_weight{tenant=%q} %d\n", t.Tenant, t.Weight)
+		}
+		fmt.Fprintf(w, "# HELP dramlocker_tenant_max_queued Admission queue-depth limit per tenant (0 = unlimited).\n# TYPE dramlocker_tenant_max_queued gauge\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dramlocker_tenant_max_queued{tenant=%q} %d\n", t.Tenant, t.MaxQueued)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -14,6 +15,22 @@ import (
 // statusPollWait is the long-poll window QueueExecutor asks the broker
 // to hold a job-status request open for (seconds on the wire).
 const statusPollWait = 10 * time.Second
+
+// defaultBatchLinger is how long the first submission of a wave waits
+// for concurrent peers before the batch POST ships. Scheduler workers
+// call Execute near-simultaneously (a sharded run fans out in one
+// burst), so a couple of milliseconds coalesces a whole wave into one
+// request without adding visible latency to a lone task.
+const defaultBatchLinger = 2 * time.Millisecond
+
+// submitShipTimeout bounds one batch-submit POST; the broker answers
+// admission immediately, so anything longer is transport trouble the
+// per-task retry loop handles.
+const submitShipTimeout = 30 * time.Second
+
+// maxSubmitBackoff caps the exponential backoff between submit retries
+// (transport failures and queue_full rejections).
+const maxSubmitBackoff = time.Second
 
 // QueueOptions configures a QueueExecutor.
 type QueueOptions struct {
@@ -25,6 +42,11 @@ type QueueOptions struct {
 	// Client is the HTTP client; nil uses a default with no overall
 	// timeout (status long-polls are the normal case).
 	Client *http.Client
+	// BatchLinger is how long the first submission of a wave waits for
+	// concurrent peers before the batch ships: 0 means the default
+	// (2ms), negative ships immediately (coalescing only what already
+	// queued). Tests raise it to make batching deterministic.
+	BatchLinger time.Duration
 }
 
 // QueueExecutor is an engine.Executor that routes tasks through a
@@ -39,6 +61,27 @@ type QueueExecutor struct {
 	tenant   string
 	priority int
 	client   *http.Client
+	linger   time.Duration
+
+	// Submission batcher: concurrent Executes enqueue waiters here; the
+	// first one to find the batcher idle becomes responsible for
+	// starting the flush loop, which ships everything queued as one
+	// JobSubmitBatch POST per wave.
+	mu       sync.Mutex
+	pending  []*submitWaiter
+	flushing bool
+}
+
+// submitWaiter is one task's submission parked in the batcher.
+type submitWaiter struct {
+	sub api.JobSubmit
+	ch  chan submitOutcome
+}
+
+// submitOutcome is the per-job reply a waiter receives.
+type submitOutcome struct {
+	id  string
+	err error
 }
 
 // DialQueue connects to the broker at addr ("host:port" or a full URL),
@@ -51,11 +94,16 @@ func DialQueue(ctx context.Context, addr string, opts QueueOptions) (*QueueExecu
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
+	linger := opts.BatchLinger
+	if linger == 0 {
+		linger = defaultBatchLinger
+	}
 	e := &QueueExecutor{
 		base:     base,
 		tenant:   opts.Tenant,
 		priority: opts.Priority,
 		client:   orDefaultClient(opts.Client),
+		linger:   linger,
 	}
 	st, err := e.status(ctx)
 	if err != nil {
@@ -104,16 +152,16 @@ func (e *QueueExecutor) Broker() string { return e.name + "@" + e.base }
 // cancelled ctx best-effort cancels the job so abandoned work leaves
 // the queue.
 func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
-	var sub api.SubmitReply
-	err := postJSON(ctx, e.client, e.base+SubmitPath, api.JobSubmit{
+	id, err := e.submit(ctx, api.JobSubmit{
 		Proto:    api.Version,
 		Tenant:   e.tenant,
 		Priority: e.priority,
 		Tasks:    []api.TaskSpec{spec},
-	}, &sub)
+	})
 	if err != nil {
 		return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: submit: %w", spec.Job, spec.Shard, err)
 	}
+	sub := api.SubmitReply{Proto: api.Version, ID: id}
 	for {
 		st, err := e.jobStatus(ctx, sub.ID)
 		if err != nil {
@@ -138,6 +186,103 @@ func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 			return res, nil
 		case api.JobCanceled:
 			return api.TaskResult{}, api.Errf(api.CodeCanceled, "job %s was canceled", sub.ID)
+		}
+	}
+}
+
+// submit routes one job through the batcher and waits for its per-job
+// outcome, retrying with capped exponential backoff on transport
+// failures (broker momentarily down — the crash-recovery window) and
+// queue_full admission rejections (the typed "back off and resubmit"
+// signal). Other typed errors fail fast: the broker positively
+// rejected the submission.
+func (e *QueueExecutor) submit(ctx context.Context, sub api.JobSubmit) (string, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		w := &submitWaiter{sub: sub, ch: make(chan submitOutcome, 1)}
+		e.enqueue(w)
+		var out submitOutcome
+		select {
+		case out = <-w.ch:
+		case <-ctx.Done():
+			// The batch may still ship; reap the outcome and cancel the
+			// orphan job so abandoned work leaves the queue.
+			go func() {
+				if late := <-w.ch; late.err == nil {
+					e.cancel(late.id)
+				}
+			}()
+			return "", ctx.Err()
+		}
+		if out.err == nil {
+			return out.id, nil
+		}
+		if ae, typed := api.AsError(out.err); typed && ae.Code != api.CodeQueueFull {
+			return "", out.err
+		}
+		sleepCtx(ctx, backoff)
+		if backoff *= 2; backoff > maxSubmitBackoff {
+			backoff = maxSubmitBackoff
+		}
+	}
+}
+
+// enqueue parks w in the batcher, starting the flush loop if idle.
+func (e *QueueExecutor) enqueue(w *submitWaiter) {
+	e.mu.Lock()
+	e.pending = append(e.pending, w)
+	if !e.flushing {
+		e.flushing = true
+		go e.flushLoop()
+	}
+	e.mu.Unlock()
+}
+
+// flushLoop ships submission waves until the batcher drains: linger a
+// moment so a fan-out of concurrent Executes lands in one wave, take
+// everything pending, POST it as one JobSubmitBatch, repeat.
+func (e *QueueExecutor) flushLoop() {
+	for {
+		if e.linger > 0 {
+			time.Sleep(e.linger)
+		}
+		e.mu.Lock()
+		batch := e.pending
+		e.pending = nil
+		if len(batch) == 0 {
+			e.flushing = false
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+		e.ship(batch)
+	}
+}
+
+// ship POSTs one wave and distributes the per-job outcomes.
+func (e *QueueExecutor) ship(batch []*submitWaiter) {
+	req := api.JobSubmitBatch{Proto: api.Version, Jobs: make([]api.JobSubmit, len(batch))}
+	for i, w := range batch {
+		req.Jobs[i] = w.sub
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), submitShipTimeout)
+	defer cancel()
+	var rep api.SubmitBatchReply
+	err := postJSON(ctx, e.client, e.base+SubmitBatchPath, req, &rep)
+	if err == nil && len(rep.Jobs) != len(batch) {
+		err = fmt.Errorf("batch submit answered %d of %d jobs", len(rep.Jobs), len(batch))
+	}
+	for i, w := range batch {
+		switch {
+		case err != nil:
+			w.ch <- submitOutcome{err: err}
+		case rep.Jobs[i].Err != nil:
+			w.ch <- submitOutcome{err: rep.Jobs[i].Err}
+		default:
+			w.ch <- submitOutcome{id: rep.Jobs[i].ID}
 		}
 	}
 }
