@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote ci
+.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote e2e-chaos ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ race:
 # byte-identical anyway.
 e2e-remote:
 	bash scripts/e2e_remote.sh
+
+# Chaos soak gate: the tiny preset through a fault-injected broker
+# (dropped polls, dropped + delayed done reports), a 1 KiB journal
+# budget forcing live rotation and background compaction, a 2 tasks/s
+# rate limit the scheduler must wait out, and a SIGKILLed worker whose
+# leases a second worker drains. The report must stay byte-identical to
+# local; afterwards the script audits that every hazard actually fired,
+# that retries stayed bounded (the exit receipt's backoff_total), that
+# the broker leaked no goroutines, and that restarts replay the rotated
+# (and torn-tail) journal correctly. Also enforces the unified-backoff
+# contract: no bare time.Sleep retry loops in internal/remote.
+e2e-chaos:
+	bash scripts/e2e_chaos.sh
 
 # Persistent result cache gate: a cold tiny-preset run populates the
 # on-disk cache, the warm run must serve 100% from it and render a
@@ -106,4 +119,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check lint build test race e2e-remote cache-gate
+ci: vet fmt-check lint build test race e2e-remote e2e-chaos cache-gate

@@ -378,10 +378,14 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 		m.Submitted, m.Completed, m.Failed, m.Requeues, m.Hedges)
 	fmt.Printf("duplicates %d (%d byte-identical cache hits), %d submissions rejected (queue_full)\n",
 		m.Duplicates, m.DupCacheHits, m.Rejected)
+	fmt.Printf("admission  %d rate-limited submissions, %d goroutines\n",
+		m.RateLimited, m.Goroutines)
 	if jm := m.Journal; jm != nil {
 		fmt.Printf("journal    %d appends (%d fsyncs), replayed %d jobs / %d tasks (%d requeued, %d lines skipped), %d compactions\n",
 			jm.Appends, jm.Fsyncs, jm.ReplayedJobs, jm.ReplayedTasks,
 			jm.Requeued, jm.Skipped, jm.Compactions)
+		fmt.Printf("segments   %d on disk (%d rotations), active %d bytes\n",
+			jm.Segments, jm.Rotations, jm.ActiveBytes)
 	}
 	for _, t := range m.Tenants {
 		limit := "unlimited"

@@ -30,9 +30,21 @@
 // compacted) on restart, so a SIGKILLed broker resumes where it died.
 // -max-queued (and per-tenant -max-queued-tenant overrides, in the
 // -weights syntax) caps each tenant's pending queue; submissions past
-// the cap get the retryable queue_full error. GET /v2/metrics exports
-// the queue census, journal counters and per-tenant gauges as JSON or
-// (?format=prometheus) Prometheus text.
+// the cap get the retryable queue_full error. -max-submit-rate (and
+// -max-submit-rate-tenant) bounds each tenant's sustained submission
+// rate with a token bucket; overflow gets the retryable rate_limited
+// error carrying the broker's own Retry-After estimate. The journal's
+// active segment rotates past -journal-max-bytes and sealed segments
+// are compacted in the background, so the directory stays bounded
+// under load. GET /v2/metrics exports the queue census, journal
+// counters and per-tenant gauges as JSON or (?format=prometheus)
+// Prometheus text.
+//
+// -fault-plan loads a faultinject JSON plan (chaos testing: dropped or
+// delayed requests, torn journal writes) and is refused unless
+// -allow-faults is also set, so the flag cannot leak into production
+// quietly. On exit every mode logs a receipt line with the
+// process-wide backoff count and which faults actually fired.
 //
 // Pull worker (-pull broker-addr): registers with a broker and works
 // its queue — poll, execute against the local registry, renew, report.
@@ -69,7 +81,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/queue"
 	"repro/internal/remote"
 )
@@ -85,23 +99,50 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "broker: duplicate a straggling task onto an idle worker after this long (0 = off)")
 	weights := flag.String("weights", "", "broker: per-tenant fairness weights, tenant=N[,tenant=N...] (absent tenants weigh 1)")
 	journalDir := flag.String("journal-dir", "", "broker: journal submissions/results under this directory and replay them on startup (empty = in-memory only)")
+	journalMaxBytes := flag.Int64("journal-max-bytes", 64<<20, "broker: rotate the journal's active segment past this size and compact sealed segments in the background (0 = never rotate)")
 	maxQueued := flag.Int("max-queued", 0, "broker: per-tenant pending-task limit; submissions past it get queue_full (0 = unlimited)")
 	maxQueuedTenant := flag.String("max-queued-tenant", "", "broker: per-tenant overrides of -max-queued, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
+	maxSubmitRate := flag.Int("max-submit-rate", 0, "broker: per-tenant sustained submission rate in tasks/sec (token bucket, burst of one second); overflow gets rate_limited with Retry-After (0 = unlimited)")
+	maxSubmitRateTenant := flag.String("max-submit-rate-tenant", "", "broker: per-tenant overrides of -max-submit-rate, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
+	faultPlan := flag.String("fault-plan", "", "chaos testing: inject faults from this JSON plan (refused without -allow-faults)")
+	allowFaults := flag.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks this daemon")
 	flag.Parse()
 
 	if *broker && *pull != "" {
 		fmt.Fprintln(os.Stderr, "dramlockerd: -broker and -pull are mutually exclusive")
 		os.Exit(1)
 	}
-	bf := brokerFlags{
-		leaseTTL:        *leaseTTL,
-		hedgeAfter:      *hedgeAfter,
-		weights:         *weights,
-		journalDir:      *journalDir,
-		maxQueued:       *maxQueued,
-		maxQueuedTenant: *maxQueuedTenant,
+	var faults *faultinject.Injector
+	if *faultPlan != "" {
+		if !*allowFaults {
+			fmt.Fprintln(os.Stderr, "dramlockerd: -fault-plan deliberately injects failures; refusing without -allow-faults")
+			os.Exit(1)
+		}
+		plan, err := faultinject.LoadPlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dramlockerd:", err)
+			os.Exit(1)
+		}
+		faults = faultinject.New(plan)
+		log.Printf("dramlockerd: FAULT INJECTION ACTIVE: %s (%d rules, seed %d)", *faultPlan, len(plan.Rules), plan.Seed)
 	}
-	if err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf); err != nil {
+	bf := brokerFlags{
+		leaseTTL:            *leaseTTL,
+		hedgeAfter:          *hedgeAfter,
+		weights:             *weights,
+		journalDir:          *journalDir,
+		journalMaxBytes:     *journalMaxBytes,
+		maxQueued:           *maxQueued,
+		maxQueuedTenant:     *maxQueuedTenant,
+		maxSubmitRate:       *maxSubmitRate,
+		maxSubmitRateTenant: *maxSubmitRateTenant,
+	}
+	err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf, faults)
+	// The exit receipt: how many backoff delays the process took and
+	// which injected faults actually landed. The chaos gate parses this
+	// line to bound retry storms.
+	log.Printf("dramlockerd: exit: backoff_total=%d faults_fired=%s", backoff.Total(), faults.Summary())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -109,15 +150,18 @@ func main() {
 
 // brokerFlags carries the -broker mode's tuning flags.
 type brokerFlags struct {
-	leaseTTL        time.Duration
-	hedgeAfter      time.Duration
-	weights         string
-	journalDir      string
-	maxQueued       int
-	maxQueuedTenant string
+	leaseTTL            time.Duration
+	hedgeAfter          time.Duration
+	weights             string
+	journalDir          string
+	journalMaxBytes     int64
+	maxQueued           int
+	maxQueuedTenant     string
+	maxSubmitRate       int
+	maxSubmitRateTenant string
 }
 
-func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags) error {
+func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags, faults *faultinject.Injector) error {
 	var err error
 	if name == "" {
 		if name, err = os.Hostname(); err != nil || name == "" {
@@ -140,13 +184,19 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 		if err != nil {
 			return err
 		}
-		return runBroker(ctx, stop, addr, name, bf.journalDir, queue.Config{
-			LeaseTTL:        bf.leaseTTL,
-			HedgeAfter:      bf.hedgeAfter,
-			Weights:         w,
-			MaxQueued:       bf.maxQueued,
-			MaxQueuedTenant: limits,
-		})
+		rates, err := parseTenantInts("-max-submit-rate-tenant", bf.maxSubmitRateTenant, 0)
+		if err != nil {
+			return err
+		}
+		return runBroker(ctx, stop, addr, name, bf, queue.Config{
+			LeaseTTL:            bf.leaseTTL,
+			HedgeAfter:          bf.hedgeAfter,
+			Weights:             w,
+			MaxQueued:           bf.maxQueued,
+			MaxQueuedTenant:     limits,
+			MaxSubmitRate:       bf.maxSubmitRate,
+			MaxSubmitRateTenant: rates,
+		}, faults)
 	}
 
 	reg, err := experiments.BuildRegistry(experiments.SplitList(preset))
@@ -155,7 +205,15 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 	}
 
 	if pull != "" {
-		w := remote.NewPullWorker(pull, reg, name, capacity, nil)
+		var client *http.Client
+		if faults != nil {
+			client = &http.Client{Transport: &faultinject.Transport{Inj: faults}}
+		}
+		w := remote.NewPullWorker(pull, reg, remote.WorkerOptions{
+			Name:     name,
+			Capacity: capacity,
+			Client:   client,
+		})
 		log.Printf("dramlockerd %q pulling from broker %s (%d jobs, capacity %d, proto %s)",
 			name, pull, reg.Len(), capacity, remote.ProtoVersion)
 		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
@@ -173,7 +231,7 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 		return err
 	}
 	ws := remote.NewServer(reg, name, capacity)
-	srv := &http.Server{Handler: ws}
+	srv := &http.Server{Handler: faultinject.Middleware(ws, faults)}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -204,17 +262,19 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 // journal dir the backlog is crash-safe: submissions, completions and
 // cancels are journaled (fsynced before the reply) and replayed on the
 // next startup.
-func runBroker(ctx context.Context, stop context.CancelFunc, addr, name, journalDir string, cfg queue.Config) error {
+func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, bf brokerFlags, cfg queue.Config, faults *faultinject.Injector) error {
+	journalDir := bf.journalDir
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	if journalDir != "" {
-		jl, err := queue.OpenJournal(journalDir)
+		jl, err := queue.OpenJournal(journalDir, bf.journalMaxBytes)
 		if err != nil {
 			return err
 		}
 		defer jl.Close()
+		jl.SetFaults(faults)
 		cfg.Journal = jl
 	}
 	b := queue.New(cfg)
@@ -224,7 +284,7 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name, journal
 			m.Journal.Requeued, m.Completed, m.Journal.Skipped)
 	}
 	bs := remote.NewBrokerServer(b, name)
-	srv := &http.Server{Handler: bs}
+	srv := &http.Server{Handler: faultinject.Middleware(bs, faults)}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -45,6 +45,12 @@ const (
 	// the tenant's pending queue is at its depth limit. Back off and
 	// resubmit once the backlog drains.
 	CodeQueueFull Code = "queue_full"
+	// CodeRateLimited: admission control rejected the submission because
+	// the tenant exceeded its sustained submission rate (token bucket).
+	// Unlike queue_full — a statement about standing backlog — this is a
+	// statement about arrival speed: the same submission succeeds after
+	// the RetryAfterNS hint, without anything needing to drain.
+	CodeRateLimited Code = "rate_limited"
 	// CodeInternal: an unexpected failure on the serving side.
 	CodeInternal Code = "internal"
 )
@@ -63,6 +69,7 @@ var retryableByCode = map[Code]bool{
 	CodeUnavailable:   true,
 	CodeCanceled:      false,
 	CodeQueueFull:     true,
+	CodeRateLimited:   true,
 	CodeInternal:      true,
 }
 
@@ -72,7 +79,7 @@ func Codes() []Code {
 	return []Code{
 		CodeBadRequest, CodeProtoMismatch, CodeUnknownJob, CodeKeyMismatch,
 		CodeNotFound, CodeDraining, CodeUnavailable, CodeCanceled,
-		CodeQueueFull, CodeInternal,
+		CodeQueueFull, CodeRateLimited, CodeInternal,
 	}
 }
 
@@ -84,6 +91,11 @@ type Error struct {
 	Code      Code   `json:"code"`
 	Msg       string `json:"message"`
 	Retryable bool   `json:"retryable"`
+	// RetryAfterNS, when > 0, is the serving side's own estimate of how
+	// long the condition lasts (rate_limited sets it to the token
+	// bucket's refill time). Clients floor their backoff at it; the HTTP
+	// transport mirrors it as a Retry-After header.
+	RetryAfterNS int64 `json:"retry_after_ns,omitempty"`
 }
 
 // Error implements the error interface.

@@ -30,6 +30,13 @@ type BrokerMetrics struct {
 	// Rejected counts job submissions refused by admission control
 	// (queue_full).
 	Rejected int `json:"rejected"`
+	// RateLimited counts job submissions refused by the token-bucket
+	// rate limiter (rate_limited; the client retries after Retry-After).
+	RateLimited int `json:"rate_limited"`
+
+	// Goroutines is the broker process's current goroutine count; the
+	// chaos gate compares it before and after a soak to catch leaks.
+	Goroutines int `json:"goroutines"`
 
 	// Journal is present only when the broker runs with a journal.
 	Journal *JournalMetrics `json:"journal,omitempty"`
@@ -55,9 +62,16 @@ type JournalMetrics struct {
 	// replay (corruption degrades to skip-with-warning, like the disk
 	// result cache).
 	Skipped int `json:"skipped"`
-	// Compactions counts journal rewrites (one after each successful
-	// replay).
+	// Compactions counts journal rewrites: one after each successful
+	// replay, plus every background fold of sealed segments.
 	Compactions int `json:"compactions"`
+	// Rotations counts live segment rollovers (active segment exceeded
+	// its byte budget and a fresh one was opened).
+	Rotations int `json:"rotations"`
+	// Segments is the current on-disk segment count (sealed + active).
+	Segments int `json:"segments"`
+	// ActiveBytes is the size of the active (append) segment.
+	ActiveBytes int64 `json:"active_bytes"`
 }
 
 // TenantMetrics is one tenant's queue gauges.

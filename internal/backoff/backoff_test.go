@@ -1,0 +1,134 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestExponentialGrowthAndCap: with jitter off, the sequence is exactly
+// Base·Factor^n capped at Max.
+func TestExponentialGrowthAndCap(t *testing.T) {
+	b := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}.New(1)
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Fatalf("attempt counter %d, want %d", b.Attempt(), len(want))
+	}
+}
+
+// TestReset restarts the amplitude ramp from Base.
+func TestReset(t *testing.T) {
+	b := Policy{Base: time.Millisecond}.New(1)
+	b.Next()
+	b.Next()
+	b.Reset()
+	if got := b.Next(); got != time.Millisecond {
+		t.Fatalf("after reset: %v, want %v", got, time.Millisecond)
+	}
+}
+
+// TestConstantFactor: Factor 1 yields a constant interval (the
+// heartbeat shape), still jitterable.
+func TestConstantFactor(t *testing.T) {
+	b := Policy{Base: 30 * time.Millisecond, Factor: 1}.New(1)
+	for i := 0; i < 5; i++ {
+		if got := b.Next(); got != 30*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want constant 30ms", i, got)
+		}
+	}
+}
+
+// TestJitterBoundsAndDeterminism: every jittered delay stays within
+// ±Jitter/2 of the nominal value, and the same seed replays the same
+// sequence exactly.
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	a, b := p.New(42), p.New(42)
+	nominal := Policy{Base: p.Base, Max: p.Max}.New(0)
+	for i := 0; i < 20; i++ {
+		n := nominal.Next()
+		lo := time.Duration(float64(n) * 0.75)
+		hi := time.Duration(float64(n) * 1.25)
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+	// Different seeds decorrelate: at least one of the first few delays
+	// must differ.
+	c := p.New(43)
+	a.Reset()
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+// TestSleepHonorsCancel: a canceled context interrupts the wait
+// immediately with the context's error.
+func TestSleepHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Policy{Base: time.Hour}.New(1)
+	start := time.Now()
+	if err := b.Sleep(ctx); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancel")
+	}
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("package Sleep on canceled ctx: %v", err)
+	}
+}
+
+// TestSleepAtLeastFloors: the serving side's Retry-After floors the
+// delay even when the ramp is still below it.
+func TestSleepAtLeastFloors(t *testing.T) {
+	b := Policy{Base: time.Microsecond}.New(1)
+	start := time.Now()
+	if err := b.SleepAtLeast(context.Background(), 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slept %v, want >= 20ms floor", d)
+	}
+}
+
+// TestTotalCounts: Next feeds the process-wide retry total.
+func TestTotalCounts(t *testing.T) {
+	before := Total()
+	b := Policy{Base: time.Millisecond}.New(1)
+	b.Next()
+	b.Next()
+	if got := Total() - before; got < 2 {
+		t.Fatalf("Total advanced by %d, want >= 2", got)
+	}
+}
+
+// TestSeedString is stable (the whole point of a seeded identity).
+func TestSeedString(t *testing.T) {
+	if SeedString("w1") != SeedString("w1") {
+		t.Fatal("SeedString not stable")
+	}
+	if SeedString("w1") == SeedString("w2") {
+		t.Fatal("distinct identities hashed to the same seed")
+	}
+}

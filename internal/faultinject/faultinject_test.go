@@ -1,0 +1,259 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustPlan(t *testing.T, p Plan) *Injector {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(&p)
+}
+
+// TestLoadPlanValidates: the loader rejects malformed plans with a
+// pointed message, accepts a good one.
+func TestLoadPlanValidates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{"seed": 7, "rules": [
+		{"point": "server.poll", "kind": "drop", "prob": 0.5, "count": 3},
+		{"point": "client.*", "kind": "delay", "delay_ms": 10}
+	]}`)
+	p, err := LoadPlan(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 2 {
+		t.Fatalf("loaded plan %+v", p)
+	}
+	for name, body := range map[string]string{
+		"empty.json":   `{"seed": 1, "rules": []}`,
+		"badkind.json": `{"rules": [{"point": "a", "kind": "explode"}]}`,
+		"nodelay.json": `{"rules": [{"point": "a", "kind": "delay"}]}`,
+		"badprob.json": `{"rules": [{"point": "a", "kind": "drop", "prob": 2}]}`,
+		"noparse.json": `{`,
+	} {
+		if _, err := LoadPlan(write(name, body)); err == nil {
+			t.Fatalf("%s: loaded without error", name)
+		}
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}
+
+// TestEvalCountAfterProb: After skips, Count caps, and Prob draws are
+// deterministic for a fixed seed.
+func TestEvalCountAfterProb(t *testing.T) {
+	in := mustPlan(t, Plan{Rules: []Rule{
+		{Point: "p", Kind: KindDrop, After: 2, Count: 3},
+	}})
+	var fires []bool
+	for i := 0; i < 8; i++ {
+		_, ok := in.Eval("p")
+		fires = append(fires, ok)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("event %d: fired=%v, want %v (full: %v)", i, fires[i], want[i], fires)
+		}
+	}
+	if got := in.Fired()["p/drop"]; got != 3 {
+		t.Fatalf("fired count %d, want 3", got)
+	}
+
+	// Prob with a fixed seed is reproducible: two injectors built from
+	// the same plan fire on exactly the same event indices.
+	plan := Plan{Seed: 99, Rules: []Rule{{Point: "p", Kind: KindDrop, Prob: 0.5}}}
+	a, b := New(&plan), New(&plan)
+	fired := 0
+	for i := 0; i < 200; i++ {
+		_, oa := a.Eval("p")
+		_, ob := b.Eval("p")
+		if oa != ob {
+			t.Fatalf("event %d: same plan diverged", i)
+		}
+		if oa {
+			fired++
+		}
+	}
+	if fired < 60 || fired > 140 {
+		t.Fatalf("prob 0.5 fired %d/200 — RNG wired wrong", fired)
+	}
+}
+
+// TestEvalGlobs: rules match points by glob; non-matching points never
+// consume rule state.
+func TestEvalGlobs(t *testing.T) {
+	in := mustPlan(t, Plan{Rules: []Rule{
+		{Point: "server.*", Kind: KindError, Count: 1},
+	}})
+	if _, ok := in.Eval("client.poll"); ok {
+		t.Fatal("client point matched a server glob")
+	}
+	act, ok := in.Eval("server.done")
+	if !ok || act.Kind != KindError {
+		t.Fatalf("server point: %+v fired=%v", act, ok)
+	}
+	if _, ok := in.Eval("server.poll"); ok {
+		t.Fatal("count=1 rule fired twice")
+	}
+}
+
+// TestNilInjectorIsInert: call sites need no nil guards.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Eval("anything"); ok {
+		t.Fatal("nil injector fired")
+	}
+	if in.Fired() != nil {
+		t.Fatal("nil injector reported fires")
+	}
+}
+
+// TestPointFromPath strips routes to their verb.
+func TestPointFromPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"/v2/poll": "poll", "/v1/execute": "execute", "/": "root", "poll": "poll",
+	} {
+		if got := PointFromPath(in); got != want {
+			t.Fatalf("PointFromPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTransportFaults exercises drop, error, disconnect and delay at
+// the RoundTripper seam against a live test server.
+func TestTransportFaults(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	in := mustPlan(t, Plan{Rules: []Rule{
+		{Point: "client.drop", Kind: KindDrop, Count: 1},
+		{Point: "client.err", Kind: KindError, Count: 1},
+		{Point: "client.lost", Kind: KindDisconnect, Count: 1},
+		{Point: "client.slow", Kind: KindDelay, DelayMS: 30, Count: 1},
+	}})
+	client := &http.Client{Transport: &Transport{Inj: in}}
+
+	// drop: fails without touching the server.
+	before := hits
+	if _, err := client.Get(ts.URL + "/v2/drop"); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if hits != before {
+		t.Fatal("dropped request reached the server")
+	}
+	// error: same client-visible shape.
+	if _, err := client.Get(ts.URL + "/v2/err"); err == nil {
+		t.Fatal("errored request succeeded")
+	}
+	// disconnect: the server DID act, the client still errors.
+	before = hits
+	if _, err := client.Get(ts.URL + "/v2/lost"); err == nil {
+		t.Fatal("disconnected request succeeded")
+	}
+	if hits != before+1 {
+		t.Fatal("disconnect did not reach the server")
+	}
+	// delay: succeeds, measurably later.
+	start := time.Now()
+	resp, err := client.Get(ts.URL + "/v2/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed request returned in %v, want >= 30ms", d)
+	}
+	// Faults exhausted (count=1 each): everything passes through now.
+	resp, err = client.Get(ts.URL + "/v2/drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestMiddlewareFaults: server-side drop severs the connection (client
+// sees a transport error, not a status), error answers 503, delay
+// stalls, and untouched routes pass through.
+func TestMiddlewareFaults(t *testing.T) {
+	in := mustPlan(t, Plan{Rules: []Rule{
+		{Point: "server.drop", Kind: KindDrop, Count: 1},
+		{Point: "server.err", Kind: KindError, Count: 1},
+		{Point: "server.slow", Kind: KindDelay, DelayMS: 30, Count: 1},
+	}})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	ts := httptest.NewServer(Middleware(inner, in))
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/v2/drop"); err == nil {
+		t.Fatal("dropped request got a response")
+	}
+	resp, err := http.Get(ts.URL + "/v2/err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "injected") {
+		t.Fatalf("error fault: %d %q", resp.StatusCode, body)
+	}
+	start := time.Now()
+	resp, err = http.Get(ts.URL + "/v2/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed request answered in %v, want >= 30ms", d)
+	}
+	// Pass-through for unmatched routes and exhausted rules.
+	resp, err = http.Get(ts.URL + "/v2/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("pass-through body %q", body)
+	}
+}
+
+// TestSummary renders a sorted receipt line.
+func TestSummary(t *testing.T) {
+	in := mustPlan(t, Plan{Rules: []Rule{
+		{Point: "b", Kind: KindDrop, Count: 1},
+		{Point: "a", Kind: KindTorn, Count: 1},
+	}})
+	if got := in.Summary(); got != "-" {
+		t.Fatalf("idle summary %q", got)
+	}
+	in.Eval("b")
+	in.Eval("a")
+	if got := in.Summary(); got != "a/torn=1 b/drop=1" {
+		t.Fatalf("summary %q", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -88,6 +89,16 @@ type Config struct {
 	// MaxQueuedTenant overrides MaxQueued per tenant (0 or negative =
 	// unlimited for that tenant).
 	MaxQueuedTenant map[string]int
+	// MaxSubmitRate caps every tenant's sustained submission rate in
+	// tasks per second (token bucket with a one-second burst): a
+	// submission the bucket cannot cover is rejected with rate_limited
+	// and a Retry-After hint. 0 means unlimited. Where MaxQueued bounds
+	// standing backlog, this bounds arrival speed — a fleet of clients
+	// in a retry storm is shed here before it can saturate the journal.
+	MaxSubmitRate int
+	// MaxSubmitRateTenant overrides MaxSubmitRate per tenant (0 or
+	// negative = unlimited for that tenant).
+	MaxSubmitRateTenant map[string]int
 	// Journal, when non-nil, makes the backlog crash-safe: submissions,
 	// grants, completions and cancels are journaled (see OpenJournal),
 	// and New replays + compacts the journal before serving.
@@ -120,6 +131,9 @@ type Stats struct {
 	// Rejected counts job submissions refused by admission control
 	// (queue_full).
 	Rejected int
+	// RateLimited counts job submissions refused by the token-bucket
+	// rate limiter (rate_limited).
+	RateLimited int
 }
 
 type taskState uint8
@@ -211,13 +225,52 @@ type workerRec struct {
 	leases   map[string]*lease
 }
 
-// tenantQ is one tenant's pending queue plus its fairness state.
+// tenantQ is one tenant's pending queue plus its fairness state and
+// submission token bucket.
 type tenantQ struct {
 	name   string
 	weight int
 	limit  int    // admission cap on len(q); 0 = unlimited
 	served uint64 // tasks dispatched, the stride-scheduling numerator
 	q      []*task
+
+	// Token bucket (rate > 0 only): refills at rate tokens/second up to
+	// a one-second burst; each submitted task costs one token.
+	rate     int
+	tokens   float64
+	refilled time.Time
+}
+
+// takeTokens refills the bucket for the time elapsed and tries to pay
+// for need tasks. A full bucket always admits — even a job larger than
+// the burst — letting its balance go negative (debt), so oversized
+// jobs are delayed, not starved. The return value is 0 on admission,
+// otherwise how long until the bucket can cover the job (the
+// Retry-After hint).
+func (tq *tenantQ) takeTokens(need int, now time.Time) time.Duration {
+	burst := float64(tq.rate)
+	if el := now.Sub(tq.refilled).Seconds(); el > 0 {
+		tq.tokens += el * float64(tq.rate)
+		if tq.tokens > burst {
+			tq.tokens = burst
+		}
+	}
+	tq.refilled = now
+	if tq.tokens >= float64(need) || tq.tokens >= burst {
+		tq.tokens -= float64(need)
+		return 0
+	}
+	// Wait until either need tokens exist or the bucket fills, whichever
+	// comes first.
+	deficit := float64(need) - tq.tokens
+	if full := burst - tq.tokens; full < deficit {
+		deficit = full
+	}
+	wait := time.Duration(deficit / float64(tq.rate) * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return wait
 }
 
 // insert places t keeping the dispatch order invariant: priority
@@ -316,7 +369,19 @@ func (b *Broker) tenantFor(name string) *tenantQ {
 		if limit < 0 {
 			limit = 0
 		}
-		tq = &tenantQ{name: name, weight: w, limit: limit}
+		rate := b.cfg.MaxSubmitRate
+		if r, ok := b.cfg.MaxSubmitRateTenant[name]; ok {
+			rate = r
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		tq = &tenantQ{name: name, weight: w, limit: limit, rate: rate}
+		if rate > 0 {
+			// Start full: the first second's burst is free.
+			tq.tokens = float64(rate)
+			tq.refilled = b.now()
+		}
 		b.tenants[name] = tq
 	}
 	return tq
@@ -390,6 +455,16 @@ func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
 			"tenant %q queue is full (%d pending, limit %d, job adds %d tasks); back off and resubmit",
 			tenant, len(tq.q), tq.limit, len(s.Tasks))
 	}
+	if tq.rate > 0 {
+		if wait := tq.takeTokens(len(s.Tasks), b.now()); wait > 0 {
+			b.stats.RateLimited++
+			ae := api.Errf(api.CodeRateLimited,
+				"tenant %q is over its submission rate (%d tasks/s, job adds %d); retry in %v",
+				tenant, tq.rate, len(s.Tasks), wait)
+			ae.RetryAfterNS = int64(wait)
+			return "", ae
+		}
+	}
 	j := &job{
 		id:       b.nextID("j"),
 		tenant:   tenant,
@@ -413,12 +488,10 @@ func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
 	b.seq += uint64(len(s.Tasks))
 	b.jobs[j.id] = j
 	b.stats.Submitted += len(j.tasks)
-	if b.cfg.Journal != nil {
-		b.cfg.Journal.append(journalEntry{
-			Kind: entrySubmit, Job: j.id,
-			Tenant: tenant, Priority: s.Priority, Tasks: s.Tasks,
-		}, false)
-	}
+	b.journalAppendLocked(journalEntry{
+		Kind: entrySubmit, Job: j.id,
+		Tenant: tenant, Priority: s.Priority, Tasks: s.Tasks,
+	}, false)
 	return j.id, nil
 }
 
@@ -427,6 +500,28 @@ func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
 func (b *Broker) journalSyncLocked() {
 	if b.cfg.Journal != nil {
 		b.cfg.Journal.sync()
+	}
+}
+
+// journalAppendLocked writes one journal entry (no-op without a
+// journal) and, when the append rolled the active segment over, kicks
+// off background compaction. The snapshot must be taken here, under
+// b.mu in the same critical section as the rotating append: every
+// journal write happens after the state change it records and under
+// this lock, so right now the live state equals exactly the sealed
+// segments' effect (the fresh active segment is empty) — folding the
+// snapshot over them neither loses nor double-counts an entry.
+func (b *Broker) journalAppendLocked(e journalEntry, sync bool) {
+	jl := b.cfg.Journal
+	if jl == nil {
+		return
+	}
+	if !jl.append(e, sync) {
+		return
+	}
+	if claimed := jl.claimSealed(); claimed != nil {
+		live := b.liveEntriesLocked()
+		go jl.compactSegments(claimed, live)
 	}
 }
 
@@ -527,9 +622,7 @@ func (b *Broker) Cancel(req api.CancelRequest) error {
 		}
 	}
 	close(j.finished)
-	if b.cfg.Journal != nil {
-		b.cfg.Journal.append(journalEntry{Kind: entryCancel, Job: j.id}, true)
-	}
+	b.journalAppendLocked(journalEntry{Kind: entryCancel, Job: j.id}, true)
 	return nil
 }
 
@@ -784,13 +877,11 @@ func (b *Broker) grantLocked(t *task, w *workerRec, hedged bool) *lease {
 	t.leases[l.id] = l
 	w.leases[l.id] = l
 	b.leases[l.id] = l
-	if b.cfg.Journal != nil {
-		// Unsynced: losing a grant record only costs a redundant,
-		// byte-identical re-execution after replay.
-		b.cfg.Journal.append(journalEntry{
-			Kind: entryGrant, Job: t.job.id, Task: t.idx, Worker: w.name,
-		}, false)
-	}
+	// Unsynced: losing a grant record only costs a redundant,
+	// byte-identical re-execution after replay.
+	b.journalAppendLocked(journalEntry{
+		Kind: entryGrant, Job: t.job.id, Task: t.idx, Worker: w.name,
+	}, false)
 	return l
 }
 
@@ -877,14 +968,12 @@ func (b *Broker) Done(req api.TaskDone) (api.DoneReply, error) {
 		j.finishedAt = b.now()
 		close(j.finished)
 	}
-	if b.cfg.Journal != nil {
-		// Synced before the reply: once the worker hears Accepted it
-		// will never re-run this task, so the result must outlive a
-		// crash.
-		b.cfg.Journal.append(journalEntry{
-			Kind: entryDone, Job: j.id, Task: t.idx, Result: &res,
-		}, true)
-	}
+	// Synced before the reply: once the worker hears Accepted it
+	// will never re-run this task, so the result must outlive a
+	// crash.
+	b.journalAppendLocked(journalEntry{
+		Kind: entryDone, Job: j.id, Task: t.idx, Result: &res,
+	}, true)
 	return api.DoneReply{Proto: api.Version, Accepted: true}, nil
 }
 
@@ -1019,6 +1108,8 @@ func (b *Broker) Metrics() api.BrokerMetrics {
 		Duplicates:   b.stats.Duplicates,
 		DupCacheHits: b.stats.DupCacheHits,
 		Rejected:     b.stats.Rejected,
+		RateLimited:  b.stats.RateLimited,
+		Goroutines:   runtime.NumGoroutine(),
 	}
 	names := make([]string, 0, len(b.tenants))
 	for name := range b.tenants {
@@ -1167,7 +1258,12 @@ func (b *Broker) replayJournal(jl *Journal) {
 		b.seq = maxID
 	}
 	jl.noteReplay(jobs, tasks, requeued)
-	jl.compact(b.liveEntriesLocked())
+	// Fold everything replayed into one snapshot segment, synchronously:
+	// the next crash replays snapshot + whatever the fresh active
+	// segment accumulates, not the whole history.
+	if claimed := jl.claimSealed(); claimed != nil {
+		jl.compactSegments(claimed, b.liveEntriesLocked())
+	}
 }
 
 // liveEntriesLocked serialises the broker's retained state as a

@@ -8,19 +8,45 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/api"
+	"repro/internal/faultinject"
 )
 
-// The journal makes the broker's backlog survive a crash. It is one
-// append-only JSON-lines file, <dir>/journal.jsonl, in the same
-// versioned cache-entry style as the engine's disk result cache: every
-// line is a journalEntry stamped with journalFormatVersion, corrupt or
-// stale lines are skipped with a warning on replay (damage degrades to
-// lost entries, never to a refusal to start), and a truncated tail —
-// the expected wound from SIGKILL mid-write — costs at most the last
-// record.
+// The journal makes the broker's backlog survive a crash. It is a
+// sequence of append-only JSON-lines segments, <dir>/journal-NNNNNN.jsonl,
+// in the same versioned cache-entry style as the engine's disk result
+// cache: every line is a journalEntry stamped with journalFormatVersion.
+//
+// Segmentation bounds the damage radius and the disk footprint. Appends
+// go to the highest-numbered (active) segment; when it exceeds the
+// byte budget the journal seals it and rolls to a fresh one, and the
+// broker folds the sealed segments into a single state snapshot in the
+// background — compaction now runs under load, not just at startup.
+// Replay walks the segments in number order, so a snapshot (always the
+// lowest segment) is applied first and later segments layer deltas on
+// top.
+//
+// Corruption policy follows position. The active segment's tail is
+// where SIGKILL mid-write tears a record, so damage there is expected
+// and degrades to skip-with-warning, costing at most the last record.
+// A sealed (non-final) segment was written, fsynced and rolled past —
+// damage there means the disk lied or an operator edited history, and
+// OpenJournal fails loudly rather than silently serving a backlog with
+// a hole in the middle.
+//
+// Background compaction is crash-safe without a manifest because
+// replay is idempotent: the snapshot is written to a temp file,
+// fsynced, renamed over the lowest folded segment, and only then are
+// the other folded segments deleted. A crash between the rename and
+// the deletes leaves stale segments whose entries are a subset of the
+// snapshot; replaying them again skips duplicate submits and rewrites
+// byte-identical results.
 //
 // What is written, and how durably, follows from what a loss costs:
 //
@@ -32,19 +58,36 @@ import (
 //     re-runs a task that was already leased — wasted work, not lost
 //     work — and tasks are deterministic, so the re-run is
 //     byte-identical.
-//
-// On startup the broker replays the journal (rebuilding jobs, recorded
-// results and the pending queues; leased-but-unfinished tasks requeue)
-// and then compacts it: the replayed live state is rewritten to a
-// fresh file that atomically replaces the old one, shedding grants,
-// superseded entries and swept jobs.
 
 // journalFormatVersion stamps every entry; bump on any layout change so
 // replay skips entries written by incompatible code.
 const journalFormatVersion = "qjournal1"
 
-// journalFile is the JSON-lines file name inside the journal dir.
-const journalFile = "journal.jsonl"
+// legacyJournalFile is the pre-segmentation single-file name; found
+// alone, it is adopted as segment 1.
+const legacyJournalFile = "journal.jsonl"
+
+// segmentName renders the on-disk name of segment n.
+func segmentName(n int) string {
+	return fmt.Sprintf("journal-%06d.jsonl", n)
+}
+
+// segmentNumber parses a segment file name back to its number.
+func segmentNumber(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "journal-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".jsonl")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 // Journal entry kinds.
 const (
@@ -77,31 +120,95 @@ type journalEntry struct {
 // otherwise swallowed — persistence degrades, the queue keeps serving
 // (exactly like the disk result cache).
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+
+	f           *os.File // active segment append handle
+	activeSeg   int
+	activeBytes int64
+	sealed      []int // rolled-past segments awaiting compaction, ascending
+	claimed     []int // segments a running compaction owns
+	loaded      []journalEntry
+
+	faults *faultinject.Injector
 
 	appends, fsyncs, compactions  int
+	rotations                     int
 	replayJobs, replayTasks       int
 	replayRequeued, replaySkipped int
 }
 
-// OpenJournal opens (creating as needed) the journal under dir. The
-// returned Journal is handed to the broker via Config.Journal; queue
-// replay and compaction happen inside New.
-func OpenJournal(dir string) (*Journal, error) {
+// OpenJournal opens the journal under dir, reading every existing
+// segment (adopting a legacy single-file journal as segment 1) and
+// starting a fresh active segment above them. maxBytes bounds the
+// active segment: appends past it seal the segment and roll to a new
+// one (0 disables rotation). Corruption in a sealed segment is a hard
+// error; only the final segment's tail is forgiven (see the package
+// comment). The returned Journal is handed to the broker via
+// Config.Journal; queue replay and compaction happen inside New.
+func OpenJournal(dir string, maxBytes int64) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("queue: journal dir: %w", err)
 	}
-	path := filepath.Join(dir, journalFile)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("queue: open journal: %w", err)
+	jl := &Journal{dir: dir, maxBytes: maxBytes}
+
+	// Adopt a pre-segmentation journal as the first segment.
+	legacy := filepath.Join(dir, legacyJournalFile)
+	if _, err := os.Stat(legacy); err == nil {
+		if err := os.Rename(legacy, jl.segmentPath(1)); err != nil {
+			return nil, fmt.Errorf("queue: adopt legacy journal: %w", err)
+		}
 	}
-	return &Journal{path: path, f: f}, nil
+
+	names, err := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("queue: scan journal dir: %w", err)
+	}
+	var segs []int
+	for _, name := range names {
+		if n, ok := segmentNumber(filepath.Base(name)); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+
+	for i, n := range segs {
+		strict := i < len(segs)-1
+		entries, err := jl.readSegment(n, strict)
+		if err != nil {
+			return nil, err
+		}
+		jl.loaded = append(jl.loaded, entries...)
+	}
+	jl.sealed = segs
+
+	jl.activeSeg = 1
+	if len(segs) > 0 {
+		jl.activeSeg = segs[len(segs)-1] + 1
+	}
+	jl.f, err = os.OpenFile(jl.segmentPath(jl.activeSeg),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("queue: open journal segment: %w", err)
+	}
+	return jl, nil
 }
 
-// Close flushes and closes the backing file.
+// SetFaults installs a fault injector on the append path (points
+// "journal.append.<kind>"); nil removes it. Test tooling only.
+func (jl *Journal) SetFaults(in *faultinject.Injector) {
+	jl.mu.Lock()
+	jl.faults = in
+	jl.mu.Unlock()
+}
+
+// segmentPath is the full path of segment n.
+func (jl *Journal) segmentPath(n int) string {
+	return filepath.Join(jl.dir, segmentName(n))
+}
+
+// Close flushes and closes the active segment.
 func (jl *Journal) Close() error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
@@ -114,32 +221,94 @@ func (jl *Journal) Close() error {
 }
 
 // append writes one entry; with sync it also fsyncs, making the entry
-// durable before the caller replies to its client.
-func (jl *Journal) append(e journalEntry, sync bool) {
+// durable before the caller replies to its client. The returned flag
+// reports that the active segment rolled over — the caller (the
+// broker, holding its own lock) should claim the sealed segments for
+// background compaction while its state still exactly matches them.
+func (jl *Journal) append(e journalEntry, sync bool) (rotated bool) {
 	e.V = journalFormatVersion
 	line, err := json.Marshal(e)
 	if err != nil {
 		log.Printf("queue: journal: marshal %s entry: %v", e.Kind, err)
-		return
+		return false
 	}
 	line = append(line, '\n')
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if jl.f == nil {
-		return
+		return false
+	}
+	if act, ok := jl.faults.Eval("journal.append." + e.Kind); ok {
+		switch act.Kind {
+		case faultinject.KindTorn:
+			// Half the record and a newline: exactly the wound a power
+			// cut leaves — one corrupt line at the tail.
+			torn := append(append([]byte(nil), line[:len(line)/2]...), '\n')
+			if _, err := jl.f.Write(torn); err != nil {
+				log.Printf("queue: journal: append: %v", err)
+			}
+			jl.activeBytes += int64(len(torn))
+			return false
+		case faultinject.KindDelay:
+			jl.mu.Unlock()
+			time.Sleep(act.Delay)
+			jl.mu.Lock()
+			if jl.f == nil {
+				return false
+			}
+		default: // drop, error, disconnect: the record is lost
+			return false
+		}
 	}
 	if _, err := jl.f.Write(line); err != nil {
 		log.Printf("queue: journal: append: %v", err)
-		return
+		return false
 	}
 	jl.appends++
+	jl.activeBytes += int64(len(line))
 	if sync {
 		if err := jl.f.Sync(); err != nil {
 			log.Printf("queue: journal: fsync: %v", err)
-			return
+			return false
 		}
 		jl.fsyncs++
 	}
+	if jl.maxBytes > 0 && jl.activeBytes >= jl.maxBytes {
+		jl.rotateLocked()
+		return true
+	}
+	return false
+}
+
+// rotateLocked seals the active segment and opens the next one. The
+// sealed segment was fsynced on its last synced append (or will never
+// be read past its last durable record, which replay forgives), so no
+// extra sync is needed here.
+func (jl *Journal) rotateLocked() {
+	if err := jl.f.Close(); err != nil {
+		log.Printf("queue: journal: seal segment %d: %v", jl.activeSeg, err)
+	}
+	jl.sealed = append(jl.sealed, jl.activeSeg)
+	next := jl.activeSeg + 1
+	f, err := os.OpenFile(jl.segmentPath(next),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Rotation failed: reopen the old segment and keep appending to
+		// it — durability beats the byte budget.
+		log.Printf("queue: journal: open segment %d: %v", next, err)
+		jl.sealed = jl.sealed[:len(jl.sealed)-1]
+		jl.f, err = os.OpenFile(jl.segmentPath(jl.activeSeg),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Printf("queue: journal: reopen segment %d: %v", jl.activeSeg, err)
+			jl.f = nil
+		}
+		return
+	}
+	jl.f = f
+	jl.activeSeg = next
+	jl.activeBytes = 0
+	jl.rotations++
 }
 
 // sync fsyncs everything appended so far; one sync can cover a whole
@@ -157,14 +326,24 @@ func (jl *Journal) sync() {
 	jl.fsyncs++
 }
 
-// load reads every well-formed current-version entry, in file order.
-// Malformed lines, wrong-version entries and a truncated tail are
-// counted as skips and logged; a scanner error abandons the remainder
-// of the file but keeps everything read so far.
+// load hands over the entries OpenJournal read, in segment order, and
+// releases the cached copy.
 func (jl *Journal) load() []journalEntry {
-	f, err := os.Open(jl.path)
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	entries := jl.loaded
+	jl.loaded = nil
+	return entries
+}
+
+// readSegment reads every well-formed current-version entry of segment
+// n in file order. In strict mode (sealed segments) any unusable line
+// is a hard error; otherwise (the final segment, whose tail a SIGKILL
+// may have torn) damage is counted as a skip and logged.
+func (jl *Journal) readSegment(n int, strict bool) ([]journalEntry, error) {
+	f, err := os.Open(jl.segmentPath(n))
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("queue: journal segment %d: %w", n, err)
 	}
 	defer f.Close()
 
@@ -172,6 +351,14 @@ func (jl *Journal) load() []journalEntry {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	lineNo := 0
+	bad := func(format string, args ...any) error {
+		if strict {
+			return fmt.Errorf("queue: journal segment %d corrupt: %s (sealed segments must replay cleanly; refusing to serve a backlog with a hole in it)",
+				n, fmt.Sprintf(format, args...))
+		}
+		jl.noteSkip("segment %d "+format, append([]any{n}, args...)...)
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
@@ -180,19 +367,25 @@ func (jl *Journal) load() []journalEntry {
 		}
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			jl.noteSkip("line %d: %v", lineNo, err)
+			if err := bad("line %d: %v", lineNo, err); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if e.V != journalFormatVersion {
-			jl.noteSkip("line %d: version %q (want %q)", lineNo, e.V, journalFormatVersion)
+			if err := bad("line %d: version %q (want %q)", lineNo, e.V, journalFormatVersion); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
-		jl.noteSkip("after line %d: %v", lineNo, err)
+		if err := bad("after line %d: %v", lineNo, err); err != nil {
+			return nil, err
+		}
 	}
-	return entries
+	return entries, nil
 }
 
 // noteSkip records one unusable journal line (or region) and warns.
@@ -203,17 +396,50 @@ func (jl *Journal) noteSkip(format string, args ...any) {
 	log.Printf("queue: journal: skipping %s", fmt.Sprintf(format, args...))
 }
 
-// compact atomically replaces the journal with just the live entries:
-// written to a sibling temp file, fsynced, then renamed over the
-// original. On any failure the old journal (fully replayable) stays in
-// place and appends continue against it.
-func (jl *Journal) compact(live []journalEntry) {
+// claimSealed hands the current sealed segments to a compaction run,
+// or nothing if one is already in flight (segments sealed meanwhile
+// simply wait for the next claim). The caller must capture the state
+// snapshot those segments add up to — under the broker lock, right
+// after the rotating append — and then run compactSegments.
+func (jl *Journal) claimSealed() []int {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
-	tmp := jl.path + ".tmp"
+	if len(jl.claimed) > 0 || len(jl.sealed) == 0 {
+		return nil
+	}
+	jl.claimed = jl.sealed
+	jl.sealed = nil
+	return jl.claimed
+}
+
+// compactSegments folds the claimed segments into one snapshot
+// segment: live is written to a temp file, fsynced, renamed over the
+// lowest claimed segment, and the rest are deleted. Safe to run
+// concurrently with appends (they target the active segment, which is
+// never claimed). On failure the claimed segments return to the sealed
+// list untouched — still fully replayable, retried on the next claim.
+func (jl *Journal) compactSegments(claimed []int, live []journalEntry) {
+	release := func(ok bool) {
+		jl.mu.Lock()
+		defer jl.mu.Unlock()
+		if ok {
+			// The snapshot now lives in the lowest claimed slot; it is a
+			// sealed segment like any other and folds again next time.
+			jl.sealed = append(jl.sealed, claimed[0])
+			jl.compactions++
+		} else {
+			jl.sealed = append(jl.sealed, claimed...)
+		}
+		sort.Ints(jl.sealed)
+		jl.claimed = nil
+	}
+
+	dst := jl.segmentPath(claimed[0])
+	tmp := dst + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		log.Printf("queue: journal: compact: %v", err)
+		release(false)
 		return
 	}
 	w := bufio.NewWriter(f)
@@ -224,6 +450,7 @@ func (jl *Journal) compact(live []journalEntry) {
 			log.Printf("queue: journal: compact: marshal: %v", err)
 			f.Close()
 			os.Remove(tmp)
+			release(false)
 			return
 		}
 		w.Write(line)
@@ -236,30 +463,29 @@ func (jl *Journal) compact(live []journalEntry) {
 		log.Printf("queue: journal: compact: %v", err)
 		f.Close()
 		os.Remove(tmp)
+		release(false)
 		return
 	}
 	if err := f.Close(); err != nil {
 		log.Printf("queue: journal: compact: %v", err)
 		os.Remove(tmp)
+		release(false)
 		return
 	}
-	if err := os.Rename(tmp, jl.path); err != nil {
+	if err := os.Rename(tmp, dst); err != nil {
 		log.Printf("queue: journal: compact: %v", err)
 		os.Remove(tmp)
+		release(false)
 		return
 	}
-	// Re-point the append handle at the compacted file (the old handle
-	// references the replaced inode).
-	if jl.f != nil {
-		jl.f.Close()
+	// The snapshot is durable; stale copies of its content can go. A
+	// crash mid-loop only leaves segments replay already tolerates.
+	for _, n := range claimed[1:] {
+		if err := os.Remove(jl.segmentPath(n)); err != nil {
+			log.Printf("queue: journal: compact: drop segment %d: %v", n, err)
+		}
 	}
-	jl.f, err = os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		log.Printf("queue: journal: reopen after compact: %v", err)
-		jl.f = nil
-		return
-	}
-	jl.compactions++
+	release(true)
 }
 
 // metrics snapshots the journal's counters.
@@ -274,6 +500,9 @@ func (jl *Journal) metrics() api.JournalMetrics {
 		Requeued:      jl.replayRequeued,
 		Skipped:       jl.replaySkipped,
 		Compactions:   jl.compactions,
+		Rotations:     jl.rotations,
+		Segments:      len(jl.sealed) + len(jl.claimed) + 1,
+		ActiveBytes:   jl.activeBytes,
 	}
 }
 

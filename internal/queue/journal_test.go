@@ -15,7 +15,7 @@ import (
 // the successor replays the same file.
 func journalFor(t *testing.T, dir string) *Journal {
 	t.Helper()
-	jl, err := OpenJournal(dir)
+	jl, err := OpenJournal(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestJournalReplaySkipsCorruptTail(t *testing.T) {
 	b1 := newBroker(t, Config{Journal: journalFor(t, dir)}, clk)
 	id := submit(t, b1, "", 0, spec("a", 0), spec("a", 1))
 
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(1)), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestJournalCompactionShedsGrants(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	raw, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestJournalCompactionShedsGrants(t *testing.T) {
 	if m := b2.Metrics(); m.Journal.Compactions != 1 {
 		t.Fatalf("compactions = %d, want 1", m.Journal.Compactions)
 	}
-	raw, err = os.ReadFile(filepath.Join(dir, journalFile))
+	raw, err = os.ReadFile(filepath.Join(dir, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

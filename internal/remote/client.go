@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/backoff"
 	"repro/internal/engine"
 )
 
@@ -55,6 +57,23 @@ type worker struct {
 	// probed again; claimed by CAS so concurrent dispatches send at most
 	// one probe per backoff window.
 	retryAt atomic.Int64
+	// probe jitters each re-probation window (Factor 1: constant
+	// amplitude, randomized phase, seeded from the worker's name) so
+	// workers downed by one shared outage do not all come up for their
+	// probe in the same instant. Guarded by probeMu — backoff state is
+	// not safe for the concurrent dispatches that mark failures.
+	probeMu sync.Mutex
+	probe   *backoff.Backoff
+}
+
+// probeDelay returns the next jittered re-probation window.
+func (w *worker) probeDelay(base time.Duration) time.Duration {
+	w.probeMu.Lock()
+	defer w.probeMu.Unlock()
+	if w.probe == nil {
+		w.probe = backoff.Policy{Base: base, Factor: 1, Jitter: 0.5}.New(backoff.SeedString(w.name + "@" + w.addr))
+	}
+	return w.probe.Next()
 }
 
 func (w *worker) down() bool { return w.fails.Load() >= downAfter }
@@ -220,7 +239,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 // the down threshold starts (or extends) its re-probation backoff.
 func (e *RemoteExecutor) markFailure(w *worker) {
 	if w.fails.Add(1) >= downAfter && e.reprobeAfter > 0 {
-		w.retryAt.Store(e.now().Add(e.reprobeAfter).UnixNano())
+		w.retryAt.Store(e.now().Add(w.probeDelay(e.reprobeAfter)).UnixNano())
 	}
 }
 
@@ -259,7 +278,7 @@ func (e *RemoteExecutor) acquire(ctx context.Context, excluded map[*worker]bool)
 				// at == 0: the worker just crossed the down threshold and
 				// markFailure has not stored its backoff yet — not probe
 				// time, a full backoff must elapse first.
-				if at == 0 || now < at || !w.retryAt.CompareAndSwap(at, now+int64(e.reprobeAfter)) {
+				if at == 0 || now < at || !w.retryAt.CompareAndSwap(at, now+int64(w.probeDelay(e.reprobeAfter))) {
 					continue
 				}
 				select {

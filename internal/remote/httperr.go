@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/api"
 )
@@ -25,7 +27,7 @@ func httpStatus(code api.Code) int {
 		return http.StatusNotFound
 	case api.CodeCanceled:
 		return http.StatusConflict
-	case api.CodeQueueFull:
+	case api.CodeQueueFull, api.CodeRateLimited:
 		return http.StatusTooManyRequests
 	case api.CodeDraining, api.CodeUnavailable:
 		return http.StatusServiceUnavailable
@@ -43,6 +45,11 @@ func writeError(w http.ResponseWriter, err error) {
 		ae = api.Errf(api.CodeInternal, "%v", err)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if ae.RetryAfterNS > 0 {
+		// Whole seconds, rounded up: Retry-After has no sub-second form.
+		secs := (ae.RetryAfterNS + int64(time.Second) - 1) / int64(time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.WriteHeader(httpStatus(ae.Code))
 	json.NewEncoder(w).Encode(ae)
 }

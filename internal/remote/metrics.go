@@ -32,6 +32,8 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 	c("dramlocker_broker_duplicate_results_total", "Results that arrived after the task was already done.", int64(m.Duplicates))
 	c("dramlocker_broker_duplicate_cache_hits_total", "Duplicate results byte-identical to the recorded winner.", int64(m.DupCacheHits))
 	c("dramlocker_broker_rejected_jobs_total", "Job submissions refused by admission control (queue_full).", int64(m.Rejected))
+	c("dramlocker_broker_rate_limited_jobs_total", "Job submissions deferred by the per-tenant token bucket (rate_limited).", int64(m.RateLimited))
+	g("dramlocker_broker_goroutines", "Goroutines in the broker process (leak canary for chaos soaks).", int64(m.Goroutines))
 	if jm := m.Journal; jm != nil {
 		c("dramlocker_broker_journal_appends_total", "Journal entries appended.", int64(jm.Appends))
 		c("dramlocker_broker_journal_fsyncs_total", "Journal fsyncs (durable submit/done/cancel barriers).", int64(jm.Fsyncs))
@@ -39,7 +41,10 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 		c("dramlocker_broker_journal_replayed_tasks", "Tasks restored by the startup journal replay.", int64(jm.ReplayedTasks))
 		c("dramlocker_broker_journal_requeued_tasks", "Replayed tasks that were leased-but-unfinished and requeued.", int64(jm.Requeued))
 		c("dramlocker_broker_journal_skipped_entries", "Corrupt or stale journal lines dropped during replay.", int64(jm.Skipped))
-		c("dramlocker_broker_journal_compactions_total", "Journal compactions (one per successful replay).", int64(jm.Compactions))
+		c("dramlocker_broker_journal_compactions_total", "Journal compactions (startup replay and background folds).", int64(jm.Compactions))
+		c("dramlocker_broker_journal_rotations_total", "Active-segment rotations (-journal-max-bytes crossings).", int64(jm.Rotations))
+		g("dramlocker_broker_journal_segments", "Journal segments on disk (sealed + claimed + active).", int64(jm.Segments))
+		g("dramlocker_broker_journal_active_bytes", "Bytes in the journal's active segment.", jm.ActiveBytes)
 	}
 	if len(m.Tenants) > 0 {
 		fmt.Fprintf(w, "# HELP dramlocker_tenant_pending_tasks Tasks pending per tenant.\n# TYPE dramlocker_tenant_pending_tasks gauge\n")

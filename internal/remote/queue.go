@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/backoff"
 )
 
 // statusPollWait is the long-poll window QueueExecutor asks the broker
@@ -28,9 +30,26 @@ const defaultBatchLinger = 2 * time.Millisecond
 // per-task retry loop handles.
 const submitShipTimeout = 30 * time.Second
 
-// maxSubmitBackoff caps the exponential backoff between submit retries
-// (transport failures and queue_full rejections).
-const maxSubmitBackoff = time.Second
+// submitRetry shapes the backoff between submit retries (transport
+// failures, queue_full and rate_limited rejections): start at 10ms —
+// a drained queue readmits quickly — and cap at 1s so a long outage
+// polls about once a second, jittered so a fan-out of schedulers
+// rejected together does not resubmit together.
+var submitRetry = backoff.Policy{
+	Base:   10 * time.Millisecond,
+	Max:    time.Second,
+	Jitter: 0.5,
+}
+
+// statusRetry shapes the backoff between status-poll retries when the
+// broker is momentarily unreachable (the crash-recovery window): the
+// job is already queued, so patience — up to 5s between polls — beats
+// hammering a restarting broker.
+var statusRetry = backoff.Policy{
+	Base:   200 * time.Millisecond,
+	Max:    5 * time.Second,
+	Jitter: 0.5,
+}
 
 // QueueOptions configures a QueueExecutor.
 type QueueOptions struct {
@@ -62,6 +81,8 @@ type QueueExecutor struct {
 	priority int
 	client   *http.Client
 	linger   time.Duration
+	seed     int64        // jitter seed root (broker addr + tenant)
+	seedCtr  atomic.Int64 // decorrelates concurrent retry loops
 
 	// Submission batcher: concurrent Executes enqueue waiters here; the
 	// first one to find the batcher idle becomes responsible for
@@ -104,6 +125,7 @@ func DialQueue(ctx context.Context, addr string, opts QueueOptions) (*QueueExecu
 		priority: opts.Priority,
 		client:   orDefaultClient(opts.Client),
 		linger:   linger,
+		seed:     backoff.SeedString(base + "|" + opts.Tenant),
 	}
 	st, err := e.status(ctx)
 	if err != nil {
@@ -162,6 +184,7 @@ func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 		return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: submit: %w", spec.Job, spec.Shard, err)
 	}
 	sub := api.SubmitReply{Proto: api.Version, ID: id}
+	retry := e.newRetry(statusRetry)
 	for {
 		st, err := e.jobStatus(ctx, sub.ID)
 		if err != nil {
@@ -172,11 +195,12 @@ func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 			// Transient broker trouble: the job is already queued; keep
 			// polling rather than lose it.
 			if _, typed := api.AsError(err); !typed {
-				sleepCtx(ctx, errBackoff)
+				retry.Sleep(ctx)
 				continue
 			}
 			return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: job %s: %w", spec.Job, spec.Shard, sub.ID, err)
 		}
+		retry.Reset()
 		switch st.State {
 		case api.JobDone:
 			res := st.Results[0]
@@ -190,14 +214,22 @@ func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 	}
 }
 
+// newRetry builds one retry loop's backoff off the executor's seed
+// root, bumping a counter so concurrent loops jitter independently.
+func (e *QueueExecutor) newRetry(p backoff.Policy) *backoff.Backoff {
+	return p.New(e.seed + e.seedCtr.Add(1))
+}
+
 // submit routes one job through the batcher and waits for its per-job
-// outcome, retrying with capped exponential backoff on transport
-// failures (broker momentarily down — the crash-recovery window) and
-// queue_full admission rejections (the typed "back off and resubmit"
-// signal). Other typed errors fail fast: the broker positively
-// rejected the submission.
+// outcome, retrying with capped jittered backoff on transport failures
+// (broker momentarily down — the crash-recovery window) and on the two
+// typed "back off and resubmit" rejections: queue_full (wait for the
+// backlog to drain) and rate_limited (wait out the token bucket,
+// flooring the backoff at the broker's own Retry-After hint — retrying
+// sooner is a guaranteed wasted round-trip). Other typed errors fail
+// fast: the broker positively rejected the submission.
 func (e *QueueExecutor) submit(ctx context.Context, sub api.JobSubmit) (string, error) {
-	backoff := 10 * time.Millisecond
+	retry := e.newRetry(submitRetry)
 	for {
 		if err := ctx.Err(); err != nil {
 			return "", err
@@ -220,12 +252,16 @@ func (e *QueueExecutor) submit(ctx context.Context, sub api.JobSubmit) (string, 
 		if out.err == nil {
 			return out.id, nil
 		}
-		if ae, typed := api.AsError(out.err); typed && ae.Code != api.CodeQueueFull {
+		ae, typed := api.AsError(out.err)
+		switch {
+		case !typed:
+			retry.Sleep(ctx)
+		case ae.Code == api.CodeQueueFull:
+			retry.Sleep(ctx)
+		case ae.Code == api.CodeRateLimited:
+			retry.SleepAtLeast(ctx, time.Duration(ae.RetryAfterNS))
+		default:
 			return "", out.err
-		}
-		sleepCtx(ctx, backoff)
-		if backoff *= 2; backoff > maxSubmitBackoff {
-			backoff = maxSubmitBackoff
 		}
 	}
 }
@@ -247,7 +283,7 @@ func (e *QueueExecutor) enqueue(w *submitWaiter) {
 func (e *QueueExecutor) flushLoop() {
 	for {
 		if e.linger > 0 {
-			time.Sleep(e.linger)
+			backoff.Sleep(context.Background(), e.linger)
 		}
 		e.mu.Lock()
 		batch := e.pending

@@ -30,7 +30,7 @@ func startPullWorker(t *testing.T, brokerURL string, reg *engine.Registry, name 
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
-	w := NewPullWorker(brokerURL, reg, name, capacity, nil)
+	w := NewPullWorker(brokerURL, reg, WorkerOptions{Name: name, Capacity: capacity})
 	go func() {
 		defer close(done)
 		w.Run(ctx)

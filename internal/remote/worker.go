@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/backoff"
 	"repro/internal/engine"
 )
 
@@ -17,9 +18,46 @@ import (
 // fresh, long enough that an idle worker costs ~one request per window.
 const pollWait = 10 * time.Second
 
-// errBackoff is the pause after a failed poll (broker unreachable,
-// transient error) before trying again.
-const errBackoff = time.Second
+// defaultGrace is the shutdown budget for the final courtesies — the
+// drain announcement and the last TaskDone reports — when WorkerOptions
+// leaves them zero.
+const defaultGrace = 10 * time.Second
+
+// pollRetry is the backoff shape for a worker that cannot reach (or is
+// unknown to) its broker: start quick — a broker restart is over in
+// well under a second — and ramp to a 15s ceiling so a long outage
+// costs ~one request per window, like an idle long-poll. Jitter
+// decorrelates the fleet: a hundred workers orphaned by the same broker
+// crash must not retry in lockstep.
+var pollRetry = backoff.Policy{
+	Base:   200 * time.Millisecond,
+	Max:    15 * time.Second,
+	Jitter: 0.5,
+}
+
+// WorkerOptions configures a PullWorker. Capacity is required
+// (positive); everything else has a default.
+type WorkerOptions struct {
+	// Name is the worker's advertised identity; it also seeds the
+	// worker's jitter stream (same name, same delay sequence) unless
+	// Seed overrides it.
+	Name string
+	// Capacity is the maximum concurrent tasks; <= 0 panics — resolve
+	// the default (NumCPU) at the call site.
+	Capacity int
+	// Client is the HTTP client; nil uses a default with no overall
+	// timeout (long polls and long tasks are the normal case).
+	Client *http.Client
+	// DrainGrace bounds the shutdown drain announcement to the broker;
+	// 0 means 10s.
+	DrainGrace time.Duration
+	// DoneGrace bounds the final TaskDone report when shutdown lands
+	// mid-task; 0 means 10s.
+	DoneGrace time.Duration
+	// Seed, when non-zero, overrides the jitter seed derived from Name.
+	// Chaos harnesses set it to replay a worker's exact retry timing.
+	Seed int64
+}
 
 // PullWorker attaches a registry to a broker and works its queue:
 // register (hello), pull leases, execute against the local registry,
@@ -32,11 +70,14 @@ const errBackoff = time.Second
 // refusal is retryable, so the worker abandons the lease (no TaskDone)
 // and the broker requeues the task for a compatible worker.
 type PullWorker struct {
-	base     string
-	name     string
-	exec     engine.Executor
-	capacity int
-	client   *http.Client
+	base       string
+	name       string
+	exec       engine.Executor
+	capacity   int
+	client     *http.Client
+	drainGrace time.Duration
+	doneGrace  time.Duration
+	seed       int64
 
 	mu       sync.Mutex
 	workerID string
@@ -44,24 +85,36 @@ type PullWorker struct {
 }
 
 // NewPullWorker builds a worker for the broker at addr ("host:port" or
-// full URL), executing over reg with at most capacity concurrent tasks;
-// capacity <= 0 panics — resolve the default (NumCPU) at the call site.
-// client nil uses a default with no overall timeout (long polls and long
-// tasks are the normal case).
-func NewPullWorker(addr string, reg *engine.Registry, name string, capacity int, client *http.Client) *PullWorker {
-	if capacity <= 0 {
+// full URL), executing over reg under opts; opts.Capacity <= 0 panics.
+func NewPullWorker(addr string, reg *engine.Registry, opts WorkerOptions) *PullWorker {
+	if opts.Capacity <= 0 {
 		panic("remote: pull worker capacity must be positive")
 	}
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
+	drain := opts.DrainGrace
+	if drain == 0 {
+		drain = defaultGrace
+	}
+	done := opts.DoneGrace
+	if done == 0 {
+		done = defaultGrace
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = backoff.SeedString(opts.Name)
+	}
 	return &PullWorker{
-		base:     strings.TrimRight(base, "/"),
-		name:     name,
-		exec:     engine.NewNamedLocalExecutor(reg, name),
-		capacity: capacity,
-		client:   orDefaultClient(client),
+		base:       strings.TrimRight(base, "/"),
+		name:       opts.Name,
+		exec:       engine.NewNamedLocalExecutor(reg, opts.Name),
+		capacity:   opts.Capacity,
+		client:     orDefaultClient(opts.Client),
+		drainGrace: drain,
+		doneGrace:  done,
+		seed:       seed,
 	}
 }
 
@@ -76,12 +129,13 @@ func orDefaultClient(c *http.Client) *http.Client {
 // then drains: the broker is told to stop offering leases, in-flight
 // tasks finish (or are cancelled with ctx) and report, and Run returns
 // ctx's error. A broker that is down at start is an error; a broker
-// that dies later is retried forever — pull workers are the resilient
-// side of the topology.
+// that dies later is retried forever under a jittered capped backoff —
+// pull workers are the resilient side of the topology.
 func (p *PullWorker) Run(ctx context.Context) error {
 	if err := p.hello(ctx); err != nil {
 		return fmt.Errorf("remote: broker %s: %w", p.base, err)
 	}
+	retry := pollRetry.New(p.seed)
 	slots := make(chan struct{}, p.capacity)
 	var wg sync.WaitGroup
 	for ctx.Err() == nil {
@@ -103,14 +157,15 @@ func (p *PullWorker) Run(ctx context.Context) error {
 			}
 			if ae, ok := api.AsError(err); ok && ae.Code == api.CodeNotFound {
 				// Broker forgot us (restart or expiry): re-register.
-				if herr := p.hello(ctx); herr != nil {
-					sleepCtx(ctx, errBackoff)
+				if herr := p.hello(ctx); herr == nil {
+					retry.Reset()
+					continue
 				}
-				continue
 			}
-			sleepCtx(ctx, errBackoff)
+			retry.Sleep(ctx)
 			continue
 		}
+		retry.Reset()
 		if lease == nil {
 			<-slots
 			continue
@@ -122,8 +177,8 @@ func (p *PullWorker) Run(ctx context.Context) error {
 		}(*lease)
 	}
 	// Best-effort drain on a fresh context (ctx is already cancelled);
-	// in-flight runLease calls report on the same grace context.
-	grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// in-flight runLease calls report on their own grace context.
+	grace, cancel := context.WithTimeout(context.Background(), p.drainGrace)
 	defer cancel()
 	p.postBroker(grace, DrainPath, api.DrainRequest{Proto: api.Version, WorkerID: p.id()}, nil)
 	wg.Wait()
@@ -199,7 +254,7 @@ func (p *PullWorker) runLease(ctx context.Context, l api.Lease) {
 	rctx := ctx
 	if ctx.Err() != nil {
 		var cancel context.CancelFunc
-		rctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		rctx, cancel = context.WithTimeout(context.Background(), p.doneGrace)
 		defer cancel()
 	}
 	p.postBroker(rctx, DonePath, api.TaskDone{
@@ -210,7 +265,10 @@ func (p *PullWorker) runLease(ctx context.Context, l api.Lease) {
 	}, nil)
 }
 
-// renewLoop extends lease id at TTL/3 until done closes.
+// renewLoop extends lease id at ~TTL/3 until done closes. The interval
+// is jittered (Factor 1: constant amplitude, randomized phase) so a
+// fleet's renewals spread across the TTL window instead of arriving as
+// one synchronized pulse — the renewal analog of the thundering herd.
 func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struct{}) {
 	p.mu.Lock()
 	ttl := p.ttl
@@ -218,15 +276,17 @@ func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struc
 	if ttl <= 0 {
 		return
 	}
-	ticker := time.NewTicker(ttl / 3)
-	defer ticker.Stop()
+	beat := backoff.Policy{Base: ttl / 3, Factor: 1, Jitter: 0.3}.New(p.seed + 1)
 	for {
+		t := time.NewTimer(beat.Next())
 		select {
 		case <-done:
+			t.Stop()
 			return
 		case <-ctx.Done():
+			t.Stop()
 			return
-		case <-ticker.C:
+		case <-t.C:
 			var rep api.RenewReply
 			p.postBroker(ctx, RenewPath, api.LeaseRenew{
 				Proto:    api.Version,
@@ -240,14 +300,4 @@ func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struc
 // postBroker ships one broker message, resolving the path off the base.
 func (p *PullWorker) postBroker(ctx context.Context, path string, req, out any) error {
 	return postJSON(ctx, p.client, p.base+path, req, out)
-}
-
-// sleepCtx pauses for d or until ctx cancels.
-func sleepCtx(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-ctx.Done():
-	}
 }

@@ -1,0 +1,243 @@
+#!/usr/bin/env bash
+# Chaos soak gate for the fleet (make e2e-chaos).
+#
+# Runs the tiny preset through a deliberately hostile broker topology
+# and requires the report to come out byte-identical to a local run
+# anyway. The hostility is layered:
+#
+#   faults:   the broker loads a faultinject plan — worker polls are
+#             dropped at the transport (severed connections), the first
+#             task-done reports are dropped outright (the worker never
+#             retries a done, so the lease must expire and the task
+#             re-execute), later dones are delayed 400ms — so every
+#             retry path in internal/remote actually fires.
+#   journal:  a 1 KiB -journal-max-bytes budget forces live segment
+#             rotations and background compactions mid-run.
+#   limits:   -max-submit-rate 2 rate-limits the 6-job submission burst;
+#             the scheduler must honor the typed rate_limited error and
+#             its Retry-After hint to finish at all.
+#   murder:   the first pull worker is SIGKILLed while it holds leases
+#             (-lease-ttl 2s); a second worker drains the requeued work.
+#
+# Afterwards the gate audits the wreckage: rate limiting, rotation,
+# compaction and requeues all actually happened; the surviving worker's
+# exit receipt shows bounded backoff (no retry storm); the broker's
+# goroutine count returns to its pre-run baseline (no leaks); and a
+# broker restarted over the rotated journal replays every job. A second
+# leg tears the final journal done-record mid-line (the SIGKILL wound)
+# and requires the restarted broker to skip the torn tail leniently and
+# requeue the affected task instead of refusing startup or losing it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The unified-backoff contract: no ad-hoc time.Sleep retry loops left in
+# internal/remote (tests may sleep; production code goes through
+# internal/backoff, which is seeded, jittered and context-aware).
+if grep -rn "time\.Sleep" internal/remote --include='*.go' | grep -v _test.go; then
+    echo "FAIL: bare time.Sleep in internal/remote (use internal/backoff)"
+    exit 1
+fi
+echo "grep gate: internal/remote is time.Sleep-free"
+
+EXPS=fig1b,mc,table1,fig7a,fig7b,defense
+WORK=$(mktemp -d)
+PIDS=()
+RUN_PID=""
+cleanup() {
+    for pid in "${PIDS[@]}" "$RUN_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/dramlocker" ./cmd/dramlocker
+go build -o "$WORK/dramlockerd" ./cmd/dramlockerd
+
+norm() { sed -E 's/^(=== .*) \([^)]*\)( ===)$/\1\2/; /^[0-9]+ jobs, /d' "$1"; }
+
+# wait_addr LOGFILE PID: block until the daemon logs its bound address.
+wait_addr() {
+    local addr=""
+    for i in $(seq 1 100); do
+        addr=$(sed -nE 's/.* on (127\.0\.0\.1:[0-9]+) .*/\1/p' "$1" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$2" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "daemon never came up:" >&2; cat "$1" >&2; return 1
+}
+
+# stat_of ADDR FIELD: one integer out of `dramlocker -stats -json`.
+stat_of() {
+    "$WORK/dramlocker" -broker "$1" -stats -json 2>/dev/null \
+        | sed -nE "s/.*\"$2\": ([0-9]+).*/\1/p" | head -n1
+}
+
+# wait_stat ADDR FIELD MIN TRIES: poll until the counter reaches MIN.
+wait_stat() {
+    local v=0
+    for i in $(seq 1 "$4"); do
+        v=$(stat_of "$1" "$2"); v=${v:-0}
+        [ "$v" -ge "$3" ] && { echo "$v"; return 0; }
+        sleep 0.05
+    done
+    echo "${v:-0}"
+    return 1
+}
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet > "$WORK/local.txt"
+norm "$WORK/local.txt" > "$WORK/local.norm"
+
+# ---- Leg 1: fault-injected broker, rotation, rate limit, dead worker --
+cat > "$WORK/plan.json" <<'EOF'
+{
+  "seed": 1337,
+  "rules": [
+    {"point": "server.poll", "kind": "drop", "prob": 0.35, "count": 20},
+    {"point": "server.done", "kind": "drop", "count": 2},
+    {"point": "server.done", "kind": "delay", "delay_ms": 400, "count": 50}
+  ]
+}
+EOF
+
+JDIR="$WORK/journal"
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 -name chaosbroker \
+    -journal-dir "$JDIR" -journal-max-bytes 1024 \
+    -lease-ttl 2s -max-submit-rate 2 \
+    -fault-plan "$WORK/plan.json" -allow-faults >"$WORK/broker.log" 2>&1 &
+BROKER_PID=$!; PIDS+=("$BROKER_PID")
+BADDR=$(wait_addr "$WORK/broker.log" "$BROKER_PID")
+echo "chaos broker up on $BADDR (journal $JDIR, 1 KiB segments, 2 tasks/s)"
+
+GOROUTINES0=$(stat_of "$BADDR" goroutines); GOROUTINES0=${GOROUTINES0:-0}
+[ "$GOROUTINES0" -gt 0 ] || { echo "FAIL: no goroutine baseline"; exit 1; }
+
+"$WORK/dramlockerd" -pull "$BADDR" -preset tiny -name victim -capacity 2 >"$WORK/victim.log" 2>&1 &
+VICTIM_PID=$!; PIDS+=("$VICTIM_PID")
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet -broker "$BADDR" > "$WORK/chaos.txt" &
+RUN_PID=$!
+
+# SIGKILL the victim the moment it holds a lease: every done is delayed
+# 400ms by the fault plan, so the observed lease cannot have reported
+# yet — the kill reliably strands in-flight work for lease expiry.
+if ! wait_stat "$BADDR" leased 1 200 >/dev/null; then
+    echo "FAIL: victim worker never leased a task"; exit 1
+fi
+kill -9 "$VICTIM_PID" 2>/dev/null
+wait "$VICTIM_PID" 2>/dev/null || true
+echo "victim worker SIGKILLed while holding lease(s)"
+
+"$WORK/dramlockerd" -pull "$BADDR" -preset tiny -name survivor >"$WORK/survivor.log" 2>&1 &
+SURVIVOR_PID=$!; PIDS+=("$SURVIVOR_PID")
+
+if ! wait "$RUN_PID"; then
+    echo "FAIL: run did not survive the chaos plan"; cat "$WORK/chaos.txt"; exit 1
+fi
+RUN_PID=""
+norm "$WORK/chaos.txt" > "$WORK/chaos.norm"
+if ! diff -u "$WORK/local.norm" "$WORK/chaos.norm"; then
+    echo "FAIL: chaos-run report diverged from local"
+    exit 1
+fi
+echo "report byte-identical to local through drops, delays, rate limit and a dead worker"
+
+# The chaos must actually have happened — a gate that passes because
+# nothing fired is not a gate.
+RATE_LIMITED=$(stat_of "$BADDR" rate_limited); RATE_LIMITED=${RATE_LIMITED:-0}
+ROTATIONS=$(stat_of "$BADDR" rotations); ROTATIONS=${ROTATIONS:-0}
+COMPACTIONS=$(stat_of "$BADDR" compactions); COMPACTIONS=${COMPACTIONS:-0}
+[ "$RATE_LIMITED" -ge 1 ] || { echo "FAIL: rate limiter never fired"; exit 1; }
+[ "$ROTATIONS" -ge 1 ] || { echo "FAIL: journal never rotated under the 1 KiB budget"; exit 1; }
+[ "$COMPACTIONS" -ge 1 ] || { echo "FAIL: sealed segments were never background-compacted"; exit 1; }
+REQUEUES=$(wait_stat "$BADDR" requeues 1 200) || { echo "FAIL: killed worker's leases never requeued"; exit 1; }
+SUBMITTED=$(stat_of "$BADDR" submitted); SUBMITTED=${SUBMITTED:-0}
+echo "audit: submitted=$SUBMITTED rate_limited=$RATE_LIMITED rotations=$ROTATIONS compactions=$COMPACTIONS requeues=$REQUEUES"
+
+# Bounded retries: the survivor's exit receipt counts every backoff it
+# took. The fault plan is finite (count-capped), so a healthy client
+# takes a bounded number of delays — a storm means a retry loop without
+# backoff discipline.
+kill "$SURVIVOR_PID" 2>/dev/null
+wait "$SURVIVOR_PID" 2>/dev/null || true
+BACKOFFS=$(sed -nE 's/.*backoff_total=([0-9]+).*/\1/p' "$WORK/survivor.log" | head -n1)
+[ -n "$BACKOFFS" ] || { echo "FAIL: survivor logged no exit receipt:"; cat "$WORK/survivor.log"; exit 1; }
+[ "$BACKOFFS" -le 500 ] || { echo "FAIL: retry storm: survivor took $BACKOFFS backoffs"; exit 1; }
+echo "survivor drained cleanly after $BACKOFFS bounded backoff(s)"
+
+# No goroutine leaks: with both workers gone and the run finished, the
+# broker must fall back to (about) its pre-run census.
+LEAK_OK=""
+for i in $(seq 1 100); do
+    G=$(stat_of "$BADDR" goroutines); G=${G:-999999}
+    if [ "$G" -le $((GOROUTINES0 + 8)) ]; then LEAK_OK="$G"; break; fi
+    sleep 0.1
+done
+[ -n "$LEAK_OK" ] || { echo "FAIL: goroutine leak: baseline $GOROUTINES0, now $G"; exit 1; }
+echo "no goroutine leak (baseline $GOROUTINES0, settled $LEAK_OK)"
+
+# The broker's exit receipt must show the plan actually fired.
+kill "$BROKER_PID" 2>/dev/null
+wait "$BROKER_PID" 2>/dev/null || true
+grep -q "faults_fired=.*server\." "$WORK/broker.log" || {
+    echo "FAIL: broker exit receipt shows no fired faults:"; tail -n3 "$WORK/broker.log"; exit 1; }
+echo "broker receipt: $(sed -nE 's/.*(backoff_total=.*)/\1/p' "$WORK/broker.log" | tail -n1)"
+
+# Restart over the rotated journal: replay must cross the segment
+# boundaries and startup compaction must fold the directory back to
+# snapshot + active.
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 -name reborn \
+    -journal-dir "$JDIR" -journal-max-bytes 1024 >"$WORK/reborn.log" 2>&1 &
+REBORN_PID=$!; PIDS+=("$REBORN_PID")
+RADDR=$(wait_addr "$WORK/reborn.log" "$REBORN_PID")
+grep -q "journal .* replayed $SUBMITTED jobs" "$WORK/reborn.log" || {
+    echo "FAIL: restart over rotated journal did not replay all $SUBMITTED jobs:"; cat "$WORK/reborn.log"; exit 1; }
+SEGMENTS=$(stat_of "$RADDR" segments); SEGMENTS=${SEGMENTS:-0}
+[ "$SEGMENTS" -eq 2 ] || { echo "FAIL: startup compaction left $SEGMENTS segments, want 2"; exit 1; }
+echo "restart replayed all 6 jobs across rotated segments; compacted to $SEGMENTS segments"
+kill "$REBORN_PID" 2>/dev/null; wait "$REBORN_PID" 2>/dev/null || true
+
+# ---- Leg 2: torn journal tail -----------------------------------------
+# Tear exactly one done record mid-line (what a power cut leaves) and
+# require the restarted broker to forgive the active tail: startup
+# succeeds, the torn line is skipped, and the affected task is queued
+# for re-execution rather than lost or double-counted.
+cat > "$WORK/torn.json" <<'EOF'
+{
+  "seed": 7,
+  "rules": [
+    {"point": "journal.append.done", "kind": "torn", "count": 1}
+  ]
+}
+EOF
+JDIR2="$WORK/journal2"
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 -name tornbroker -journal-dir "$JDIR2" \
+    -fault-plan "$WORK/torn.json" -allow-faults >"$WORK/torn.log" 2>&1 &
+TORN_PID=$!; PIDS+=("$TORN_PID")
+TADDR=$(wait_addr "$WORK/torn.log" "$TORN_PID")
+"$WORK/dramlockerd" -pull "$TADDR" -preset tiny -name tornworker >"$WORK/tornworker.log" 2>&1 &
+TORNW_PID=$!; PIDS+=("$TORNW_PID")
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet -broker "$TADDR" > "$WORK/torn.txt"
+diff -u "$WORK/local.norm" <(norm "$WORK/torn.txt") >/dev/null || {
+    echo "FAIL: torn-write leg report diverged"; exit 1; }
+
+kill "$TORNW_PID" 2>/dev/null; wait "$TORNW_PID" 2>/dev/null || true
+kill "$TORN_PID" 2>/dev/null; wait "$TORN_PID" 2>/dev/null || true
+grep -q "faults_fired=.*journal.append.done/torn=1" "$WORK/torn.log" || {
+    echo "FAIL: torn fault never fired:"; tail -n3 "$WORK/torn.log"; exit 1; }
+
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 -name tornreborn -journal-dir "$JDIR2" \
+    >"$WORK/tornreborn.log" 2>&1 &
+TORNR_PID=$!; PIDS+=("$TORNR_PID")
+TRADDR=$(wait_addr "$WORK/tornreborn.log" "$TORNR_PID")
+grep -q "1 lines skipped" "$WORK/tornreborn.log" || {
+    echo "FAIL: restart did not skip the torn tail:"; cat "$WORK/tornreborn.log"; exit 1; }
+PENDING=$(stat_of "$TRADDR" pending); PENDING=${PENDING:-0}
+[ "$PENDING" -ge 1 ] || { echo "FAIL: torn done-record did not requeue its task (pending=$PENDING)"; exit 1; }
+echo "torn tail: startup skipped 1 line, requeued the unconfirmed task (pending=$PENDING)"
+kill "$TORNR_PID" 2>/dev/null; wait "$TORNR_PID" 2>/dev/null || true
+
+echo "e2e-chaos: OK"
