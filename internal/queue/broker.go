@@ -520,8 +520,7 @@ func (b *Broker) journalAppendLocked(e journalEntry, sync bool) {
 		return
 	}
 	if claimed := jl.claimSealed(); claimed != nil {
-		live := b.liveEntriesLocked()
-		go jl.compactSegments(claimed, live)
+		jl.compactAsync(claimed, b.liveEntriesLocked())
 	}
 }
 

@@ -130,6 +130,7 @@ type Journal struct {
 	sealed      []int // rolled-past segments awaiting compaction, ascending
 	claimed     []int // segments a running compaction owns
 	loaded      []journalEntry
+	compactWG   sync.WaitGroup // in-flight compactAsync goroutines
 
 	faults *faultinject.Injector
 
@@ -153,11 +154,13 @@ func OpenJournal(dir string, maxBytes int64) (*Journal, error) {
 	}
 	jl := &Journal{dir: dir, maxBytes: maxBytes}
 
-	// Adopt a pre-segmentation journal as the first segment.
-	legacy := filepath.Join(dir, legacyJournalFile)
-	if _, err := os.Stat(legacy); err == nil {
-		if err := os.Rename(legacy, jl.segmentPath(1)); err != nil {
-			return nil, fmt.Errorf("queue: adopt legacy journal: %w", err)
+	// A .tmp file is a compaction that died between Create and Rename;
+	// its content is still fully covered by the claimed segments it was
+	// folding, so it is pure garbage here.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "journal-*.jsonl.tmp"))
+	for _, tmp := range tmps {
+		if err := os.Remove(tmp); err != nil {
+			log.Printf("queue: journal: drop stale %s: %v", filepath.Base(tmp), err)
 		}
 	}
 
@@ -172,6 +175,23 @@ func OpenJournal(dir string, maxBytes int64) (*Journal, error) {
 		}
 	}
 	sort.Ints(segs)
+
+	// Adopt a pre-segmentation journal as the first segment — but only
+	// into an otherwise empty directory. If segments already exist (a
+	// directory served by both old and new binaries across a downgrade),
+	// renaming would clobber a segment and the replay order of the two
+	// histories is a guess either way; refuse and let the operator pick.
+	legacy := filepath.Join(dir, legacyJournalFile)
+	if _, err := os.Stat(legacy); err == nil {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("queue: both %s and %d journal segment(s) exist in %s; move one aside before starting",
+				legacyJournalFile, len(segs), dir)
+		}
+		if err := os.Rename(legacy, jl.segmentPath(1)); err != nil {
+			return nil, fmt.Errorf("queue: adopt legacy journal: %w", err)
+		}
+		segs = []int{1}
+	}
 
 	for i, n := range segs {
 		strict := i < len(segs)-1
@@ -208,8 +228,12 @@ func (jl *Journal) segmentPath(n int) string {
 	return filepath.Join(jl.dir, segmentName(n))
 }
 
-// Close flushes and closes the active segment.
+// Close waits out any in-flight background compaction, then flushes
+// and closes the active segment. Waiting first keeps a fold from
+// renaming or deleting segments after the process thinks the journal
+// is shut (and after a test has torn down the directory).
 func (jl *Journal) Close() error {
+	jl.compactWG.Wait()
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if jl.f == nil {
@@ -274,17 +298,26 @@ func (jl *Journal) append(e journalEntry, sync bool) (rotated bool) {
 		jl.fsyncs++
 	}
 	if jl.maxBytes > 0 && jl.activeBytes >= jl.maxBytes {
-		jl.rotateLocked()
-		return true
+		return jl.rotateLocked()
 	}
 	return false
 }
 
-// rotateLocked seals the active segment and opens the next one. The
-// sealed segment was fsynced on its last synced append (or will never
-// be read past its last durable record, which replay forgives), so no
-// extra sync is needed here.
-func (jl *Journal) rotateLocked() {
+// rotateLocked seals the active segment and opens the next one,
+// reporting whether the rotation happened. The outgoing segment is
+// fsynced before it is sealed: a rotation can land mid-batch, with
+// unsynced submit entries still in the page cache, and once a segment
+// is sealed replay reads it in strict mode — every record in it must
+// be durable, or a power cut would both lose acked submissions and
+// leave a torn tail that makes OpenJournal refuse to start.
+func (jl *Journal) rotateLocked() bool {
+	if err := jl.f.Sync(); err != nil {
+		// Can't prove the segment is durable, so don't seal it. Keep
+		// appending; the next append over budget retries the rotation.
+		log.Printf("queue: journal: fsync before sealing segment %d: %v", jl.activeSeg, err)
+		return false
+	}
+	jl.fsyncs++
 	if err := jl.f.Close(); err != nil {
 		log.Printf("queue: journal: seal segment %d: %v", jl.activeSeg, err)
 	}
@@ -303,12 +336,13 @@ func (jl *Journal) rotateLocked() {
 			log.Printf("queue: journal: reopen segment %d: %v", jl.activeSeg, err)
 			jl.f = nil
 		}
-		return
+		return false
 	}
 	jl.f = f
 	jl.activeSeg = next
 	jl.activeBytes = 0
 	jl.rotations++
+	return true
 }
 
 // sync fsyncs everything appended so far; one sync can cover a whole
@@ -410,6 +444,17 @@ func (jl *Journal) claimSealed() []int {
 	jl.claimed = jl.sealed
 	jl.sealed = nil
 	return jl.claimed
+}
+
+// compactAsync runs compactSegments on its own goroutine, tracked so
+// Close can wait for the fold to land (or release) before the active
+// segment shuts down under it.
+func (jl *Journal) compactAsync(claimed []int, live []journalEntry) {
+	jl.compactWG.Add(1)
+	go func() {
+		defer jl.compactWG.Done()
+		jl.compactSegments(claimed, live)
+	}()
 }
 
 // compactSegments folds the claimed segments into one snapshot

@@ -288,6 +288,76 @@ func TestJournalTornWriteInjection(t *testing.T) {
 	}
 }
 
+// TestJournalRotationFsyncsUnsyncedTail: sealing a segment must fsync
+// it first. Grants are the unsynced tier, so a rotation driven purely
+// by grant appends would otherwise seal page-cache-only records into a
+// segment that strict replay later refuses if a power cut tears it.
+func TestJournalRotationFsyncsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	jl := rotatingJournal(t, dir, 256)
+	rotated := false
+	for i := 0; i < 100 && !rotated; i++ {
+		rotated = jl.append(journalEntry{Kind: entryGrant, Job: "j1", Task: i, Worker: "w"}, false)
+	}
+	if !rotated {
+		t.Fatal("100 grants under a 256-byte budget never rotated")
+	}
+	m := jl.metrics()
+	if m.Rotations != 1 {
+		t.Fatalf("rotations = %d, want 1", m.Rotations)
+	}
+	if m.Fsyncs == 0 {
+		t.Fatalf("sealed a segment of unsynced appends without an fsync: %+v", m)
+	}
+}
+
+// TestJournalLegacyConflictRefusesStartup: a directory holding both a
+// pre-segmentation journal.jsonl and segment files is ambiguous
+// history; OpenJournal must refuse rather than rename the legacy file
+// over an existing segment.
+func TestJournalLegacyConflictRefusesStartup(t *testing.T) {
+	dir := t.TempDir()
+	segLine := jsonLine(t, journalEntry{
+		V: journalFormatVersion, Kind: entrySubmit, Job: "jseg",
+		Tasks: []api.TaskSpec{spec("a", 0)},
+	})
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte(segLine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldLine := jsonLine(t, journalEntry{
+		V: journalFormatVersion, Kind: entrySubmit, Job: "jold",
+		Tasks: []api.TaskSpec{spec("b", 0)},
+	})
+	if err := os.WriteFile(filepath.Join(dir, legacyJournalFile), []byte(oldLine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(dir, 0); err == nil || !strings.Contains(err.Error(), legacyJournalFile) {
+		t.Fatalf("legacy/segment conflict opened anyway: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
+	if err != nil || !strings.Contains(string(raw), "jseg") {
+		t.Fatalf("segment 1 clobbered by refused adoption: %q %v", raw, err)
+	}
+}
+
+// TestJournalStaleTmpRemovedAtStartup: a compaction that died between
+// Create and Rename leaves a .tmp the next generation must sweep.
+func TestJournalStaleTmpRemovedAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, segmentName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale compaction tmp survived startup: %v", err)
+	}
+}
+
 // jsonLine marshals one journal entry the way append would.
 func jsonLine(t *testing.T, e journalEntry) string {
 	t.Helper()

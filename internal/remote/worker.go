@@ -266,9 +266,11 @@ func (p *PullWorker) runLease(ctx context.Context, l api.Lease) {
 }
 
 // renewLoop extends lease id at ~TTL/3 until done closes. The interval
-// is jittered (Factor 1: constant amplitude, randomized phase) so a
-// fleet's renewals spread across the TTL window instead of arriving as
-// one synchronized pulse — the renewal analog of the thundering herd.
+// is jittered (Factor 1: constant amplitude, randomized phase), with
+// the lease id mixed into the seed so concurrent leases on one worker
+// draw decorrelated sequences — a fleet's renewals spread across the
+// TTL window instead of arriving as one synchronized pulse, the
+// renewal analog of the thundering herd.
 func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struct{}) {
 	p.mu.Lock()
 	ttl := p.ttl
@@ -276,7 +278,7 @@ func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struc
 	if ttl <= 0 {
 		return
 	}
-	beat := backoff.Policy{Base: ttl / 3, Factor: 1, Jitter: 0.3}.New(p.seed + 1)
+	beat := backoff.Policy{Base: ttl / 3, Factor: 1, Jitter: 0.3}.New(p.seed + backoff.SeedString(id))
 	for {
 		t := time.NewTimer(beat.Next())
 		select {
