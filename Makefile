@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote e2e-chaos ci
+.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote e2e-chaos e2e-resultplane ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,15 @@ e2e-remote:
 # contract: no bare time.Sleep retry loops in internal/remote.
 e2e-chaos:
 	bash scripts/e2e_chaos.sh
+
+# Result-plane gate: a standalone plane daemon is populated by one cold
+# run, then a fresh -cache-dir run must pass -require-cached purely
+# from the plane, a plane-attached pull worker must serve a queue run
+# without recomputing anything, and a broker co-hosting the plane must
+# complete a submitted job with zero leases (every task finished from
+# the plane at submit time). All reports byte-identical to local.
+e2e-resultplane:
+	bash scripts/e2e_resultplane.sh
 
 # Persistent result cache gate: a cold tiny-preset run populates the
 # on-disk cache, the warm run must serve 100% from it and render a
@@ -119,4 +128,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check lint build test race e2e-remote e2e-chaos cache-gate
+ci: vet fmt-check lint build test race e2e-remote e2e-chaos e2e-resultplane cache-gate

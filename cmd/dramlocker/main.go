@@ -15,6 +15,8 @@
 //	dramlocker -exp all -preset tiny -broker 10.0.0.9:9741 -tenant ci
 //	dramlocker -broker 10.0.0.9:9741 -stats
 //	dramlocker -broker 10.0.0.9:9741 -stats -json
+//	dramlocker -broker 10.0.0.9:9741 -fleet -watch 2s
+//	dramlocker -exp all -preset tiny -plane 10.0.0.9:9742 -cache-dir /tmp/c
 //	dramlocker -list
 //	dramlocker -list -json
 //
@@ -46,10 +48,25 @@
 //
 // -stats (with -broker) fetches the broker's GET /v2/metrics and
 // renders a one-screen operational summary: queue census, lifetime
-// counters, journal activity and per-tenant depth/age gauges. With
-// -json the raw api.BrokerMetrics payload is emitted instead — the
-// same schema the broker serves, so scripts and the e2e gates parse
-// one shape.
+// counters, journal activity, result-plane counters, per-tenant
+// depth/age gauges and the oldest in-flight leases with their progress
+// age. With -json the raw api.BrokerMetrics payload is emitted instead
+// — the same schema the broker serves, so scripts and the e2e gates
+// parse one shape.
+//
+// -fleet (with -broker) fetches GET /v2/fleet — the live per-worker
+// view: every registered worker, its active leases, and each lease's
+// last progress heartbeat ("train 3/10, 2s ago"). -watch re-renders on
+// an interval, making it a minimal top(1) for the fleet; -json emits
+// the raw api.FleetStatus.
+//
+// -plane ADDR attaches this run's cache to a fleet-wide result plane
+// (dramlockerd -result-plane): lookups go plane → local cache →
+// compute, computed results are written through to both, and the
+// plane's claim API ensures only one machine in the fleet computes a
+// given key (others long-poll and replay the winner's result). A dead
+// plane degrades to the local tiers. Requires caching (-no-cache and
+// -plane are mutually exclusive).
 //
 // Caching: results are memoised per job and per shard under a key built
 // from the experiment id, the preset hash and the base seed. By default
@@ -90,6 +107,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/remote"
+	"repro/internal/resultplane"
 )
 
 func main() {
@@ -107,6 +125,9 @@ func main() {
 	tenant := flag.String("tenant", "", "broker fairness bucket this run submits under (default: the broker's default tenant)")
 	priority := flag.Int("priority", 0, "broker priority within the tenant (higher dispatches first)")
 	stats := flag.Bool("stats", false, "with -broker: fetch and render the broker's /v2/metrics, then exit (-json for the raw payload)")
+	fleet := flag.Bool("fleet", false, "with -broker: fetch and render the broker's /v2/fleet live worker/lease view, then exit (-json for the raw payload)")
+	watch := flag.Duration("watch", 0, "with -fleet: re-render every interval (0 = render once)")
+	planeAddr := flag.String("plane", "", "result plane address (dramlockerd -result-plane); attach this run's cache to the fleet-wide plane")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -142,7 +163,7 @@ func main() {
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
 		remote: *remoteAddrs, broker: *brokerAddr, tenant: *tenant, priority: *priority,
-		stats: *stats,
+		stats: *stats, fleet: *fleet, watch: *watch, plane: *planeAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -191,6 +212,9 @@ type config struct {
 	tenant        string
 	priority      int
 	stats         bool
+	fleet         bool
+	watch         time.Duration
+	plane         string
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -208,6 +232,12 @@ func run(ctx context.Context, cfg config) error {
 		}
 		return showStats(ctx, cfg.broker, cfg.jsonOut)
 	}
+	if cfg.fleet {
+		if cfg.broker == "" {
+			return fmt.Errorf("-fleet needs -broker (whose /v2/fleet to fetch)")
+		}
+		return showFleet(ctx, cfg.broker, cfg.jsonOut, cfg.watch)
+	}
 	if cfg.remote != "" && cfg.broker != "" {
 		return fmt.Errorf("-remote and -broker are mutually exclusive (push vs queue dispatch)")
 	}
@@ -217,6 +247,15 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	defer cache.Close()
+	if cfg.plane != "" {
+		if cache == nil {
+			return fmt.Errorf("-plane needs caching (-no-cache and -plane are mutually exclusive)")
+		}
+		cache.SetRemote(&resultplane.EngineCache{C: resultplane.NewClient(httpBase(cfg.plane), experiments.CacheVersion)})
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, "plane     %s (version %s)\n", httpBase(cfg.plane), experiments.CacheVersion)
+		}
+	}
 
 	opts := engine.Options{
 		Workers: cfg.workers,
@@ -333,32 +372,10 @@ func listJobs(reg *engine.Registry, jsonOut bool) error {
 // api.BrokerMetrics JSON with jsonOut, otherwise a one-screen
 // operational summary.
 func showStats(ctx context.Context, addr string, jsonOut bool) error {
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimRight(base, "/")
-	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+remote.MetricsPath, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("broker %s: %w", addr, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return fmt.Errorf("broker %s: %w", addr, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("broker %s: %s: %s", addr, resp.Status, strings.TrimSpace(string(body)))
-	}
+	base := httpBase(addr)
 	var m api.BrokerMetrics
-	if err := json.Unmarshal(body, &m); err != nil {
-		return fmt.Errorf("broker %s: decode metrics: %w", addr, err)
+	if err := fetchJSON(ctx, addr, base+remote.MetricsPath, &m); err != nil {
+		return err
 	}
 	if err := api.CheckProto(m.Proto); err != nil {
 		return fmt.Errorf("broker %s: %w", addr, err)
@@ -387,6 +404,16 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 		fmt.Printf("segments   %d on disk (%d rotations), active %d bytes\n",
 			jm.Segments, jm.Rotations, jm.ActiveBytes)
 	}
+	if m.PlaneHits > 0 || m.Plane != nil {
+		fmt.Printf("plane      %d broker dispatch hits (tasks completed at submit, zero leases)\n", m.PlaneHits)
+	}
+	if pm := m.Plane; pm != nil {
+		fmt.Printf("plane      %d entries (%d bytes), %d puts (%d dup, %d conflicts), %d hits / %d misses (%d via long-poll)\n",
+			pm.Entries, pm.BytesStored, pm.Puts, pm.DupPuts, pm.Conflicts,
+			pm.Hits, pm.Misses, pm.WaitHits)
+		fmt.Printf("claims     %d granted, %d denied (fleet-wide single-flight)\n",
+			pm.ClaimsGranted, pm.ClaimsDenied)
+	}
 	for _, t := range m.Tenants {
 		limit := "unlimited"
 		if t.MaxQueued > 0 {
@@ -395,6 +422,120 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 		fmt.Printf("tenant     %-12s weight %d, pending %d (oldest %v), served %d, limit %s\n",
 			t.Tenant, t.Weight, t.Pending,
 			time.Duration(t.OldestAgeNS).Round(time.Millisecond), t.Served, limit)
+	}
+	for _, l := range m.Leases {
+		fmt.Printf("lease      %-12s %-16s worker %s, age %v, progress %v ago\n",
+			l.Lease, l.Task, l.Worker,
+			time.Duration(l.AgeNS).Round(time.Millisecond),
+			time.Duration(l.ProgressAgeNS).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// showFleet fetches a broker's /v2/fleet and renders the live
+// worker/lease view; watch > 0 re-renders on that interval until the
+// context cancels (a minimal fleet top).
+func showFleet(ctx context.Context, addr string, jsonOut bool, watch time.Duration) error {
+	base := httpBase(addr)
+	for {
+		var fs api.FleetStatus
+		if err := fetchJSON(ctx, addr, base+remote.FleetPath, &fs); err != nil {
+			return err
+		}
+		if err := api.CheckProto(fs.Proto); err != nil {
+			return fmt.Errorf("broker %s: %w", addr, err)
+		}
+		if jsonOut {
+			buf, err := json.MarshalIndent(fs, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(buf))
+		} else {
+			if watch > 0 {
+				fmt.Print("\x1b[2J\x1b[H") // clear the screen between frames
+			}
+			renderFleet(fs, base)
+		}
+		if watch <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(watch):
+		}
+	}
+}
+
+// renderFleet prints one frame of the fleet view.
+func renderFleet(fs api.FleetStatus, base string) {
+	fmt.Printf("fleet      %s (proto %s, %d workers)\n", base, fs.Proto, len(fs.Workers))
+	if len(fs.Workers) == 0 {
+		fmt.Println("           no workers registered")
+		return
+	}
+	for _, w := range fs.Workers {
+		drain := ""
+		if w.Draining {
+			drain = " DRAINING"
+		}
+		fmt.Printf("worker     %-12s capacity %d, %d leases, last seen %v ago%s\n",
+			w.Name, w.Capacity, len(w.Leases),
+			time.Duration(w.LastSeenAgeNS).Round(time.Millisecond), drain)
+		for _, l := range w.Leases {
+			prog := "no progress reported"
+			if p := l.Progress; p != nil {
+				prog = p.Stage
+				if p.Total > 0 {
+					prog = fmt.Sprintf("%s %d/%d", p.Stage, p.Done, p.Total)
+				} else if p.Done > 0 {
+					prog = fmt.Sprintf("%s %d", p.Stage, p.Done)
+				}
+				prog = fmt.Sprintf("%s, %v ago", prog, time.Duration(l.ProgressAgeNS).Round(time.Millisecond))
+			}
+			tenant := ""
+			if l.Tenant != "" {
+				tenant = " tenant " + l.Tenant
+			}
+			fmt.Printf("  lease    %-10s %s[%d]%s age %v, %s\n",
+				l.ID, l.Job, l.Shard, tenant,
+				time.Duration(l.AgeNS).Round(time.Millisecond), prog)
+		}
+	}
+}
+
+// httpBase normalizes a daemon address flag into a base URL.
+func httpBase(addr string) string {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/")
+}
+
+// fetchJSON GETs one introspection endpoint and decodes the reply.
+func fetchJSON(ctx context.Context, addr, url string, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("broker %s: %s: %s", addr, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("broker %s: decode: %w", addr, err)
 	}
 	return nil
 }

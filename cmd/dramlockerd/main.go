@@ -8,6 +8,9 @@
 //	dramlockerd -broker -hedge-after 2m -weights ci=1,interactive=4
 //	dramlockerd -broker -journal-dir /var/lib/dramlocker -max-queued 1000
 //	dramlockerd -pull 10.0.0.9:9741              # pull worker for that broker
+//	dramlockerd -result-plane -addr 0.0.0.0:9742 # content-addressed result plane
+//	dramlockerd -broker -result-plane            # broker + co-hosted plane
+//	dramlockerd -pull 10.0.0.9:9741 -plane 10.0.0.9:9742   # plane-attached worker
 //
 // Push worker (default): builds the same job registry as the CLI (one
 // job per preset × experiment, shards included) and executes the tasks a
@@ -51,6 +54,21 @@
 // Membership is dynamic: workers join and leave freely, and a worker
 // that dies mid-lease is recovered by lease expiry.
 //
+// Result plane (-result-plane): serves the fleet-wide content-addressed
+// result store (internal/resultplane) — GET/PUT of versioned cache
+// entries plus claim-based cross-machine single-flight. Standalone it
+// owns the listen address; combined with -broker the /v3 object routes
+// co-host on the broker's mux and the broker consults the store before
+// dispatching, completing fully cached tasks at submit with zero
+// leases. -plane-dir persists the store as JSON lines (replayed on
+// restart); without it the plane is in-memory.
+//
+// Workers (push or pull) attach to a plane with -plane ADDR: task
+// results are looked up plane-first (then the local in-process cache,
+// then computed) and written through, with the plane's claim API
+// ensuring only one worker in the fleet computes a given key. A dead
+// or unreachable plane degrades to plain local execution.
+//
 // In every mode SIGINT/SIGTERM drain before exit: a push worker flips
 // /v1/status to draining and refuses new tasks while in-flight ones
 // finish; a broker refuses new submissions and registrations; a pull
@@ -82,10 +100,12 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/queue"
 	"repro/internal/remote"
+	"repro/internal/resultplane"
 )
 
 func main() {
@@ -104,12 +124,23 @@ func main() {
 	maxQueuedTenant := flag.String("max-queued-tenant", "", "broker: per-tenant overrides of -max-queued, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
 	maxSubmitRate := flag.Int("max-submit-rate", 0, "broker: per-tenant sustained submission rate in tasks/sec (token bucket, burst of one second); overflow gets rate_limited with Retry-After (0 = unlimited)")
 	maxSubmitRateTenant := flag.String("max-submit-rate-tenant", "", "broker: per-tenant overrides of -max-submit-rate, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
+	resultPlane := flag.Bool("result-plane", false, "serve the content-addressed result plane (standalone, or co-hosted with -broker)")
+	planeDir := flag.String("plane-dir", "", "result plane: persist entries as JSON lines under this directory and replay them on startup (empty = in-memory only)")
+	planeAddr := flag.String("plane", "", "worker modes: attach to the result plane at this address (plane-first lookups, write-through, fleet-wide single-flight)")
 	faultPlan := flag.String("fault-plan", "", "chaos testing: inject faults from this JSON plan (refused without -allow-faults)")
 	allowFaults := flag.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks this daemon")
 	flag.Parse()
 
 	if *broker && *pull != "" {
 		fmt.Fprintln(os.Stderr, "dramlockerd: -broker and -pull are mutually exclusive")
+		os.Exit(1)
+	}
+	if *resultPlane && *pull != "" {
+		fmt.Fprintln(os.Stderr, "dramlockerd: -result-plane and -pull are mutually exclusive (a plane serves; a pull worker attaches with -plane)")
+		os.Exit(1)
+	}
+	if *planeAddr != "" && (*broker || *resultPlane) {
+		fmt.Fprintln(os.Stderr, "dramlockerd: -plane attaches a worker to a plane; server modes use -result-plane")
 		os.Exit(1)
 	}
 	var faults *faultinject.Injector
@@ -137,7 +168,8 @@ func main() {
 		maxSubmitRate:       *maxSubmitRate,
 		maxSubmitRateTenant: *maxSubmitRateTenant,
 	}
-	err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf, faults)
+	pf := planeFlags{serve: *resultPlane, dir: *planeDir, attach: *planeAddr}
+	err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf, pf, faults)
 	// The exit receipt: how many backoff delays the process took and
 	// which injected faults actually landed. The chaos gate parses this
 	// line to bound retry storms.
@@ -146,6 +178,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// planeFlags carries the result-plane flags: serve (the plane server,
+// standalone or co-hosted), dir (its persistence), attach (a worker's
+// upstream plane).
+type planeFlags struct {
+	serve  bool
+	dir    string
+	attach string
 }
 
 // brokerFlags carries the -broker mode's tuning flags.
@@ -161,7 +202,7 @@ type brokerFlags struct {
 	maxSubmitRateTenant string
 }
 
-func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags, faults *faultinject.Injector) error {
+func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags, pf planeFlags, faults *faultinject.Injector) error {
 	var err error
 	if name == "" {
 		if name, err = os.Hostname(); err != nil || name == "" {
@@ -188,7 +229,7 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 		if err != nil {
 			return err
 		}
-		return runBroker(ctx, stop, addr, name, bf, queue.Config{
+		return runBroker(ctx, stop, addr, name, bf, pf, queue.Config{
 			LeaseTTL:            bf.leaseTTL,
 			HedgeAfter:          bf.hedgeAfter,
 			Weights:             w,
@@ -197,6 +238,9 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 			MaxSubmitRate:       bf.maxSubmitRate,
 			MaxSubmitRateTenant: rates,
 		}, faults)
+	}
+	if pf.serve {
+		return runPlane(ctx, stop, addr, name, pf, faults)
 	}
 
 	reg, err := experiments.BuildRegistry(experiments.SplitList(preset))
@@ -209,11 +253,16 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 		if faults != nil {
 			client = &http.Client{Transport: &faultinject.Transport{Inj: faults}}
 		}
-		w := remote.NewPullWorker(pull, reg, remote.WorkerOptions{
+		opts := remote.WorkerOptions{
 			Name:     name,
 			Capacity: capacity,
 			Client:   client,
-		})
+		}
+		if pf.attach != "" {
+			opts.Executor = planeExecutor(reg, name, pf.attach, faults)
+			log.Printf("dramlockerd %q attached to result plane %s", name, pf.attach)
+		}
+		w := remote.NewPullWorker(pull, reg, opts)
 		log.Printf("dramlockerd %q pulling from broker %s (%d jobs, capacity %d, proto %s)",
 			name, pull, reg.Len(), capacity, remote.ProtoVersion)
 		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
@@ -231,6 +280,10 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 		return err
 	}
 	ws := remote.NewServer(reg, name, capacity)
+	if pf.attach != "" {
+		ws.SetExecutor(planeExecutor(reg, name, pf.attach, faults))
+		log.Printf("dramlockerd %q attached to result plane %s", name, pf.attach)
+	}
 	srv := &http.Server{Handler: faultinject.Middleware(ws, faults)}
 
 	errCh := make(chan error, 1)
@@ -262,7 +315,7 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 // journal dir the backlog is crash-safe: submissions, completions and
 // cancels are journaled (fsynced before the reply) and replayed on the
 // next startup.
-func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, bf brokerFlags, cfg queue.Config, faults *faultinject.Injector) error {
+func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, bf brokerFlags, pf planeFlags, cfg queue.Config, faults *faultinject.Injector) error {
 	journalDir := bf.journalDir
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -277,6 +330,17 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 		jl.SetFaults(faults)
 		cfg.Journal = jl
 	}
+	// Co-hosted result plane: the /v3 object routes share the broker's
+	// listener, and the broker answers fully cached tasks from the store
+	// at submit — zero leases for warm work.
+	var store *resultplane.Store
+	if pf.serve {
+		if store, err = openPlaneStore(pf.dir); err != nil {
+			return err
+		}
+		defer store.Close()
+		cfg.Plane = &resultplane.StorePlane{S: store, Version: experiments.CacheVersion}
+	}
 	b := queue.New(cfg)
 	if m := b.Metrics(); m.Journal != nil {
 		log.Printf("dramlockerd: journal %s: replayed %d jobs / %d tasks (%d requeued, %d completed, %d lines skipped)",
@@ -284,7 +348,17 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 			m.Journal.Requeued, m.Completed, m.Journal.Skipped)
 	}
 	bs := remote.NewBrokerServer(b, name)
-	srv := &http.Server{Handler: faultinject.Middleware(bs, faults)}
+	var handler http.Handler = bs
+	if store != nil {
+		bs.SetPlaneMetrics(store.Metrics)
+		mux := http.NewServeMux()
+		resultplane.NewServer(store, name).Routes(mux)
+		mux.Handle("/", bs)
+		handler = mux
+		log.Printf("dramlockerd %q co-hosting result plane (%d entries, version %s)",
+			name, store.Metrics().Entries, experiments.CacheVersion)
+	}
+	srv := &http.Server{Handler: faultinject.Middleware(handler, faults)}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -305,6 +379,69 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 		return err
 	}
 	return nil
+}
+
+// runPlane serves a standalone result plane until a signal. The plane
+// has no drain protocol — entries are immutable objects and every
+// client degrades to local compute when it vanishes — so shutdown just
+// stops the listener and seals the store.
+func runPlane(ctx context.Context, stop context.CancelFunc, addr, name string, pf planeFlags, faults *faultinject.Injector) error {
+	store, err := openPlaneStore(pf.dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ps := resultplane.NewServer(store, name)
+	srv := &http.Server{Handler: faultinject.Middleware(ps.Handler(), faults)}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("dramlockerd %q result plane on %s (%d entries, version %s, proto %s)",
+		name, ln.Addr(), store.Metrics().Entries, experiments.CacheVersion, remote.ProtoVersion)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("dramlockerd: result plane shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// openPlaneStore opens the plane store, persistent when dir is set.
+func openPlaneStore(dir string) (*resultplane.Store, error) {
+	if dir == "" {
+		return resultplane.NewStore(), nil
+	}
+	return resultplane.Open(dir)
+}
+
+// planeExecutor stacks the plane-attached cache over the local
+// executor: plane first, in-process cache second, compute last, with
+// computed results written through and the plane's claim API keeping
+// each key's computation single-flighted across the whole fleet.
+func planeExecutor(reg *engine.Registry, name, addr string, faults *faultinject.Injector) engine.Executor {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := resultplane.NewClient(base, experiments.CacheVersion)
+	if faults != nil {
+		c.HTTPClient = &http.Client{Transport: &faultinject.Transport{Inj: faults}}
+	}
+	cache := engine.NewCache()
+	cache.SetRemote(&resultplane.EngineCache{C: c})
+	return &engine.CachingExecutor{Exec: engine.NewNamedLocalExecutor(reg, name), Cache: cache}
 }
 
 // parseTenantInts parses the shared "tenant=N[,tenant=N...]" syntax

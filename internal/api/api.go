@@ -65,6 +65,13 @@ type TaskSpec struct {
 	// typically "<experiment>@<preset hash>"). The executing side must
 	// verify its registry derived the same key before running.
 	Key string `json:"key,omitempty"`
+	// CacheKey is the fully seeded cache key this task's result is
+	// stored under ("<stem>[/<shard>]#<base seed>"). Optional: when
+	// set, a cache-aware broker can answer the task from the result
+	// plane without granting a lease, and a plane-attached worker can
+	// check/populate the shared cache. It must extend Key — executors
+	// refuse a CacheKey whose stem their registry did not derive.
+	CacheKey string `json:"cache_key,omitempty"`
 }
 
 // Validate checks the spec is well-formed and speaks this protocol

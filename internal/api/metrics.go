@@ -33,6 +33,9 @@ type BrokerMetrics struct {
 	// RateLimited counts job submissions refused by the token-bucket
 	// rate limiter (rate_limited; the client retries after Retry-After).
 	RateLimited int `json:"rate_limited"`
+	// PlaneHits counts tasks the broker completed straight from the
+	// result plane at submit time — no lease was ever granted.
+	PlaneHits int `json:"plane_hits"`
 
 	// Goroutines is the broker process's current goroutine count; the
 	// chaos gate compares it before and after a soak to catch leaks.
@@ -40,8 +43,29 @@ type BrokerMetrics struct {
 
 	// Journal is present only when the broker runs with a journal.
 	Journal *JournalMetrics `json:"journal,omitempty"`
+	// Plane is present only when a result plane is co-hosted with the
+	// broker (its counters; a standalone plane serves the same shape
+	// from its own /v2/metrics).
+	Plane *PlaneMetrics `json:"plane,omitempty"`
 	// Tenants lists every tenant the broker has seen, sorted by name.
 	Tenants []TenantMetrics `json:"tenants,omitempty"`
+	// Leases lists every active lease with its progress age, oldest
+	// lease first — the scrape-side "stuck task" signal.
+	Leases []LeaseMetrics `json:"leases,omitempty"`
+}
+
+// LeaseMetrics is one active lease's age gauges.
+type LeaseMetrics struct {
+	// Lease is the lease id; Worker the holder's advertised name; Task
+	// the "<job>[<shard>]" it covers.
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+	Task   string `json:"task"`
+	// AgeNS is time since the grant; ProgressAgeNS time since the
+	// worker's latest progress heartbeat (equals AgeNS before the
+	// first heartbeat).
+	AgeNS         int64 `json:"age_ns"`
+	ProgressAgeNS int64 `json:"progress_age_ns"`
 }
 
 // JournalMetrics counts journal activity: write-side totals since the

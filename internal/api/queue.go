@@ -215,6 +215,11 @@ type LeaseRenew struct {
 	Proto    string   `json:"proto"`
 	WorkerID string   `json:"worker_id"`
 	LeaseIDs []string `json:"lease_ids"`
+	// Progress, keyed by lease id, piggybacks the worker's latest
+	// per-task heartbeat on the renewal it was already sending — live
+	// progress costs zero extra requests. Optional; leases absent from
+	// the map keep their previous progress.
+	Progress map[string]*TaskProgress `json:"progress,omitempty"`
 }
 
 // RenewReply maps each still-active lease id to its new deadline. A

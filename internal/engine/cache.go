@@ -1,6 +1,27 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
+
+// RemoteCache is a shared result tier behind the process-local Cache —
+// the seam the fleet-wide result plane plugs into. Implementations are
+// consulted after the local tiers miss and written through on every new
+// success, and they must degrade, never fail: an unreachable backend
+// looks like a miss (Lookup/Acquire) or a no-op (Store), so the worst
+// case is recomputing locally — never a wrong or missing result.
+type RemoteCache interface {
+	// Lookup fetches key's result without claiming anything.
+	Lookup(ctx context.Context, key string) (Result, bool)
+	// Acquire resolves who computes key fleet-wide: a true return hands
+	// back a stored result (possibly after waiting out another
+	// machine's in-flight computation); a false return means the caller
+	// now owns the computation — it must compute and Store.
+	Acquire(ctx context.Context, key string) (Result, bool)
+	// Store writes through one newly computed success.
+	Store(ctx context.Context, key string, r Result)
+}
 
 // Cache memoises successful job results across runs. Keys come from
 // Job.Key (experiment id + preset hash), so editing a preset knob
@@ -9,7 +30,9 @@ import "sync"
 // computed waits for that computation instead of duplicating it
 // (single-flight). A Cache from NewCache lives in one process; one from
 // OpenDiskCache is additionally backed by an append-only JSON-lines file
-// shared across processes.
+// shared across processes; SetRemote adds a third, fleet-wide tier
+// (lookup order: memory, then remote; new successes write through to
+// both disk and remote).
 type Cache struct {
 	mu       sync.Mutex
 	m        map[string]Result
@@ -18,11 +41,28 @@ type Cache struct {
 	// persistent backend). Appends happen outside mu: the store has its
 	// own lock, and a slow disk must not stall in-memory lookups.
 	store *diskStore
+	// remote, when non-nil, is the fleet-wide tier. All remote calls
+	// happen outside mu — they block on the network.
+	remote RemoteCache
 }
 
 // NewCache returns an empty in-process result cache.
 func NewCache() *Cache {
 	return &Cache{m: make(map[string]Result), inflight: make(map[string]chan struct{})}
+}
+
+// SetRemote attaches the fleet-wide tier (nil detaches it).
+func (c *Cache) SetRemote(rc RemoteCache) {
+	c.mu.Lock()
+	c.remote = rc
+	c.mu.Unlock()
+}
+
+// remoteTier snapshots the remote backend under the lock.
+func (c *Cache) remoteTier() RemoteCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
 }
 
 // Len reports how many results are cached.
@@ -49,23 +89,59 @@ func (c *Cache) Close() error {
 }
 
 // peek returns the cached result for key without claiming the key for
-// computation (no single-flight bookkeeping).
-func (c *Cache) peek(key string) (Result, bool) {
+// computation (no single-flight bookkeeping). A local miss consults the
+// remote tier; a remote hit is admitted into the local tiers so the
+// next lookup is local.
+func (c *Cache) peek(ctx context.Context, key string) (Result, bool) {
 	if c == nil || key == "" {
 		return Result{}, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	r, ok := c.m[key]
-	return r, ok
+	rem := c.remote
+	c.mu.Unlock()
+	if ok {
+		return r, true
+	}
+	if rem == nil {
+		return Result{}, false
+	}
+	r, ok = rem.Lookup(ctx, key)
+	if !ok {
+		return Result{}, false
+	}
+	c.admit(key, r)
+	return r, true
+}
+
+// admit records a remote-fetched result in the local tiers (memory and
+// disk) without touching single-flight state and without echoing it
+// back to the remote.
+func (c *Cache) admit(key string, r Result) {
+	if r.Err != "" {
+		return
+	}
+	c.mu.Lock()
+	var store *diskStore
+	if _, dup := c.m[key]; !dup {
+		store = c.store
+		c.m[key] = r
+	}
+	c.mu.Unlock()
+	if store != nil {
+		store.append(key, r)
+	}
 }
 
 // begin claims key for computation. It returns the cached result on a
 // hit; otherwise, if another goroutine is already computing the key, it
-// waits for that computation and retries. A (Result{}, false) return
-// means the caller owns the computation and must call finish(key, ...)
-// exactly once.
-func (c *Cache) begin(key string) (Result, bool) {
+// waits for that computation and retries. Once the claim is won locally
+// the remote tier arbitrates fleet-wide: a stored result (or one
+// another machine finishes while we wait on its claim) comes back as a
+// hit, and only a fleet-wide claim falls through to compute. A
+// (Result{}, false) return means the caller owns the computation and
+// must call finish(key, ...) exactly once.
+func (c *Cache) begin(ctx context.Context, key string) (Result, bool) {
 	if c == nil || key == "" {
 		return Result{}, false
 	}
@@ -77,8 +153,19 @@ func (c *Cache) begin(key string) (Result, bool) {
 		}
 		ch, busy := c.inflight[key]
 		if !busy {
+			rem := c.remote
 			c.inflight[key] = make(chan struct{})
 			c.mu.Unlock()
+			if rem != nil {
+				if r, ok := rem.Acquire(ctx, key); ok {
+					// Another machine's result: admit it locally and
+					// release our waiters through the normal path. The
+					// remote is not re-written — finishLocal never
+					// touches it.
+					c.finishLocal(key, r)
+					return r, true
+				}
+			}
 			return Result{}, false
 		}
 		c.mu.Unlock()
@@ -91,16 +178,33 @@ func (c *Cache) begin(key string) (Result, bool) {
 // finish records a computed result under key. Failures are not cached,
 // so a flaky job re-runs; waiters claimed via begin are released either
 // way. finish is also safe without a prior begin (sharded merges store
-// their assembled result directly).
+// their assembled result directly). New successes write through to the
+// remote tier, making them visible fleet-wide.
 func (c *Cache) finish(key string, r Result) {
 	if c == nil || key == "" {
 		return
 	}
+	if c.finishLocal(key, r) {
+		if rem := c.remoteTier(); rem != nil {
+			rem.Store(context.Background(), key, r)
+		}
+	}
+}
+
+// finishLocal is finish without the remote write-through (used to admit
+// results that came from the remote). It reports whether the result was
+// newly stored (a success not previously cached).
+func (c *Cache) finishLocal(key string, r Result) bool {
+	if c == nil || key == "" {
+		return false
+	}
 	c.mu.Lock()
 	var store *diskStore
+	stored := false
 	if r.Err == "" {
 		if _, dup := c.m[key]; !dup {
 			store = c.store
+			stored = true
 		}
 		c.m[key] = r
 	}
@@ -112,4 +216,5 @@ func (c *Cache) finish(key string, r Result) {
 	if store != nil {
 		store.append(key, r)
 	}
+	return stored
 }

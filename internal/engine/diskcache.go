@@ -9,13 +9,17 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/api"
 )
 
 // The persistent cache is one append-only JSON-lines file,
-// <dir>/results.jsonl. Each line is a diskEntry: a version stamp, the
-// cache key (already embedding experiment id, preset hash and base
-// seed), and the result. Invalidation is by construction, never by
-// mutation: a changed preset hashes to a new key, and a bumped code
+// <dir>/results.jsonl. Each line is an api.CacheEntry: a version stamp,
+// the cache key (already embedding experiment id, preset hash and base
+// seed), and the result. The same entry shape travels to the result
+// plane (internal/resultplane), so a plane object and a disk-cache line
+// are interchangeable records. Invalidation is by construction, never
+// by mutation: a changed preset hashes to a new key, and a bumped code
 // version makes the loader skip every older line. Corrupt lines —
 // truncated tails from a killed process, editor damage, garbage — are
 // skipped on load, so damage degrades to cache misses, never to errors.
@@ -25,59 +29,51 @@ import (
 // whole lines rather than corrupting each other.
 
 // diskFormatVersion stamps the file layout itself; bump on any change to
-// diskEntry. Callers compose their own code-version on top via the
+// api.CacheEntry. Callers compose their own code-version on top via the
 // version argument of OpenDiskCache.
 const diskFormatVersion = "rescache1"
 
 // diskCacheFile is the JSON-lines file name inside the cache dir.
 const diskCacheFile = "results.jsonl"
 
-// diskEntry is one persisted line.
-type diskEntry struct {
-	Version string          `json:"version"`
-	Key     string          `json:"key"`
-	Result  persistedResult `json:"result"`
+// CacheVersionTag composes the full version stamp cache entries carry:
+// the entry-layout version plus the caller's code version. Disk caches
+// and the result plane must agree on it, so both derive it here.
+func CacheVersionTag(version string) string {
+	return diskFormatVersion + "/" + version
 }
 
-// persistedResult mirrors Result with Data held as raw JSON, so a
-// replayed payload re-marshals byte-identically to the original (struct
-// field order preserved) and DecodeData can hand merges typed values.
-type persistedResult struct {
-	Name     string          `json:"name"`
-	Title    string          `json:"title,omitempty"`
-	Text     string          `json:"text,omitempty"`
-	Data     json.RawMessage `json:"data,omitempty"`
-	Err      string          `json:"error,omitempty"`
-	Seed     uint64          `json:"seed"`
-	Duration time.Duration   `json:"duration_ns"`
-}
-
-func toPersisted(r Result) (persistedResult, error) {
-	pr := persistedResult{
+// ToCachedResult converts a Result into its persisted wire form,
+// normalising Data to raw JSON so a replayed payload re-marshals
+// byte-identically to the original.
+func ToCachedResult(r Result) (api.CachedResult, error) {
+	cr := api.CachedResult{
 		Name: r.Name, Title: r.Title, Text: r.Text,
-		Err: r.Err, Seed: r.Seed, Duration: r.Duration,
+		Err: r.Err, Seed: r.Seed, DurationNS: r.Duration.Nanoseconds(),
 	}
 	switch d := r.Data.(type) {
 	case nil:
 	case json.RawMessage:
-		pr.Data = d
+		cr.Data = d
 	default:
 		b, err := json.Marshal(d)
 		if err != nil {
-			return persistedResult{}, err
+			return api.CachedResult{}, err
 		}
-		pr.Data = b
+		cr.Data = b
 	}
-	return pr, nil
+	return cr, nil
 }
 
-func (pr persistedResult) toResult() Result {
+// FromCachedResult converts a persisted result back into the scheduler's
+// in-memory form.
+func FromCachedResult(cr api.CachedResult) Result {
 	r := Result{
-		Name: pr.Name, Title: pr.Title, Text: pr.Text,
-		Err: pr.Err, Seed: pr.Seed, Duration: pr.Duration,
+		Name: cr.Name, Title: cr.Title, Text: cr.Text,
+		Err: cr.Err, Seed: cr.Seed, Duration: time.Duration(cr.DurationNS),
 	}
-	if len(pr.Data) > 0 {
-		r.Data = json.RawMessage(pr.Data)
+	if len(cr.Data) > 0 {
+		r.Data = json.RawMessage(cr.Data)
 	}
 	return r
 }
@@ -96,11 +92,11 @@ func (s *diskStore) append(key string, r Result) {
 	if r.Err != "" {
 		return
 	}
-	pr, err := toPersisted(r)
+	cr, err := ToCachedResult(r)
 	if err != nil {
 		return
 	}
-	line, err := json.Marshal(diskEntry{Version: s.version, Key: key, Result: pr})
+	line, err := json.Marshal(api.CacheEntry{Version: s.version, Key: key, Result: cr})
 	if err != nil {
 		return
 	}
@@ -137,7 +133,7 @@ func OpenDiskCache(dir, version string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: create cache dir: %w", err)
 	}
-	full := diskFormatVersion + "/" + version
+	full := CacheVersionTag(version)
 	path := filepath.Join(dir, diskCacheFile)
 
 	c := NewCache()
@@ -169,14 +165,14 @@ func loadDiskCache(c *Cache, path, version string) {
 		if len(line) == 0 {
 			continue
 		}
-		var e diskEntry
+		var e api.CacheEntry
 		if err := json.Unmarshal(line, &e); err != nil {
 			continue
 		}
 		if e.Version != version || e.Key == "" || e.Result.Err != "" {
 			continue
 		}
-		c.m[e.Key] = e.Result.toResult()
+		c.m[e.Key] = FromCachedResult(e.Result)
 	}
 	// A scanner error (e.g. an over-long corrupt line) abandons the rest
 	// of the file; everything loaded so far stays usable.

@@ -60,6 +60,44 @@ type Context struct {
 	// a Context built by hand in tests may leave it nil, so poll via
 	// Canceled rather than Ctx directly.
 	Ctx context.Context
+	// Progress, when non-nil, receives coarse heartbeats from long
+	// phases (epochs, search iterations). Jobs report via Report, which
+	// tolerates a nil callback, so instrumented code costs nothing when
+	// nobody is listening. Callbacks must be cheap and non-blocking —
+	// they run on the job's goroutine.
+	Progress func(stage string, done, total int)
+}
+
+// Report emits one progress heartbeat, if anyone is listening. done of
+// total units of the named stage are complete (total 0 = unknown).
+func (c Context) Report(stage string, done, total int) {
+	if c.Progress != nil {
+		c.Progress(stage, done, total)
+	}
+}
+
+// progressKey keys the progress reporter in a context.Context.
+type progressKey struct{}
+
+// WithProgress returns a context carrying a progress reporter. The
+// executor attaches the job's reporter to Context.Ctx with it, so
+// library code that only receives the cancellation context (e.g. a
+// training loop behind several call layers) can still heartbeat.
+func WithProgress(ctx context.Context, f func(stage string, done, total int)) context.Context {
+	if ctx == nil || f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, f)
+}
+
+// ProgressFromContext extracts the reporter installed by WithProgress,
+// or nil when nobody is listening.
+func ProgressFromContext(ctx context.Context) func(stage string, done, total int) {
+	if ctx == nil {
+		return nil
+	}
+	f, _ := ctx.Value(progressKey{}).(func(stage string, done, total int))
+	return f
 }
 
 // Canceled reports the run's cancellation error, if any. Long-running

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -22,6 +24,20 @@ import (
 // the scheduler records it as the job's outcome.
 type Executor interface {
 	Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error)
+}
+
+// ProgressFunc receives progress heartbeats during a streaming execute.
+// Implementations are called from the task's goroutine and must be
+// cheap; heartbeats are advisory and may be dropped.
+type ProgressFunc func(api.TaskProgress)
+
+// StreamExecutor is an Executor that can additionally report progress
+// while a task runs — the seam the streaming execute transport and the
+// fleet view build on. Transports probe for it with a type assertion,
+// so plain Executors keep working unchanged.
+type StreamExecutor interface {
+	Executor
+	ExecuteStream(ctx context.Context, spec api.TaskSpec, onProgress ProgressFunc) (api.TaskResult, error)
 }
 
 // LocalExecutor resolves tasks against an in-process Registry and runs
@@ -52,6 +68,18 @@ func NewNamedLocalExecutor(reg *Registry, name string) *LocalExecutor {
 // run the task" from "the task failed", and key retry policy off
 // api.Error.Retryable.
 func (e *LocalExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	return e.ExecuteStream(ctx, spec, nil)
+}
+
+// progressInterval floors the gap between forwarded heartbeats so a
+// tight training loop reporting every iteration does not flood the
+// stream. Terminal heartbeats (done == total) always pass.
+const progressInterval = 100 * time.Millisecond
+
+// ExecuteStream is Execute with progress: heartbeats the job emits via
+// Context.Report are throttled and forwarded to onProgress (nil
+// disables forwarding, making this identical to Execute).
+func (e *LocalExecutor) ExecuteStream(ctx context.Context, spec api.TaskSpec, onProgress ProgressFunc) (api.TaskResult, error) {
 	if err := spec.Validate(); err != nil {
 		return api.TaskResult{}, err
 	}
@@ -79,7 +107,29 @@ func (e *LocalExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 
 	res := api.TaskResult{Proto: api.Version, Job: spec.Job, Shard: spec.Shard, Key: j.Key, Worker: e.name}
 	start := time.Now()
-	out, err := runProtected(run, Context{Name: name, Seed: spec.Seed, Ctx: ctx})
+	jctx := Context{Name: name, Seed: spec.Seed, Ctx: ctx}
+	if onProgress != nil {
+		var mu sync.Mutex
+		var last time.Time
+		jctx.Progress = func(stage string, done, total int) {
+			now := time.Now()
+			mu.Lock()
+			if now.Sub(last) < progressInterval && !(total > 0 && done >= total) {
+				mu.Unlock()
+				return
+			}
+			last = now
+			mu.Unlock()
+			onProgress(api.TaskProgress{
+				Job: spec.Job, Shard: spec.Shard, Stage: stage,
+				Done: done, Total: total, ElapsedNS: time.Since(start).Nanoseconds(),
+			})
+		}
+		// Library code below the job (training loops) sees only the
+		// cancellation context, so carry the reporter on it too.
+		jctx.Ctx = WithProgress(ctx, jctx.Progress)
+	}
+	out, err := runProtected(run, jctx)
 	res.DurationNS = time.Since(start).Nanoseconds()
 	if err != nil {
 		res.Err = err.Error()
@@ -92,6 +142,88 @@ func (e *LocalExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Tas
 		res.Text, res.Data = "", nil
 	}
 	return res, nil
+}
+
+// CachingExecutor wraps an executor with a Cache consulted under the
+// task's fully seeded CacheKey — the worker-side cache stack. With a
+// disk-backed Cache carrying a remote tier this gives a daemon the full
+// plane → local disk → compute lookup order, single-flighted both
+// in-process and fleet-wide, with computed results written through to
+// every tier. Tasks without a CacheKey pass straight through.
+type CachingExecutor struct {
+	// Exec runs tasks that miss; Cache is the stack (never nil).
+	Exec  Executor
+	Cache *Cache
+}
+
+// Execute implements Executor with the cache consulted first.
+func (e *CachingExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	return e.ExecuteStream(ctx, spec, nil)
+}
+
+// ExecuteStream implements StreamExecutor; replays report no progress.
+func (e *CachingExecutor) ExecuteStream(ctx context.Context, spec api.TaskSpec, onProgress ProgressFunc) (api.TaskResult, error) {
+	key := spec.CacheKey
+	if key == "" || e.Cache == nil {
+		return e.dispatch(ctx, spec, onProgress)
+	}
+	// The seeded key must extend the stem the registry check vouches
+	// for; otherwise a confused scheduler could poison the shared cache
+	// under a key this worker's code never derived.
+	if spec.Key == "" || !strings.HasPrefix(key, spec.Key) {
+		return api.TaskResult{}, api.Errf(api.CodeKeyMismatch,
+			"task %q cache key %q does not extend stem %q", spec.Job, key, spec.Key)
+	}
+	if r, hit := e.Cache.begin(ctx, key); hit {
+		return replayedTaskResult(spec, r)
+	}
+	tr, err := e.dispatch(ctx, spec, onProgress)
+	if err != nil || tr.Err != "" {
+		// Release single-flight waiters without caching the failure.
+		msg := tr.Err
+		if err != nil {
+			msg = err.Error()
+		}
+		e.Cache.finish(key, Result{Err: msg})
+		return tr, err
+	}
+	e.Cache.finish(key, Result{
+		Name: taskName(spec), Seed: spec.Seed, Text: tr.Text,
+		Data: tr.Data, Duration: time.Duration(tr.DurationNS),
+	})
+	return tr, nil
+}
+
+func (e *CachingExecutor) dispatch(ctx context.Context, spec api.TaskSpec, onProgress ProgressFunc) (api.TaskResult, error) {
+	if se, ok := e.Exec.(StreamExecutor); ok && onProgress != nil {
+		return se.ExecuteStream(ctx, spec, onProgress)
+	}
+	return e.Exec.Execute(ctx, spec)
+}
+
+// taskName renders a task's unit name for cached diagnostics. Shard
+// names are not resolvable here (the wrapper is registry-agnostic), so
+// shards use their index; replays re-stamp names, and plane payload
+// equivalence ignores them, so the difference is cosmetic.
+func taskName(spec api.TaskSpec) string {
+	if spec.Shard == api.MonolithShard {
+		return spec.Job
+	}
+	return fmt.Sprintf("%s/#%d", spec.Job, spec.Shard)
+}
+
+// replayedTaskResult renders a cached result as the task's reply.
+func replayedTaskResult(spec api.TaskSpec, r Result) (api.TaskResult, error) {
+	tr := api.TaskResult{
+		Proto: api.Version, Job: spec.Job, Shard: spec.Shard, Key: spec.Key,
+		Text: r.Text, Err: r.Err, DurationNS: r.Duration.Nanoseconds(), Worker: "cache",
+	}
+	data, err := marshalPayload(r.Data)
+	if err != nil {
+		return api.TaskResult{}, err
+	}
+	tr.Data = data
+	return tr, nil
 }
 
 // marshalPayload normalises a job's Data into raw JSON for the wire and

@@ -89,7 +89,7 @@ func Run(reg *Registry, opts Options) (*Report, error) {
 			})
 			continue
 		}
-		if cached, hit := opts.Cache.peek(seededKey(j.Key, opts.BaseSeed)); hit {
+		if cached, hit := opts.Cache.peek(ctx, seededKey(j.Key, opts.BaseSeed)); hit {
 			cached.Name, cached.Title, cached.Cached = j.Name, j.Title, true
 			cached.Seed = JobSeed(opts.BaseSeed, j.Name)
 			rep.Results[i] = cached
@@ -174,14 +174,14 @@ func runOne(ctx context.Context, exec Executor, j Job, opts Options) Result {
 	res := Result{Name: j.Name, Title: j.Title, Seed: JobSeed(opts.BaseSeed, j.Name)}
 
 	key := seededKey(j.Key, opts.BaseSeed)
-	if cached, hit := opts.Cache.begin(key); hit {
+	if cached, hit := opts.Cache.begin(ctx, key); hit {
 		// Replay under this job's own identity; the payload is shared,
 		// the metadata is not.
 		cached.Name, cached.Title, cached.Seed, cached.Cached = j.Name, j.Title, res.Seed, true
 		return cached
 	}
 
-	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: api.MonolithShard, Seed: res.Seed, Key: j.Key}
+	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: api.MonolithShard, Seed: res.Seed, Key: j.Key, CacheKey: key}
 	out, errStr, d := executeTask(ctx, exec, spec)
 	res.Duration = d
 	if errStr != "" {

@@ -81,11 +81,11 @@ func runShard(ctx context.Context, exec Executor, j Job, si int, st *shardState,
 	if j.Key != "" {
 		key = seededKey(j.Key+"/"+sh.Name, opts.BaseSeed)
 	}
-	if cached, hit := opts.Cache.begin(key); hit {
+	if cached, hit := opts.Cache.begin(ctx, key); hit {
 		return st.record(si, Output{Text: cached.Text, Data: cached.Data}, "", cached.Duration, true)
 	}
 
-	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: si, Seed: seed, Key: j.Key}
+	spec := api.TaskSpec{Proto: api.Version, Job: j.Name, Shard: si, Seed: seed, Key: j.Key, CacheKey: key}
 	out, errStr, d := executeTask(ctx, exec, spec)
 	res := Result{Name: name, Seed: seed, Duration: d, Err: errStr}
 	if errStr == "" {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/quant"
 )
@@ -88,6 +89,9 @@ func TrainVictimCtx(ctx context.Context, p Preset, arch Arch, classes, bits int,
 	tc.Seed = p.Seed + 11
 	tc.Regularizer = reg
 	tc.Stop = ctx.Err
+	if rep := engine.ProgressFromContext(ctx); rep != nil {
+		tc.OnEpoch = func(done, total int) { rep("train", done, total) }
+	}
 	if bits == 1 {
 		// Binary-weight defenses are trained binarization-aware (STE);
 		// binarizing a float-trained model post hoc destroys it.

@@ -144,6 +144,10 @@ type TrainConfig struct {
 	// far). The experiment harness wires it to the run's cancellation
 	// context so Ctrl-C interrupts an in-flight victim training.
 	Stop func() error
+	// OnEpoch, if non-nil, is called after each completed epoch with
+	// (done, total) — the experiment harness wires it to the engine's
+	// progress stream so remote schedulers see live epoch heartbeats.
+	OnEpoch func(done, total int)
 }
 
 // PiecewiseClusteringReg returns the piece-wise clustering regularizer of
@@ -264,6 +268,9 @@ func Fit(m *Model, train BatchSource, cfg TrainConfig) float64 {
 		if cfg.Logf != nil {
 			cfg.Logf("epoch %d/%d loss %.4f lr %.4f", epoch+1, cfg.Epochs, lastLoss, opt.LR)
 		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch+1, cfg.Epochs)
+		}
 	}
 	return lastLoss
 }
@@ -324,6 +331,9 @@ func FitProjected(m *Model, train BatchSource, cfg TrainConfig, project func(par
 		lastLoss = epochLoss / float64(n)
 		if cfg.Logf != nil {
 			cfg.Logf("epoch %d/%d loss %.4f lr %.4f", epoch+1, cfg.Epochs, lastLoss, opt.LR)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch+1, cfg.Epochs)
 		}
 	}
 	return lastLoss

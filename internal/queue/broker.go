@@ -61,6 +61,17 @@ const (
 	defaultJobRetention = 10 * time.Minute
 )
 
+// ResultPlane is the broker's read-side view of the fleet result store
+// (internal/resultplane): Lookup answers a task's fully seeded cache
+// key with the persisted result, if the plane holds one. The broker
+// consults it at submit time and completes already-computed tasks
+// without ever granting a lease. Implementations must degrade — a dead
+// plane looks like a miss — and must tolerate being called outside any
+// broker lock (lookups block on the network).
+type ResultPlane interface {
+	Lookup(ctx context.Context, key string) (api.CachedResult, bool)
+}
+
 // Config tunes a Broker. The zero value is usable.
 type Config struct {
 	// LeaseTTL is the lease duration; 0 means DefaultLeaseTTL.
@@ -103,6 +114,11 @@ type Config struct {
 	// grants, completions and cancels are journaled (see OpenJournal),
 	// and New replays + compacts the journal before serving.
 	Journal *Journal
+	// Plane, when non-nil, makes the broker cache-aware: cache-keyed
+	// tasks are looked up in the result plane at submit time, and hits
+	// complete immediately (journaled like worker results) without a
+	// lease. A fully plane-resident job finishes with zero workers.
+	Plane ResultPlane
 	// Now is the clock; nil means time.Now. Tests inject a fake.
 	Now func() time.Time
 }
@@ -134,6 +150,9 @@ type Stats struct {
 	// RateLimited counts job submissions refused by the token-bucket
 	// rate limiter (rate_limited).
 	RateLimited int
+	// PlaneHits counts tasks completed straight from the result plane at
+	// submit time (no lease ever granted).
+	PlaneHits int
 }
 
 type taskState uint8
@@ -213,6 +232,11 @@ type lease struct {
 	// their job is swept) so a late TaskDone is recognised as a duplicate
 	// instead of an unknown lease.
 	active bool
+	// progress is the worker's latest heartbeat for this lease
+	// (piggybacked on renewals); progressAt is when it arrived, seeded
+	// with the grant time so progress age starts at lease age.
+	progress   *api.TaskProgress
+	progressAt time.Time
 }
 
 // workerRec is one live registration.
@@ -390,20 +414,60 @@ func (b *Broker) tenantFor(name string) *tenantQ {
 // Submit enqueues a job and returns its id. Admission control may
 // reject it with queue_full (retryable); journaled brokers fsync the
 // submission before replying, so an acknowledged job survives a crash.
+// On a cache-aware broker, tasks the result plane already holds are
+// completed at submit and never queue.
 func (b *Broker) Submit(s api.JobSubmit) (api.SubmitReply, error) {
 	if err := s.Validate(); err != nil {
 		return api.SubmitReply{}, err
 	}
+	hits := b.prefetchPlane(s)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sweep()
-	id, err := b.submitLocked(s)
+	id, err := b.submitLocked(s, hits)
 	if err != nil {
 		return api.SubmitReply{}, err
 	}
 	b.journalSyncLocked()
 	b.wakeAll()
 	return api.SubmitReply{Proto: api.Version, ID: id}, nil
+}
+
+// prefetchPlane consults the result plane for every cache-keyed task of
+// a validated submission. It runs outside b.mu — lookups block on the
+// network — and any failure (or an error-carrying entry) is a miss.
+func (b *Broker) prefetchPlane(s api.JobSubmit) map[int]api.CachedResult {
+	p := b.cfg.Plane
+	if p == nil {
+		return nil
+	}
+	var hits map[int]api.CachedResult
+	for i, spec := range s.Tasks {
+		if spec.CacheKey == "" {
+			continue
+		}
+		cr, ok := p.Lookup(context.Background(), spec.CacheKey)
+		if !ok || cr.Err != "" {
+			continue
+		}
+		if hits == nil {
+			hits = make(map[int]api.CachedResult)
+		}
+		hits[i] = cr
+	}
+	return hits
+}
+
+// planeResult synthesizes the TaskResult for a submit-time plane hit:
+// spec fields are echoed (so Validate passes on the scheduler side) and
+// the worker stamp names the plane, making replayed completions
+// distinguishable in reports and logs.
+func planeResult(spec api.TaskSpec, cr api.CachedResult) api.TaskResult {
+	return api.TaskResult{
+		Proto: api.Version, Job: spec.Job, Shard: spec.Shard, Key: spec.Key,
+		Text: cr.Text, Data: cr.Data, Err: cr.Err,
+		DurationNS: cr.DurationNS, Worker: "result-plane",
+	}
 }
 
 // SubmitBatch enqueues several jobs in one call with per-job outcomes:
@@ -415,13 +479,17 @@ func (b *Broker) SubmitBatch(bt api.JobSubmitBatch) (api.SubmitBatchReply, error
 	if err := bt.Validate(); err != nil {
 		return api.SubmitBatchReply{}, err
 	}
+	hits := make([]map[int]api.CachedResult, len(bt.Jobs))
+	for i, s := range bt.Jobs {
+		hits[i] = b.prefetchPlane(s)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sweep()
 	rep := api.SubmitBatchReply{Proto: api.Version, Jobs: make([]api.SubmitItem, len(bt.Jobs))}
 	accepted := false
 	for i, s := range bt.Jobs {
-		id, err := b.submitLocked(s)
+		id, err := b.submitLocked(s, hits[i])
 		if err != nil {
 			ae, ok := api.AsError(err)
 			if !ok {
@@ -442,25 +510,29 @@ func (b *Broker) SubmitBatch(bt api.JobSubmitBatch) (api.SubmitBatchReply, error
 
 // submitLocked admits one validated submission against its tenant's
 // depth limit, enqueues it, and journals it (unsynced — the caller
-// fsyncs once per submission wave before replying).
-func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
+// fsyncs once per submission wave before replying). hits maps task
+// indices to prefetched plane results: those tasks complete at submit,
+// so admission control and the rate limiter charge only the tasks that
+// actually queue — cached work is free.
+func (b *Broker) submitLocked(s api.JobSubmit, hits map[int]api.CachedResult) (string, error) {
 	tenant := s.Tenant
 	if tenant == "" {
 		tenant = api.DefaultTenant
 	}
+	uncached := len(s.Tasks) - len(hits)
 	tq := b.tenantFor(tenant)
-	if tq.limit > 0 && len(tq.q)+len(s.Tasks) > tq.limit {
+	if tq.limit > 0 && len(tq.q)+uncached > tq.limit {
 		b.stats.Rejected++
 		return "", api.Errf(api.CodeQueueFull,
 			"tenant %q queue is full (%d pending, limit %d, job adds %d tasks); back off and resubmit",
-			tenant, len(tq.q), tq.limit, len(s.Tasks))
+			tenant, len(tq.q), tq.limit, uncached)
 	}
-	if tq.rate > 0 {
-		if wait := tq.takeTokens(len(s.Tasks), b.now()); wait > 0 {
+	if tq.rate > 0 && uncached > 0 {
+		if wait := tq.takeTokens(uncached, b.now()); wait > 0 {
 			b.stats.RateLimited++
 			ae := api.Errf(api.CodeRateLimited,
 				"tenant %q is over its submission rate (%d tasks/s, job adds %d); retry in %v",
-				tenant, tq.rate, len(s.Tasks), wait)
+				tenant, tq.rate, uncached, wait)
 			ae.RetryAfterNS = int64(wait)
 			return "", ae
 		}
@@ -483,6 +555,15 @@ func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
 			leases:   make(map[string]*lease),
 		}
 		j.tasks = append(j.tasks, t)
+		if cr, ok := hits[i]; ok {
+			res := planeResult(spec, cr)
+			t.result = &res
+			t.state = taskDone
+			j.done++
+			b.stats.Completed++
+			b.stats.PlaneHits++
+			continue
+		}
 		tq.insert(t)
 	}
 	b.seq += uint64(len(s.Tasks))
@@ -492,6 +573,22 @@ func (b *Broker) submitLocked(s api.JobSubmit) (string, error) {
 		Kind: entrySubmit, Job: j.id,
 		Tenant: tenant, Priority: s.Priority, Tasks: s.Tasks,
 	}, false)
+	// Plane completions are journaled like worker results, so a replay
+	// restores them done instead of re-queueing the tasks. The caller's
+	// single fsync covers the whole wave.
+	for _, t := range j.tasks {
+		if t.state == taskDone {
+			b.journalAppendLocked(journalEntry{
+				Kind: entryDone, Job: j.id, Task: t.idx, Result: t.result,
+			}, false)
+		}
+	}
+	if j.complete() {
+		// Every task was plane-resident: the job is born finished —
+		// zero leases, zero workers.
+		j.finishedAt = now
+		close(j.finished)
+	}
 	return j.id, nil
 }
 
@@ -864,13 +961,14 @@ func (b *Broker) hedgeOne(w *workerRec) *lease {
 func (b *Broker) grantLocked(t *task, w *workerRec, hedged bool) *lease {
 	now := b.now()
 	l := &lease{
-		id:       b.nextID("l"),
-		t:        t,
-		worker:   w.id,
-		start:    now,
-		deadline: now.Add(b.cfg.LeaseTTL),
-		hedged:   hedged,
-		active:   true,
+		id:         b.nextID("l"),
+		t:          t,
+		worker:     w.id,
+		start:      now,
+		deadline:   now.Add(b.cfg.LeaseTTL),
+		hedged:     hedged,
+		active:     true,
+		progressAt: now,
 	}
 	t.state = taskLeased
 	t.leases[l.id] = l
@@ -905,12 +1003,66 @@ func (b *Broker) Renew(req api.LeaseRenew) (api.RenewReply, error) {
 			continue
 		}
 		l.deadline = b.now().Add(b.cfg.LeaseTTL)
+		if p := req.Progress[id]; p != nil {
+			cp := *p
+			l.progress = &cp
+			l.progressAt = b.now()
+		}
 		if reply.Deadlines == nil {
 			reply.Deadlines = make(map[string]int64)
 		}
 		reply.Deadlines[id] = l.deadline.UnixNano()
 	}
 	return reply, nil
+}
+
+// Fleet snapshots the live per-worker view: every registered worker
+// with its active leases and their latest progress heartbeats. Workers
+// sort by name (id as tie-breaker), leases oldest first, so the
+// rendering is stable across polls.
+func (b *Broker) Fleet() api.FleetStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweep()
+	now := b.now()
+	fs := api.FleetStatus{Proto: api.Version, Workers: []api.FleetWorker{}}
+	for _, w := range b.workers {
+		fw := api.FleetWorker{
+			ID: w.id, Name: w.name, Capacity: w.capacity,
+			Draining:      w.draining,
+			LastSeenAgeNS: now.Sub(w.lastSeen).Nanoseconds(),
+		}
+		for _, l := range w.leases {
+			if !l.active {
+				continue
+			}
+			fl := api.FleetLease{
+				ID: l.id, Job: l.t.spec.Job, Shard: l.t.spec.Shard,
+				Tenant:        l.t.job.tenant,
+				AgeNS:         now.Sub(l.start).Nanoseconds(),
+				ProgressAgeNS: now.Sub(l.progressAt).Nanoseconds(),
+			}
+			if l.progress != nil {
+				cp := *l.progress
+				fl.Progress = &cp
+			}
+			fw.Leases = append(fw.Leases, fl)
+		}
+		sort.Slice(fw.Leases, func(i, k int) bool {
+			if fw.Leases[i].AgeNS != fw.Leases[k].AgeNS {
+				return fw.Leases[i].AgeNS > fw.Leases[k].AgeNS
+			}
+			return fw.Leases[i].ID < fw.Leases[k].ID
+		})
+		fs.Workers = append(fs.Workers, fw)
+	}
+	sort.Slice(fs.Workers, func(i, k int) bool {
+		if fs.Workers[i].Name != fs.Workers[k].Name {
+			return fs.Workers[i].Name < fs.Workers[k].Name
+		}
+		return fs.Workers[i].ID < fs.Workers[k].ID
+	})
+	return fs
 }
 
 // Done records a lease's result. First result wins: if the task already
@@ -1108,8 +1260,30 @@ func (b *Broker) Metrics() api.BrokerMetrics {
 		DupCacheHits: b.stats.DupCacheHits,
 		Rejected:     b.stats.Rejected,
 		RateLimited:  b.stats.RateLimited,
+		PlaneHits:    b.stats.PlaneHits,
 		Goroutines:   runtime.NumGoroutine(),
 	}
+	for _, l := range b.leases {
+		if !l.active {
+			continue
+		}
+		worker := l.worker
+		if w := b.workers[l.worker]; w != nil {
+			worker = w.name
+		}
+		m.Leases = append(m.Leases, api.LeaseMetrics{
+			Lease: l.id, Worker: worker,
+			Task:          fmt.Sprintf("%s[%d]", l.t.spec.Job, l.t.spec.Shard),
+			AgeNS:         now.Sub(l.start).Nanoseconds(),
+			ProgressAgeNS: now.Sub(l.progressAt).Nanoseconds(),
+		})
+	}
+	sort.Slice(m.Leases, func(i, k int) bool {
+		if m.Leases[i].AgeNS != m.Leases[k].AgeNS {
+			return m.Leases[i].AgeNS > m.Leases[k].AgeNS
+		}
+		return m.Leases[i].Lease < m.Leases[k].Lease
+	})
 	names := make([]string, 0, len(b.tenants))
 	for name := range b.tenants {
 		names = append(names, name)

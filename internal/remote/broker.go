@@ -25,6 +25,7 @@ const (
 	RenewPath       = "/v2/renew"       // POST api.LeaseRenew -> api.RenewReply
 	DonePath        = "/v2/done"        // POST api.TaskDone -> api.DoneReply
 	MetricsPath     = "/v2/metrics"     // GET [?format=prometheus] -> api.BrokerMetrics
+	FleetPath       = "/v2/fleet"       // GET -> api.FleetStatus
 )
 
 // maxStatusWait bounds the job-status long poll so a stuck client
@@ -46,6 +47,9 @@ type BrokerServer struct {
 	b        *queue.Broker
 	draining atomic.Bool
 	mux      *http.ServeMux
+	// planeMetrics, when set, merges a co-hosted result plane's counters
+	// into /v2/metrics so one scrape covers the whole daemon.
+	planeMetrics func() api.PlaneMetrics
 }
 
 // NewBrokerServer wraps b in the HTTP service, named name in statuses.
@@ -63,8 +67,13 @@ func NewBrokerServer(b *queue.Broker, name string) *BrokerServer {
 	s.mux.HandleFunc("POST "+DonePath, s.handleDone)
 	s.mux.HandleFunc("GET "+StatusPath, s.handleStatus)
 	s.mux.HandleFunc("GET "+MetricsPath, s.handleMetrics)
+	s.mux.HandleFunc("GET "+FleetPath, s.handleFleet)
 	return s
 }
+
+// SetPlaneMetrics registers a co-hosted result plane's metrics source
+// (call before serving).
+func (s *BrokerServer) SetPlaneMetrics(f func() api.PlaneMetrics) { s.planeMetrics = f }
 
 // ServeHTTP implements http.Handler.
 func (s *BrokerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -128,8 +137,16 @@ func (s *BrokerServer) handleSubmitBatch(w http.ResponseWriter, r *http.Request)
 	reply(w, rep)
 }
 
+func (s *BrokerServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	reply(w, s.b.Fleet())
+}
+
 func (s *BrokerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.b.Metrics()
+	if s.planeMetrics != nil {
+		pm := s.planeMetrics()
+		m.Plane = &pm
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, m)

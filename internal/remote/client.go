@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -184,6 +185,19 @@ func (e *RemoteExecutor) Workers() []string {
 // non-retryable failure (the request itself is bad) fails the task
 // immediately, because every worker would refuse it the same way.
 func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
+	return e.execute(ctx, spec, nil)
+}
+
+// ExecuteStream implements engine.StreamExecutor: the task is dispatched
+// over the streaming execute path (?stream=1) and the worker's progress
+// heartbeats are relayed to onProgress as they arrive. Retry, exclusion
+// and fallback behave exactly as Execute — a retried task simply starts
+// a fresh stream on the next worker.
+func (e *RemoteExecutor) ExecuteStream(ctx context.Context, spec api.TaskSpec, onProgress engine.ProgressFunc) (api.TaskResult, error) {
+	return e.execute(ctx, spec, onProgress)
+}
+
+func (e *RemoteExecutor) execute(ctx context.Context, spec api.TaskSpec, onProgress engine.ProgressFunc) (api.TaskResult, error) {
 	excluded := make(map[*worker]bool)
 	var lastErr error
 	for {
@@ -194,7 +208,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 		if w == nil {
 			break
 		}
-		res, err := e.post(ctx, w, spec)
+		res, err := e.post(ctx, w, spec, onProgress)
 		if err == nil {
 			if verr := res.Validate(spec); verr != nil {
 				// Answered, but with a mismatched echo (foreign build or
@@ -227,6 +241,9 @@ func (e *RemoteExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.Ta
 		excluded[w] = true
 	}
 	if e.fallback != nil {
+		if se, ok := e.fallback.(engine.StreamExecutor); ok && onProgress != nil {
+			return se.ExecuteStream(ctx, spec, onProgress)
+		}
 		return e.fallback.Execute(ctx, spec)
 	}
 	if lastErr == nil {
@@ -321,14 +338,21 @@ func (e *RemoteExecutor) acquire(ctx context.Context, excluded map[*worker]bool)
 
 // post ships spec to w, whose inflight slot the caller has already
 // reserved via acquire; the slot is released when the call returns.
-func (e *RemoteExecutor) post(ctx context.Context, w *worker, spec api.TaskSpec) (api.TaskResult, error) {
+// With onProgress set the request asks for the streaming execute path,
+// but a plain-JSON answer (a server predating ?stream=1) is still
+// accepted — streaming is an upgrade, never a compatibility cliff.
+func (e *RemoteExecutor) post(ctx context.Context, w *worker, spec api.TaskSpec, onProgress engine.ProgressFunc) (api.TaskResult, error) {
 	defer func() { <-w.slots }()
 
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return api.TaskResult{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+ExecutePath, bytes.NewReader(body))
+	url := w.addr + ExecutePath
+	if onProgress != nil {
+		url += "?stream=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return api.TaskResult{}, err
 	}
@@ -343,9 +367,37 @@ func (e *RemoteExecutor) post(ctx context.Context, w *worker, spec api.TaskSpec)
 		// caller keys its retry/exclusion decision off the decoded code.
 		return api.TaskResult{}, decodeError(resp)
 	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson") {
+		return decodeStream(resp.Body, onProgress)
+	}
 	var res api.TaskResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		return api.TaskResult{}, fmt.Errorf("decode result: %w", err)
 	}
 	return res, nil
+}
+
+// decodeStream consumes a streaming execute response: ExecuteEvent
+// lines until the single terminal line. A connection that drops before
+// the terminal line is a transport failure (retryable — the task is
+// retried on another worker); a typed error line carries the worker's
+// own retry decision through unchanged.
+func decodeStream(r io.Reader, onProgress engine.ProgressFunc) (api.TaskResult, error) {
+	dec := json.NewDecoder(r)
+	for {
+		var ev api.ExecuteEvent
+		if err := dec.Decode(&ev); err != nil {
+			return api.TaskResult{}, fmt.Errorf("execute stream truncated: %w", err)
+		}
+		switch {
+		case ev.Progress != nil:
+			if onProgress != nil {
+				onProgress(*ev.Progress)
+			}
+		case ev.Err != nil:
+			return api.TaskResult{}, ev.Err
+		case ev.Result != nil:
+			return *ev.Result, nil
+		}
+	}
 }

@@ -67,6 +67,19 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
 }
 
+// WriteError, DecodeError and PostJSON export the transport helpers for
+// sibling HTTP layers (the result plane), so every endpoint in the repo
+// speaks the identical typed-error shape.
+func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
+
+// DecodeError reconstructs the typed error from a non-200 response.
+func DecodeError(resp *http.Response) error { return decodeError(resp) }
+
+// PostJSON ships req as JSON to url and decodes a 200 into out.
+func PostJSON(ctx context.Context, client *http.Client, url string, req, out any) error {
+	return postJSON(ctx, client, url, req, out)
+}
+
 // postJSON is the shared request helper: ship req as JSON to url and
 // decode a 200 into out; non-200s come back as decodeError's typed (or
 // transport) error.

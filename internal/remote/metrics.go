@@ -7,6 +7,10 @@ import (
 	"repro/internal/api"
 )
 
+// WritePrometheus exports the text-exposition renderer for sibling
+// servers (the standalone result-plane daemon serves the same schema).
+func WritePrometheus(w io.Writer, m api.BrokerMetrics) { writePrometheus(w, m) }
+
 // writePrometheus renders broker metrics in the Prometheus text
 // exposition format (version 0.0.4): the JSON schema's gauges and
 // counters as dramlocker_broker_* series, tenants as labelled series.
@@ -33,7 +37,20 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 	c("dramlocker_broker_duplicate_cache_hits_total", "Duplicate results byte-identical to the recorded winner.", int64(m.DupCacheHits))
 	c("dramlocker_broker_rejected_jobs_total", "Job submissions refused by admission control (queue_full).", int64(m.Rejected))
 	c("dramlocker_broker_rate_limited_jobs_total", "Job submissions deferred by the per-tenant token bucket (rate_limited).", int64(m.RateLimited))
+	c("dramlocker_broker_plane_hits_total", "Tasks completed straight from the result plane at submit time (no lease granted).", int64(m.PlaneHits))
 	g("dramlocker_broker_goroutines", "Goroutines in the broker process (leak canary for chaos soaks).", int64(m.Goroutines))
+	if pm := m.Plane; pm != nil {
+		c("dramlocker_plane_hits_total", "Result-plane GET hits (incl. conditional 304s).", pm.Hits)
+		c("dramlocker_plane_misses_total", "Result-plane GET misses.", pm.Misses)
+		c("dramlocker_plane_puts_total", "First-time result-plane stores.", pm.Puts)
+		c("dramlocker_plane_dup_puts_total", "Equivalent duplicate PUTs (original bytes kept).", pm.DupPuts)
+		c("dramlocker_plane_conflicts_total", "Differing PUTs under an existing key (last write wins).", pm.Conflicts)
+		c("dramlocker_plane_claims_granted_total", "Single-flight claims granted (caller computes).", pm.ClaimsGranted)
+		c("dramlocker_plane_claims_denied_total", "Single-flight claims denied (computation deduplicated).", pm.ClaimsDenied)
+		c("dramlocker_plane_wait_hits_total", "Long-poll GETs answered by a PUT arriving mid-wait.", pm.WaitHits)
+		g("dramlocker_plane_entries", "Entries currently stored in the result plane.", pm.Entries)
+		g("dramlocker_plane_bytes_stored", "Bytes currently stored in the result plane.", pm.BytesStored)
+	}
 	if jm := m.Journal; jm != nil {
 		c("dramlocker_broker_journal_appends_total", "Journal entries appended.", int64(jm.Appends))
 		c("dramlocker_broker_journal_fsyncs_total", "Journal fsyncs (durable submit/done/cancel barriers).", int64(jm.Fsyncs))
@@ -66,6 +83,16 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 		fmt.Fprintf(w, "# HELP dramlocker_tenant_max_queued Admission queue-depth limit per tenant (0 = unlimited).\n# TYPE dramlocker_tenant_max_queued gauge\n")
 		for _, t := range m.Tenants {
 			fmt.Fprintf(w, "dramlocker_tenant_max_queued{tenant=%q} %d\n", t.Tenant, t.MaxQueued)
+		}
+	}
+	if len(m.Leases) > 0 {
+		fmt.Fprintf(w, "# HELP dramlocker_lease_age_seconds Age of each active lease.\n# TYPE dramlocker_lease_age_seconds gauge\n")
+		for _, l := range m.Leases {
+			fmt.Fprintf(w, "dramlocker_lease_age_seconds{lease=%q,worker=%q,task=%q} %g\n", l.Lease, l.Worker, l.Task, float64(l.AgeNS)/1e9)
+		}
+		fmt.Fprintf(w, "# HELP dramlocker_lease_progress_age_seconds Time since each active lease's last progress heartbeat (stuck-task signal).\n# TYPE dramlocker_lease_progress_age_seconds gauge\n")
+		for _, l := range m.Leases {
+			fmt.Fprintf(w, "dramlocker_lease_progress_age_seconds{lease=%q,worker=%q,task=%q} %g\n", l.Lease, l.Worker, l.Task, float64(l.ProgressAgeNS)/1e9)
 		}
 	}
 }

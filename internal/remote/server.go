@@ -25,8 +25,11 @@
 //
 // Push endpoints (all JSON):
 //
-//	POST /v1/execute  api.TaskSpec -> api.TaskResult
-//	GET  /v1/status   -> api.WorkerStatus (proto, role, drain state)
+//	POST /v1/execute           api.TaskSpec -> api.TaskResult
+//	POST /v1/execute?stream=1  api.TaskSpec -> NDJSON api.ExecuteEvent
+//	                           (progress heartbeats, then one terminal
+//	                           result or error line)
+//	GET  /v1/status            -> api.WorkerStatus (proto, role, drain state)
 //
 // Queue endpoints are listed on BrokerServer.
 package remote
@@ -34,6 +37,7 @@ package remote
 import (
 	"encoding/json"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/api"
@@ -86,6 +90,11 @@ func NewServer(reg *engine.Registry, name string, capacity int) *Server {
 	return s
 }
 
+// SetExecutor replaces the server's executor (call before serving).
+// The daemon uses it to stack a result-plane cache between the HTTP
+// layer and the local pool (engine.CachingExecutor).
+func (s *Server) SetExecutor(exec engine.Executor) { s.exec = exec }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -133,6 +142,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	// r.Context() cancels the execution when the client disconnects, so
 	// an aborted scheduler does not leave orphaned work running.
+	if r.URL.Query().Get("stream") == "1" {
+		s.executeStream(w, r, spec)
+		return
+	}
 	res, err := s.exec.Execute(r.Context(), spec)
 	if err != nil {
 		writeError(w, err)
@@ -140,6 +153,46 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// executeStream runs one task with live progress: an NDJSON stream of
+// api.ExecuteEvent lines — heartbeats while the task computes, then
+// exactly one terminal line. Because the 200 header is committed before
+// the task finishes, failures after that point travel in-band as a
+// typed error event rather than an HTTP status.
+func (s *Server) executeStream(w http.ResponseWriter, r *http.Request, spec api.TaskSpec) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex // progress and the terminal event race otherwise
+	emit := func(ev api.ExecuteEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var res api.TaskResult
+	var err error
+	if se, ok := s.exec.(engine.StreamExecutor); ok {
+		res, err = se.ExecuteStream(r.Context(), spec, func(p api.TaskProgress) {
+			emit(api.ExecuteEvent{Progress: &p})
+		})
+	} else {
+		res, err = s.exec.Execute(r.Context(), spec)
+	}
+	if err != nil {
+		ae, ok := api.AsError(err)
+		if !ok {
+			ae = api.Errf(api.CodeInternal, "%v", err)
+		}
+		emit(api.ExecuteEvent{Err: ae})
+		return
+	}
+	emit(api.ExecuteEvent{Result: &res})
 }
 
 // handleStatus reports the worker's identity, registry, load, protocol

@@ -1,0 +1,234 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+	"repro/internal/queue"
+)
+
+// progressRegistry holds one job emitting a terminal heartbeat (which
+// bypasses the executor's progress throttle, so the test never sleeps).
+func progressRegistry(t *testing.T) *engine.Registry {
+	t.Helper()
+	reg := engine.NewRegistry()
+	err := reg.Register(engine.Job{Name: "beat", Key: "beat@hash",
+		Run: func(c engine.Context) (engine.Output, error) {
+			c.Report("train", 3, 3)
+			return engine.Output{Text: "beat done"}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestStreamingExecuteDeliversProgress drives the full push path —
+// RemoteExecutor.ExecuteStream against a worker server — and checks the
+// job's heartbeat arrives before the result does.
+func TestStreamingExecuteDeliversProgress(t *testing.T) {
+	ts := startWorker(t, progressRegistry(t), "sw", 2)
+	ex, err := Dial(context.Background(), []string{ts.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var beats []api.TaskProgress
+	spec := api.TaskSpec{Proto: api.Version, Job: "beat", Shard: api.MonolithShard, Key: "beat@hash", Seed: 1}
+	res, err := ex.ExecuteStream(context.Background(), spec, func(p api.TaskProgress) {
+		mu.Lock()
+		beats = append(beats, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != "beat done" || res.Err != "" {
+		t.Fatalf("streamed result %+v", res)
+	}
+	if len(beats) == 0 {
+		t.Fatal("no progress heartbeat arrived over the stream")
+	}
+	last := beats[len(beats)-1]
+	if last.Job != "beat" || last.Stage != "train" || last.Done != 3 || last.Total != 3 {
+		t.Fatalf("heartbeat %+v", last)
+	}
+	if last.ElapsedNS < 0 {
+		t.Fatalf("negative elapsed %d", last.ElapsedNS)
+	}
+}
+
+// TestStreamingInBandTypedError proves failures after the 200 commit
+// travel as a typed error event, with the code and retryability the
+// client's exclusion policy keys off.
+func TestStreamingInBandTypedError(t *testing.T) {
+	ts := startWorker(t, progressRegistry(t), "sw", 1)
+	spec := api.TaskSpec{Proto: api.Version, Job: "beat", Shard: api.MonolithShard, Key: "WRONG@hash"}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+ExecutePath+"?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200 with in-band error", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	var ev api.ExecuteEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Err == nil || ev.Err.Code != api.CodeKeyMismatch || !ev.Err.Retryable {
+		t.Fatalf("terminal event %+v, want retryable key_mismatch error", ev)
+	}
+}
+
+// TestStreamingFallsBackToPlainJSON proves a server that ignores
+// ?stream=1 (predating it) still works under ExecuteStream — the
+// client accepts a plain JSON result and just reports no progress.
+func TestStreamingFallsBackToPlainJSON(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+StatusPath, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.WorkerStatus{Proto: api.Version, Name: "old", Capacity: 1})
+	})
+	mux.HandleFunc("POST "+ExecutePath, func(w http.ResponseWriter, r *http.Request) {
+		var spec api.TaskSpec
+		json.NewDecoder(r.Body).Decode(&spec)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.TaskResult{
+			Proto: api.Version, Job: spec.Job, Shard: spec.Shard, Key: spec.Key,
+			Text: "plain", Worker: "old",
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	ex, err := Dial(context.Background(), []string{ts.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	spec := api.TaskSpec{Proto: api.Version, Job: "beat", Shard: api.MonolithShard, Key: "beat@hash"}
+	res, err := ex.ExecuteStream(context.Background(), spec, func(api.TaskProgress) { beats++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != "plain" {
+		t.Fatalf("result %+v", res)
+	}
+	if beats != 0 {
+		t.Fatalf("%d heartbeats from a non-streaming server", beats)
+	}
+}
+
+// TestFleetEndpointShowsProgress checks GET /v2/fleet end to end: a
+// renewal carrying progress surfaces in the decoded FleetStatus.
+func TestFleetEndpointShowsProgress(t *testing.T) {
+	bs, ts := startBroker(t, queue.Config{})
+	spec := api.TaskSpec{Proto: api.Version, Job: "train", Shard: 0, Key: "train@hash"}
+	if _, err := bs.Broker().Submit(api.JobSubmit{Proto: api.Version, Tasks: []api.TaskSpec{spec}}); err != nil {
+		t.Fatal(err)
+	}
+	w := newRawWorker(t, ts.URL, "rw")
+	l := w.grabLease()
+	var rep api.RenewReply
+	w.post(RenewPath, api.LeaseRenew{
+		Proto: api.Version, WorkerID: w.id, LeaseIDs: []string{l.ID},
+		Progress: map[string]*api.TaskProgress{l.ID: {Job: "train", Shard: 0, Stage: "search", Done: 5, Total: 9}},
+	}, &rep)
+
+	resp, err := http.Get(ts.URL + FleetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fs api.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Proto != api.Version || len(fs.Workers) != 1 {
+		t.Fatalf("fleet %+v", fs)
+	}
+	fw := fs.Workers[0]
+	if fw.Name != "rw" || len(fw.Leases) != 1 {
+		t.Fatalf("fleet worker %+v", fw)
+	}
+	fl := fw.Leases[0]
+	if fl.Job != "train" || fl.Progress == nil || fl.Progress.Done != 5 || fl.Progress.Stage != "search" {
+		t.Fatalf("fleet lease %+v", fl)
+	}
+}
+
+// TestPullWorkerPiggybacksProgressOnRenew is the live integration: a
+// pull worker's streaming executor reports a heartbeat, the renewal
+// loop piggybacks it, and the broker's fleet view shows it — all while
+// the task is still running.
+func TestPullWorkerPiggybacksProgressOnRenew(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	reg := engine.NewRegistry()
+	err := reg.Register(engine.Job{Name: "slow", Key: "slow@hash",
+		Run: func(c engine.Context) (engine.Output, error) {
+			c.Report("train", 4, 8)
+			<-release
+			return engine.Output{Text: "slow done"}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short TTL so the renew loop (TTL/3) fires quickly.
+	bs, ts := startBroker(t, queue.Config{LeaseTTL: 300 * time.Millisecond})
+	startPullWorker(t, ts.URL, reg, "pw", 1)
+	spec := api.TaskSpec{Proto: api.Version, Job: "slow", Shard: api.MonolithShard, Key: "slow@hash", Seed: 1}
+	sub, err := bs.Broker().Submit(api.JobSubmit{Proto: api.Version, Tasks: []api.TaskSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		fs := bs.Broker().Fleet()
+		if len(fs.Workers) == 1 && len(fs.Workers[0].Leases) == 1 {
+			if p := fs.Workers[0].Leases[0].Progress; p != nil {
+				if p.Job != "slow" || p.Stage != "train" || p.Done != 4 || p.Total != 8 {
+					t.Fatalf("fleet progress %+v", p)
+				}
+				once.Do(func() { close(release) })
+				waitJobDone(t, bs.Broker(), sub.ID)
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("fleet view never showed the worker's heartbeat")
+}
+
+// waitJobDone polls the broker until the job finishes.
+func waitJobDone(t *testing.T, b *queue.Broker, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := b.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.JobDone {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job never finished after release")
+}

@@ -57,6 +57,10 @@ type WorkerOptions struct {
 	// Seed, when non-zero, overrides the jitter seed derived from Name.
 	// Chaos harnesses set it to replay a worker's exact retry timing.
 	Seed int64
+	// Executor overrides the execution stack; nil uses a named local
+	// executor over the registry. The daemon sets it to stack a
+	// result-plane cache (engine.CachingExecutor) under the lease loop.
+	Executor engine.Executor
 }
 
 // PullWorker attaches a registry to a broker and works its queue:
@@ -82,6 +86,7 @@ type PullWorker struct {
 	mu       sync.Mutex
 	workerID string
 	ttl      time.Duration
+	progress map[string]*api.TaskProgress // latest heartbeat per active lease
 }
 
 // NewPullWorker builds a worker for the broker at addr ("host:port" or
@@ -106,15 +111,20 @@ func NewPullWorker(addr string, reg *engine.Registry, opts WorkerOptions) *PullW
 	if seed == 0 {
 		seed = backoff.SeedString(opts.Name)
 	}
+	exec := opts.Executor
+	if exec == nil {
+		exec = engine.NewNamedLocalExecutor(reg, opts.Name)
+	}
 	return &PullWorker{
 		base:       strings.TrimRight(base, "/"),
 		name:       opts.Name,
-		exec:       engine.NewNamedLocalExecutor(reg, opts.Name),
+		exec:       exec,
 		capacity:   opts.Capacity,
 		client:     orDefaultClient(opts.Client),
 		drainGrace: drain,
 		doneGrace:  done,
 		seed:       seed,
+		progress:   make(map[string]*api.TaskProgress),
 	}
 }
 
@@ -233,9 +243,21 @@ func (p *PullWorker) pollOne(ctx context.Context) (*api.Lease, error) {
 func (p *PullWorker) runLease(ctx context.Context, l api.Lease) {
 	renewDone := make(chan struct{})
 	defer close(renewDone)
+	defer p.clearProgress(l.ID)
 	go p.renewLoop(ctx, l.ID, renewDone)
 
-	res, err := p.exec.Execute(ctx, l.Task)
+	var res api.TaskResult
+	var err error
+	if se, ok := p.exec.(engine.StreamExecutor); ok {
+		// Keep the latest heartbeat where the renewal loop can piggyback
+		// it onto the renews it already sends — progress costs no
+		// additional requests.
+		res, err = se.ExecuteStream(ctx, l.Task, func(pr api.TaskProgress) {
+			p.setProgress(l.ID, pr)
+		})
+	} else {
+		res, err = p.exec.Execute(ctx, l.Task)
+	}
 	if err != nil {
 		if api.Retryable(err) {
 			// This worker cannot serve the task (registry out of sync,
@@ -289,14 +311,37 @@ func (p *PullWorker) renewLoop(ctx context.Context, id string, done <-chan struc
 			t.Stop()
 			return
 		case <-t.C:
-			var rep api.RenewReply
-			p.postBroker(ctx, RenewPath, api.LeaseRenew{
+			req := api.LeaseRenew{
 				Proto:    api.Version,
 				WorkerID: p.id(),
 				LeaseIDs: []string{id},
-			}, &rep)
+			}
+			if pr := p.getProgress(id); pr != nil {
+				req.Progress = map[string]*api.TaskProgress{id: pr}
+			}
+			var rep api.RenewReply
+			p.postBroker(ctx, RenewPath, req, &rep)
 		}
 	}
+}
+
+// setProgress stores the latest heartbeat for an active lease.
+func (p *PullWorker) setProgress(id string, pr api.TaskProgress) {
+	p.mu.Lock()
+	p.progress[id] = &pr
+	p.mu.Unlock()
+}
+
+func (p *PullWorker) getProgress(id string) *api.TaskProgress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.progress[id]
+}
+
+func (p *PullWorker) clearProgress(id string) {
+	p.mu.Lock()
+	delete(p.progress, id)
+	p.mu.Unlock()
 }
 
 // postBroker ships one broker message, resolving the path off the base.

@@ -1,0 +1,200 @@
+package resultplane
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/remote"
+)
+
+// HTTP routes of the result plane. Flat paths with the key as a query
+// parameter, so the fault-injection point names derived from the last
+// path segment (server.get / server.put / server.claim and their
+// client.* mirrors) stay clean.
+const (
+	GetPath   = "/v3/get"   // GET  ?key=K[&wait=seconds]; ETag / If-None-Match
+	PutPath   = "/v3/put"   // POST ?key=K, body = api.CacheEntry JSON
+	ClaimPath = "/v3/claim" // POST api.ClaimRequest
+)
+
+// maxEntryBytes bounds one PUT body (a cache entry is a rendered table
+// plus a JSON payload — far below this; the bound is a hygiene limit).
+const maxEntryBytes = 64 << 20
+
+// maxWait clamps a long-poll GET's park time, mirroring the broker's
+// status long-poll window.
+const maxWait = 30 * time.Second
+
+// Server serves the plane over HTTP: the /v3 object routes plus the
+// standard /v1/status and /v2/metrics introspection endpoints, so a
+// standalone plane daemon answers the same operational surface as a
+// broker (dramlocker -stats works against either).
+type Server struct {
+	store *Store
+	name  string
+}
+
+// NewServer wraps store; name is the daemon's advertised identity.
+func NewServer(store *Store, name string) *Server {
+	return &Server{store: store, name: name}
+}
+
+// Routes registers only the /v3 object routes on mux — the co-hosting
+// shape, where a broker already serves /v1/status and /v2/metrics.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc(GetPath, s.handleGet)
+	mux.HandleFunc(PutPath, s.handlePut)
+	mux.HandleFunc(ClaimPath, s.handleClaim)
+}
+
+// Handler returns the standalone plane daemon's full handler: the /v3
+// routes plus status and metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v2/metrics", s.handleMetrics)
+	return mux
+}
+
+// handleGet answers a conditional, optionally long-polling fetch.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "%s needs GET", GetPath))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "get needs a key"))
+		return
+	}
+	data, etag, ok := s.store.Get(key)
+	if !ok {
+		if wait := parseWait(r.URL.Query().Get("wait")); wait > 0 {
+			data, etag, ok = s.store.Wait(r.Context(), key, wait)
+		}
+	}
+	if !ok {
+		remote.WriteError(w, api.Errf(api.CodeNotFound, "no entry for key %q", key))
+		return
+	}
+	quoted := `"` + etag + `"`
+	w.Header().Set("ETag", quoted)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// parseWait parses a long-poll window in whole seconds, clamped.
+func parseWait(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxWait {
+		d = maxWait
+	}
+	return d
+}
+
+// etagMatch checks an If-None-Match header against the entry tag,
+// tolerating quoting, weak validators and comma-separated lists.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		t := strings.TrimSpace(part)
+		t = strings.TrimPrefix(t, "W/")
+		t = strings.Trim(t, `"`)
+		if t == etag || t == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// handlePut stores one entry.
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "%s needs POST", PutPath))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "put needs a key"))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxEntryBytes+1))
+	if err != nil {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "read entry: %v", err))
+		return
+	}
+	if len(data) == 0 || len(data) > maxEntryBytes {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "entry must be 1..%d bytes, got %d", maxEntryBytes, len(data)))
+		return
+	}
+	etag, conflict := s.store.Put(key, data)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, api.PutReply{Proto: api.Version, ETag: etag, Conflict: conflict})
+}
+
+// handleClaim arbitrates single-flight.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "%s needs POST", ClaimPath))
+		return
+	}
+	var req api.ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "decode claim: %v", err))
+		return
+	}
+	if err := api.CheckProto(req.Proto); err != nil {
+		remote.WriteError(w, err)
+		return
+	}
+	if req.Key == "" {
+		remote.WriteError(w, api.Errf(api.CodeBadRequest, "claim needs a key"))
+		return
+	}
+	rep := s.store.Claim(req.Key, req.Owner, time.Duration(req.TTLNS))
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, rep)
+}
+
+// handleStatus answers the standard daemon introspection probe.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, api.WorkerStatus{Proto: api.Version, Name: s.name, Role: "result-plane"})
+}
+
+// handleMetrics serves the plane's counters in the broker metrics
+// schema (Plane populated, queue fields zero) as JSON or Prometheus
+// text, so -stats and scrapers treat plane and broker uniformly.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	pm := s.store.Metrics()
+	m := api.BrokerMetrics{Proto: api.Version, Plane: &pm}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		remote.WritePrometheus(w, m)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, m)
+}
+
+// writeJSON encodes v; by this point headers are committed, so encode
+// errors (a dying connection) have nowhere useful to go.
+func writeJSON(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v)
+}

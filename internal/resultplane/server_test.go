@@ -1,0 +1,232 @@
+package resultplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+func newTestPlane(t *testing.T) (*Store, *httptest.Server) {
+	t.Helper()
+	store := NewStore()
+	srv := httptest.NewServer(NewServer(store, "test-plane").Handler())
+	t.Cleanup(srv.Close)
+	return store, srv
+}
+
+func TestServerETagRoundTrip(t *testing.T) {
+	_, srv := newTestPlane(t)
+	c := NewClient(srv.URL, "v1")
+
+	cr := api.CachedResult{Name: "mc", Text: "table", Seed: 3, DurationNS: 5}
+	entry := api.CacheEntry{Version: engine.CacheVersionTag("v1"), Key: "mc@abc", Result: cr}
+	if err := c.Put(context.Background(), entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain GET: entry plus a quoted ETag header.
+	u := srv.URL + GetPath + "?key=" + WireKey("v1", "mc@abc")
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := resp.Header.Get("ETag")
+	var got api.CacheEntry
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("get: status=%d etag=%q", resp.StatusCode, etag)
+	}
+	if got.Key != "mc@abc" || got.Result.Text != "table" {
+		t.Fatalf("got entry %+v", got)
+	}
+
+	// Conditional GET with the tag: 304, no body.
+	req, _ := http.NewRequest(http.MethodGet, u, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || body.Len() != 0 {
+		t.Fatalf("conditional get: status=%d body=%q", resp.StatusCode, body)
+	}
+
+	// A stale tag re-downloads.
+	req, _ = http.NewRequest(http.MethodGet, u, nil)
+	req.Header.Set("If-None-Match", `"deadbeef"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale conditional get: status=%d", resp.StatusCode)
+	}
+}
+
+func TestServerGetMissIsTypedNotFound(t *testing.T) {
+	_, srv := newTestPlane(t)
+	resp, err := http.Get(srv.URL + GetPath + "?key=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss status %d", resp.StatusCode)
+	}
+	var ae api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Code != api.CodeNotFound {
+		t.Fatalf("miss body: err=%v code=%q", err, ae.Code)
+	}
+}
+
+func TestServerClaimEndpoint(t *testing.T) {
+	_, srv := newTestPlane(t)
+	c1 := NewClient(srv.URL, "v1")
+	c1.Owner = "alice"
+	c2 := NewClient(srv.URL, "v1")
+	c2.Owner = "bob"
+
+	rep, err := c1.Claim(context.Background(), "k")
+	if err != nil || !rep.Granted {
+		t.Fatalf("first claim: %+v err=%v", rep, err)
+	}
+	rep, err = c2.Claim(context.Background(), "k")
+	if err != nil || rep.Granted || rep.Owner != "alice" {
+		t.Fatalf("competing claim: %+v err=%v", rep, err)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	store, srv := newTestPlane(t)
+	store.Put("k", []byte(`{"x":1}`))
+
+	resp, err := http.Get(srv.URL + "/v2/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m api.BrokerMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Plane == nil || m.Plane.Puts != 1 || m.Plane.Entries != 1 {
+		t.Fatalf("metrics json: %+v", m.Plane)
+	}
+
+	resp, err = http.Get(srv.URL + "/v2/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := new(bytes.Buffer)
+	text.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(text.String(), "dramlocker_plane_puts_total 1") {
+		t.Fatalf("prometheus text missing plane series:\n%s", text)
+	}
+}
+
+// TestCrossProcessSingleFlight races two engine caches — two
+// "machines" — on one key through a shared plane: exactly one may
+// compute; the other must observe the claim, park, and receive the
+// winner's stored result.
+func TestCrossProcessSingleFlight(t *testing.T) {
+	_, srv := newTestPlane(t)
+
+	var computes atomic.Int64
+	started := make(chan struct{}) // winner reached its compute
+	finish := make(chan struct{})  // release the winner
+	results := make(chan engine.Result, 2)
+
+	run := func(owner string) {
+		c := NewClient(srv.URL, "v1")
+		c.Owner = owner
+		ec := &EngineCache{C: c}
+		r, ok := ec.Acquire(context.Background(), "k")
+		if !ok {
+			// We own the fleet-wide computation.
+			if computes.Add(1) == 1 {
+				close(started)
+			}
+			<-finish
+			r = engine.Result{Name: "k", Text: "computed", Seed: 1, Duration: time.Millisecond}
+			ec.Store(context.Background(), "k", r)
+		}
+		results <- r
+	}
+
+	go run("alice")
+	// Don't start bob until alice holds the claim, so the race is the
+	// interesting one: claim-held, result pending.
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no worker ever claimed the computation")
+	}
+	go run("bob")
+	// Give bob time to fetch-miss, get denied, and park on the long
+	// poll before the winner publishes.
+	time.Sleep(100 * time.Millisecond)
+	close(finish)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.Text != "computed" {
+				t.Fatalf("worker %d got %+v", i, r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker never finished")
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computations ran, want exactly 1", n)
+	}
+}
+
+// TestAcquireFallsBackOnDeadPlane proves a vanished plane degrades to
+// local compute rather than stalling.
+func TestAcquireFallsBackOnDeadPlane(t *testing.T) {
+	_, srv := newTestPlane(t)
+	c := NewClient(srv.URL, "v1")
+	c.OpTimeout = time.Second
+	srv.Close()
+
+	ec := &EngineCache{C: c}
+	if _, ok := ec.Acquire(context.Background(), "k"); ok {
+		t.Fatal("dead plane must fall back to local compute, not hit")
+	}
+	// Store against a dead plane is a silent no-op.
+	ec.Store(context.Background(), "k", engine.Result{Name: "k", Text: "x"})
+}
+
+// TestClientValidatesEntries proves a plane answering the wrong version
+// or key is treated as a miss, never a wrong result.
+func TestClientValidatesEntries(t *testing.T) {
+	store, srv := newTestPlane(t)
+	wrong, _ := json.Marshal(api.CacheEntry{
+		Version: engine.CacheVersionTag("OTHER"), Key: "k",
+		Result: api.CachedResult{Text: "poison"},
+	})
+	store.Put(WireKey("v1", "k"), wrong)
+
+	c := NewClient(srv.URL, "v1")
+	if _, ok, err := c.Fetch(context.Background(), "k"); err != nil || ok {
+		t.Fatalf("version-mismatched entry must be a clean miss (ok=%v err=%v)", ok, err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package resultplane is the fleet-wide result plane: a content-
+// addressed HTTP object store speaking the engine's versioned
+// cache-entry format (api.CacheEntry), with ETag conditional GETs,
+// long-poll waits, and a claim protocol for cross-machine single-flight
+// — a 100-worker fleet computes each cache key exactly once.
+//
+// The plane is an optimisation, never a correctness dependency: every
+// consumer (scheduler cache tier, worker cache stack, cache-aware
+// broker) treats plane errors as misses and falls back to local
+// compute, so a dead or flaky plane degrades throughput, not results.
+//
+// Consistency model: keys are content addresses (experiment id, preset
+// hash, shard, code version and base seed are all folded in), so two
+// correct producers of one key must produce equivalent payloads. A
+// duplicate PUT with an equivalent payload keeps the original bytes
+// (ETags and replays stay byte-stable — first write wins); a PUT whose
+// payload genuinely differs is an equivalence violation: the plane
+// counts it as a conflict and lets the last write win, so a fixed
+// producer can repair a poisoned key by re-putting.
+package resultplane
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// planeFile is the JSON-lines persistence file inside the plane dir.
+const planeFile = "plane.jsonl"
+
+// Claim TTL clamps: a claimant that asks for nothing gets DefaultClaimTTL,
+// and nobody may park a key longer than MaxClaimTTL — an abandoned claim
+// (crashed worker) must expire fast enough that waiters reclaim and
+// compute instead of stalling the fleet.
+const (
+	DefaultClaimTTL = 30 * time.Second
+	MinClaimTTL     = time.Second
+	MaxClaimTTL     = 2 * time.Minute
+)
+
+// entry is one stored object.
+type entry struct {
+	data []byte
+	etag string // hex sha256 of data
+}
+
+// claim is one in-flight computation registration.
+type claim struct {
+	owner   string
+	expires time.Time
+}
+
+// planeLine is the persistence record: the key and the entry bytes
+// verbatim (kept raw so reloaded entries are byte-identical).
+type planeLine struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Store is the plane's in-memory object store, optionally backed by an
+// append-only JSON-lines file. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]entry
+	claims  map[string]claim
+	// waiters holds one broadcast channel per key with parked long-poll
+	// GETs; Put closes it. Created lazily, recreated after each close.
+	waiters map[string]chan struct{}
+	f       *os.File
+	m       api.PlaneMetrics
+	// now is the clock (injectable so claim-expiry tests don't sleep).
+	now func() time.Time
+}
+
+// NewStore returns an empty, memory-only store.
+func NewStore() *Store {
+	return &Store{
+		entries: make(map[string]entry),
+		claims:  make(map[string]claim),
+		waiters: make(map[string]chan struct{}),
+		now:     time.Now,
+	}
+}
+
+// Open returns a store persisted under dir (created if missing):
+// existing entries are reloaded (later lines win, corrupt lines are
+// skipped — damage degrades to misses) and every accepted PUT is
+// appended. An empty dir means memory-only.
+func Open(dir string) (*Store, error) {
+	s := NewStore()
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultplane: create plane dir: %w", err)
+	}
+	path := filepath.Join(dir, planeFile)
+	s.load(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultplane: open plane file: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// load best-effort replays path into the store.
+func (s *Store) load(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var pl planeLine
+		if err := json.Unmarshal(line, &pl); err != nil || pl.Key == "" || len(pl.Data) == 0 {
+			continue
+		}
+		data := append([]byte(nil), pl.Data...)
+		s.entries[pl.Key] = entry{data: data, etag: etagOf(data)}
+	}
+	s.m.Entries = int64(len(s.entries))
+	for _, e := range s.entries {
+		s.m.BytesStored += int64(len(e.data))
+	}
+}
+
+// SetNow injects the clock (tests drive claim expiry with a fake one).
+func (s *Store) SetNow(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Close releases the persistence file, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	f := s.f
+	s.f = nil
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}
+
+// etagOf is the entry tag: hex sha256 of the stored bytes.
+func etagOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns key's entry bytes and ETag. A miss is counted.
+func (s *Store) Get(key string) ([]byte, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.m.Misses++
+		return nil, "", false
+	}
+	s.m.Hits++
+	return e.data, e.etag, true
+}
+
+// Wait long-polls for key: it returns immediately on a hit and
+// otherwise parks until a PUT lands, d elapses, or ctx cancels. A wake
+// by PUT counts as a WaitHit.
+func (s *Store) Wait(ctx context.Context, key string, d time.Duration) ([]byte, string, bool) {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.m.Hits++
+			s.mu.Unlock()
+			return e.data, e.etag, true
+		}
+		ch := s.waiters[key]
+		if ch == nil {
+			ch = make(chan struct{})
+			s.waiters[key] = ch
+		}
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			s.mu.Lock()
+			if e, ok := s.entries[key]; ok {
+				s.m.WaitHits++
+				s.mu.Unlock()
+				return e.data, e.etag, true
+			}
+			s.mu.Unlock()
+			// Spurious wake (no entry): loop and park again.
+		case <-deadline.C:
+			s.mu.Lock()
+			s.m.Misses++
+			s.mu.Unlock()
+			return nil, "", false
+		case <-ctx.Done():
+			return nil, "", false
+		}
+	}
+}
+
+// Put stores data under key and releases the key's claim and waiters.
+// An equivalent duplicate keeps the original bytes (first write wins,
+// so ETags stay stable); a differing payload is counted as a conflict
+// and overwrites (last write wins). The returned ETag tags whatever the
+// store now holds.
+func (s *Store) Put(key string, data []byte) (string, bool) {
+	data = append([]byte(nil), data...)
+	s.mu.Lock()
+	old, exists := s.entries[key]
+	conflict := false
+	switch {
+	case exists && bytes.Equal(old.data, data):
+		s.m.DupPuts++
+		s.releaseLocked(key)
+		s.mu.Unlock()
+		return old.etag, false
+	case exists && samePayload(old.data, data):
+		// Equivalent result from a different producer (durations and
+		// diagnostic names differ): keep the original bytes.
+		s.m.DupPuts++
+		s.releaseLocked(key)
+		s.mu.Unlock()
+		return old.etag, false
+	case exists:
+		s.m.Conflicts++
+		s.m.BytesStored -= int64(len(old.data))
+		conflict = true
+	default:
+		s.m.Puts++
+		s.m.Entries++
+	}
+	e := entry{data: data, etag: etagOf(data)}
+	s.entries[key] = e
+	s.m.BytesStored += int64(len(data))
+	s.releaseLocked(key)
+	f := s.f
+	var line []byte
+	if f != nil {
+		line, _ = json.Marshal(planeLine{Key: key, Data: data})
+		line = append(line, '\n')
+	}
+	s.mu.Unlock()
+	if f != nil {
+		// Swallow write errors like the disk cache: persistence is an
+		// optimisation; the entry is live in memory regardless.
+		f.Write(line)
+	}
+	return e.etag, conflict
+}
+
+// releaseLocked drops key's claim and wakes its waiters (mu held).
+func (s *Store) releaseLocked(key string) {
+	delete(s.claims, key)
+	if ch, ok := s.waiters[key]; ok {
+		delete(s.waiters, key)
+		close(ch)
+	}
+}
+
+// samePayload reports whether two entry byte slices decode to
+// equivalent cache entries (same key, version and result payload;
+// producer-dependent fields ignored). Undecodable bytes never match.
+func samePayload(a, b []byte) bool {
+	var ea, eb api.CacheEntry
+	if json.Unmarshal(a, &ea) != nil || json.Unmarshal(b, &eb) != nil {
+		return false
+	}
+	return ea.SamePayload(eb)
+}
+
+// Claim resolves who computes key. Results win over claims: a stored
+// entry answers Done. Otherwise the first claimant (or any claimant
+// after the previous claim expired) is Granted for the clamped TTL;
+// everyone else is denied with the holder and the claim's remaining
+// lifetime as a retry hint. A denied claim is one deduplicated
+// computation.
+func (s *Store) Claim(key, owner string, ttl time.Duration) api.ClaimReply {
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	if ttl < MinClaimTTL {
+		ttl = MinClaimTTL
+	}
+	if ttl > MaxClaimTTL {
+		ttl = MaxClaimTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return api.ClaimReply{Proto: api.Version, Done: true}
+	}
+	now := s.now()
+	if c, ok := s.claims[key]; ok && now.Before(c.expires) && c.owner != owner {
+		s.m.ClaimsDenied++
+		return api.ClaimReply{
+			Proto: api.Version, Owner: c.owner,
+			RetryAfterNS: c.expires.Sub(now).Nanoseconds(),
+		}
+	}
+	// Unclaimed, expired, or the holder re-claiming (extends its TTL).
+	s.claims[key] = claim{owner: owner, expires: now.Add(ttl)}
+	s.m.ClaimsGranted++
+	return api.ClaimReply{Proto: api.Version, Granted: true, TTLNS: ttl.Nanoseconds()}
+}
+
+// Metrics snapshots the counters.
+func (s *Store) Metrics() api.PlaneMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}

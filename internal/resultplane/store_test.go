@@ -1,0 +1,205 @@
+package resultplane
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// entryBytes builds a valid plane object for key with the given text.
+func entryBytes(t *testing.T, version, key, text string, dur int64) []byte {
+	t.Helper()
+	b, err := json.Marshal(api.CacheEntry{
+		Version: version, Key: key,
+		Result: api.CachedResult{Name: key, Text: text, Seed: 7, DurationNS: dur},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("empty store must miss")
+	}
+	data := entryBytes(t, "v1", "k", "hello", 10)
+	etag, conflict := s.Put("k", data)
+	if conflict {
+		t.Fatal("first put must not conflict")
+	}
+	got, tag, ok := s.Get("k")
+	if !ok || string(got) != string(data) || tag != etag {
+		t.Fatalf("get after put: ok=%v tag=%q want %q", ok, tag, etag)
+	}
+	m := s.Metrics()
+	if m.Puts != 1 || m.Hits != 1 || m.Misses != 1 || m.Entries != 1 || m.BytesStored != int64(len(data)) {
+		t.Fatalf("metrics off: %+v", m)
+	}
+}
+
+func TestStoreDupAndConflictPuts(t *testing.T) {
+	s := NewStore()
+	data := entryBytes(t, "v1", "k", "hello", 10)
+	etag, _ := s.Put("k", data)
+
+	// Byte-identical duplicate: original kept.
+	if tag, conflict := s.Put("k", data); conflict || tag != etag {
+		t.Fatalf("identical dup put: conflict=%v tag=%q want %q", conflict, tag, etag)
+	}
+	// Equivalent payload from another producer (duration differs):
+	// first write wins so the ETag stays stable.
+	equiv := entryBytes(t, "v1", "k", "hello", 99)
+	if tag, conflict := s.Put("k", equiv); conflict || tag != etag {
+		t.Fatalf("equivalent dup put: conflict=%v tag=%q want %q", conflict, tag, etag)
+	}
+	if got, _, _ := s.Get("k"); string(got) != string(data) {
+		t.Fatal("equivalent dup put must keep the original bytes")
+	}
+	// Genuinely differing payload: conflict counted, last write wins.
+	diff := entryBytes(t, "v1", "k", "DIFFERENT", 10)
+	tag, conflict := s.Put("k", diff)
+	if !conflict || tag == etag {
+		t.Fatalf("differing put: conflict=%v tag=%q", conflict, tag)
+	}
+	if got, _, _ := s.Get("k"); string(got) != string(diff) {
+		t.Fatal("differing put must overwrite (last write wins)")
+	}
+	m := s.Metrics()
+	if m.DupPuts != 2 || m.Conflicts != 1 || m.Puts != 1 || m.Entries != 1 {
+		t.Fatalf("metrics off: %+v", m)
+	}
+	if m.BytesStored != int64(len(diff)) {
+		t.Fatalf("bytes stored %d, want %d", m.BytesStored, len(diff))
+	}
+}
+
+func TestStoreClaimArbitration(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1000, 0)
+	s.SetNow(func() time.Time { return now })
+
+	// First claimant wins.
+	rep := s.Claim("k", "alice", 10*time.Second)
+	if !rep.Granted || rep.Done {
+		t.Fatalf("first claim: %+v", rep)
+	}
+	// Second claimant is denied with the holder and a retry hint.
+	rep = s.Claim("k", "bob", 10*time.Second)
+	if rep.Granted || rep.Done || rep.Owner != "alice" || rep.RetryAfterNS != (10*time.Second).Nanoseconds() {
+		t.Fatalf("competing claim: %+v", rep)
+	}
+	// The holder re-claiming extends its TTL.
+	now = now.Add(5 * time.Second)
+	if rep = s.Claim("k", "alice", 10*time.Second); !rep.Granted {
+		t.Fatalf("holder re-claim: %+v", rep)
+	}
+	if rep = s.Claim("k", "bob", 10*time.Second); rep.Granted || rep.RetryAfterNS != (10*time.Second).Nanoseconds() {
+		t.Fatalf("claim after extension: %+v", rep)
+	}
+	// An expired claim (crashed holder) re-arbitrates.
+	now = now.Add(11 * time.Second)
+	if rep = s.Claim("k", "bob", 10*time.Second); !rep.Granted {
+		t.Fatalf("claim after expiry: %+v", rep)
+	}
+	// A stored result beats every claim.
+	s.Put("k", entryBytes(t, "v1", "k", "done", 1))
+	if rep = s.Claim("k", "carol", 10*time.Second); !rep.Done || rep.Granted {
+		t.Fatalf("claim over stored entry: %+v", rep)
+	}
+	m := s.Metrics()
+	if m.ClaimsGranted != 3 || m.ClaimsDenied != 2 {
+		t.Fatalf("claim metrics off: %+v", m)
+	}
+}
+
+func TestStoreClaimTTLClamps(t *testing.T) {
+	s := NewStore()
+	if rep := s.Claim("a", "x", 0); time.Duration(rep.TTLNS) != DefaultClaimTTL {
+		t.Fatalf("zero ttl → %v, want default %v", time.Duration(rep.TTLNS), DefaultClaimTTL)
+	}
+	if rep := s.Claim("b", "x", time.Millisecond); time.Duration(rep.TTLNS) != MinClaimTTL {
+		t.Fatalf("tiny ttl → %v, want min %v", time.Duration(rep.TTLNS), MinClaimTTL)
+	}
+	if rep := s.Claim("c", "x", time.Hour); time.Duration(rep.TTLNS) != MaxClaimTTL {
+		t.Fatalf("huge ttl → %v, want max %v", time.Duration(rep.TTLNS), MaxClaimTTL)
+	}
+}
+
+func TestStoreWaitWokenByPut(t *testing.T) {
+	s := NewStore()
+	data := entryBytes(t, "v1", "k", "late", 1)
+	type res struct {
+		data []byte
+		ok   bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		d, _, ok := s.Wait(context.Background(), "k", 30*time.Second)
+		ch <- res{d, ok}
+	}()
+	// Give the waiter a moment to park, then publish.
+	time.Sleep(20 * time.Millisecond)
+	s.Put("k", data)
+	select {
+	case r := <-ch:
+		if !r.ok || string(r.data) != string(data) {
+			t.Fatalf("wait woke with ok=%v data=%q", r.ok, r.data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after put")
+	}
+	if m := s.Metrics(); m.WaitHits != 1 {
+		t.Fatalf("wait hits %d, want 1", m.WaitHits)
+	}
+}
+
+func TestStoreWaitTimeoutAndCancel(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Wait(context.Background(), "k", 10*time.Millisecond); ok {
+		t.Fatal("wait on an empty key must time out to a miss")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, ok := s.Wait(ctx, "k", time.Hour); ok {
+		t.Fatal("cancelled wait must miss")
+	}
+}
+
+func TestStorePersistenceReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := entryBytes(t, "v1", "a", "alpha", 1)
+	b := entryBytes(t, "v1", "b", "beta", 2)
+	s.Put("a", a)
+	s.Put("b", b)
+	// Overwrite a: later lines must win on reload.
+	a2 := entryBytes(t, "v1", "a", "alpha-2", 3)
+	s.Put("a", a2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _, ok := s2.Get("a")
+	if !ok || string(got) != string(a2) {
+		t.Fatalf("reloaded a: ok=%v data=%q", ok, got)
+	}
+	if got, _, ok := s2.Get("b"); !ok || string(got) != string(b) {
+		t.Fatalf("reloaded b: ok=%v data=%q", ok, got)
+	}
+	if m := s2.Metrics(); m.Entries != 2 {
+		t.Fatalf("reloaded entries %d, want 2", m.Entries)
+	}
+}

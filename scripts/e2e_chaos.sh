@@ -240,4 +240,49 @@ PENDING=$(stat_of "$TRADDR" pending); PENDING=${PENDING:-0}
 echo "torn tail: startup skipped 1 line, requeued the unconfirmed task (pending=$PENDING)"
 kill "$TORNR_PID" 2>/dev/null; wait "$TORNR_PID" 2>/dev/null || true
 
+# ---- Leg 3: faulty result plane ---------------------------------------
+# A plane that drops the first 10 PUTs and errors the first 3 GETs must
+# degrade, never break: attached runs fall back to local compute, keep
+# their write-through best-effort, and render byte-identical reports.
+cat > "$WORK/planefaults.json" <<'EOF'
+{
+  "seed": 21,
+  "rules": [
+    {"point": "server.put", "kind": "drop", "count": 10},
+    {"point": "server.get", "kind": "error", "count": 3}
+  ]
+}
+EOF
+"$WORK/dramlockerd" -result-plane -addr 127.0.0.1:0 -name chaosplane \
+    -fault-plan "$WORK/planefaults.json" -allow-faults >"$WORK/plane.log" 2>&1 &
+PLANE_PID=$!; PIDS+=("$PLANE_PID")
+PADDR=$(wait_addr "$WORK/plane.log" "$PLANE_PID")
+echo "faulty result plane up on $PADDR (10 dropped PUTs, 3 failing GETs)"
+
+# Cold run: the dropped PUTs leave holes in the plane, but the local
+# compute and disk cache are authoritative — the report must not care.
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet \
+    -plane "$PADDR" -cache-dir "$WORK/pcacheA" > "$WORK/pcold.txt"
+diff -u "$WORK/local.norm" <(norm "$WORK/pcold.txt") >/dev/null || {
+    echo "FAIL: cold run against faulty plane diverged"; exit 1; }
+
+# Fresh-machine run: the failing GETs force those shards back to local
+# compute; everything must still come out byte-identical.
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet \
+    -plane "$PADDR" -cache-dir "$WORK/pcacheB" > "$WORK/pfresh.txt"
+diff -u "$WORK/local.norm" <(norm "$WORK/pfresh.txt") >/dev/null || {
+    echo "FAIL: fresh run against faulty plane diverged"; exit 1; }
+echo "both plane runs byte-identical to local through dropped PUTs and failing GETs"
+
+# The damage must actually have happened, and the plane must have
+# healed past it (later write-throughs landed).
+ENTRIES=$(stat_of "$PADDR" entries); ENTRIES=${ENTRIES:-0}
+[ "$ENTRIES" -ge 1 ] || { echo "FAIL: no write-through survived the fault plan"; exit 1; }
+kill "$PLANE_PID" 2>/dev/null; wait "$PLANE_PID" 2>/dev/null || true
+grep -q "faults_fired=.*server.put/drop=10" "$WORK/plane.log" || {
+    echo "FAIL: plane PUT drops never fired:"; tail -n3 "$WORK/plane.log"; exit 1; }
+grep -q "faults_fired=.*server.get/error=3" "$WORK/plane.log" || {
+    echo "FAIL: plane GET faults never fired:"; tail -n3 "$WORK/plane.log"; exit 1; }
+echo "faulty plane degraded to local compute and healed ($ENTRIES entries survived)"
+
 echo "e2e-chaos: OK"

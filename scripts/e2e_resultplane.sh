@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Result-plane end-to-end gate (make e2e-resultplane).
+#
+# Proves the fleet-wide result plane actually replaces recomputation,
+# on real daemons over 127.0.0.1:
+#
+#   cold:     a standalone plane daemon (dramlockerd -result-plane
+#             -plane-dir) is populated by one cold run (-plane +
+#             -cache-dir A): every computed shard is written through.
+#   fresh:    a second "machine" — fresh -cache-dir B, same -plane —
+#             must pass -require-cached purely from the plane (zero
+#             recomputation: the plane's put counters do not move) with
+#             a byte-identical report.
+#   worker:   a pull worker attached to the plane (-pull ... -plane)
+#             serves a broker run without recomputing anything either —
+#             plane hits climb, puts stay flat, report byte-identical.
+#   co-host:  a broker co-hosting the same plane directory
+#             (dramlockerd -broker -result-plane) completes a submitted
+#             job with NO worker registered at all: every task finishes
+#             from the plane at submit time (plane_hits == completed,
+#             zero leases ever granted), report byte-identical.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+EXPS=fig1b,mc,table1,fig7a,fig7b,defense
+WORK=$(mktemp -d)
+PIDS=()
+RUN_PID=""
+cleanup() {
+    for pid in "${PIDS[@]}" "$RUN_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/dramlocker" ./cmd/dramlocker
+go build -o "$WORK/dramlockerd" ./cmd/dramlockerd
+
+# Same normalisation as the other e2e gates: strip per-job timings and
+# the summary line; everything else must match byte for byte.
+norm() { sed -E 's/^(=== .*) \([^)]*\)( ===)$/\1\2/; /^[0-9]+ jobs, /d' "$1"; }
+
+# wait_addr LOGFILE PID: block until the daemon logs its bound address.
+wait_addr() {
+    local addr=""
+    for i in $(seq 1 100); do
+        addr=$(sed -nE 's/.* on (127\.0\.0\.1:[0-9]+) .*/\1/p' "$1" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$2" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "daemon never came up:" >&2; cat "$1" >&2; return 1
+}
+
+# stat_of ADDR FIELD: one integer out of `dramlocker -stats -json` (the
+# plane daemon answers the same GET /v2/metrics schema as a broker).
+stat_of() {
+    "$WORK/dramlocker" -broker "$1" -stats -json 2>/dev/null \
+        | sed -nE "s/.*\"$2\": ([0-9]+).*/\1/p" | head -n1
+}
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet > "$WORK/local.txt"
+norm "$WORK/local.txt" > "$WORK/local.norm"
+
+# ---- Cold: populate a standalone plane --------------------------------
+PDIR="$WORK/planedir"
+"$WORK/dramlockerd" -result-plane -addr 127.0.0.1:0 -plane-dir "$PDIR" -name plane1 \
+    >"$WORK/plane.log" 2>&1 &
+PLANE_PID=$!; PIDS+=("$PLANE_PID")
+PADDR=$(wait_addr "$WORK/plane.log" "$PLANE_PID")
+echo "result plane up on $PADDR (dir $PDIR)"
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet \
+    -plane "$PADDR" -cache-dir "$WORK/cacheA" > "$WORK/cold.txt"
+diff -u "$WORK/local.norm" <(norm "$WORK/cold.txt") || {
+    echo "FAIL: cold -plane report diverged from local"; exit 1; }
+PUTS=$(stat_of "$PADDR" puts); PUTS=${PUTS:-0}
+ENTRIES=$(stat_of "$PADDR" entries); ENTRIES=${ENTRIES:-0}
+[ "$PUTS" -ge 1 ] || { echo "FAIL: cold run wrote nothing through to the plane"; exit 1; }
+[ "$ENTRIES" -ge 1 ] || { echo "FAIL: plane holds no entries after the cold run"; exit 1; }
+echo "cold run populated the plane ($ENTRIES entries, $PUTS puts)"
+
+# ---- Fresh: a second machine replays purely from the plane ------------
+# Fresh cache dir, so nothing is local; -require-cached exits non-zero
+# unless every job replays. If any shard recomputed, the write-through
+# would bump puts/dup_puts — both must stay flat.
+DUPS0=$(stat_of "$PADDR" dup_puts); DUPS0=${DUPS0:-0}
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet \
+    -plane "$PADDR" -cache-dir "$WORK/cacheB" -require-cached > "$WORK/fresh.txt" || {
+    echo "FAIL: fresh-cache run was not served entirely by the plane"; exit 1; }
+diff -u "$WORK/local.norm" <(norm "$WORK/fresh.txt") || {
+    echo "FAIL: plane-replayed report diverged from local"; exit 1; }
+PUTS1=$(stat_of "$PADDR" puts); PUTS1=${PUTS1:-0}
+DUPS1=$(stat_of "$PADDR" dup_puts); DUPS1=${DUPS1:-0}
+HITS1=$(stat_of "$PADDR" hits); HITS1=${HITS1:-0}
+[ "$PUTS1" -eq "$PUTS" ] && [ "$DUPS1" -eq "$DUPS0" ] || {
+    echo "FAIL: fresh run recomputed (puts $PUTS->$PUTS1, dup_puts $DUPS0->$DUPS1)"; exit 1; }
+[ "$HITS1" -ge 1 ] || { echo "FAIL: fresh run never hit the plane"; exit 1; }
+echo "fresh -cache-dir passed -require-cached purely from the plane ($HITS1 hits, zero recomputation)"
+
+# ---- Worker: a plane-attached pull worker recomputes nothing ----------
+"$WORK/dramlockerd" -broker -addr 127.0.0.1:0 -name rpbroker >"$WORK/broker.log" 2>&1 &
+BROKER_PID=$!; PIDS+=("$BROKER_PID")
+BADDR=$(wait_addr "$WORK/broker.log" "$BROKER_PID")
+"$WORK/dramlockerd" -pull "$BADDR" -plane "$PADDR" -preset tiny -name planeworker \
+    >"$WORK/worker.log" 2>&1 &
+WORKER_PID=$!; PIDS+=("$WORKER_PID")
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet -broker "$BADDR" \
+    -no-cache > "$WORK/queue.txt"
+diff -u "$WORK/local.norm" <(norm "$WORK/queue.txt") || {
+    echo "FAIL: plane-worker queue report diverged from local"; exit 1; }
+PUTS2=$(stat_of "$PADDR" puts); PUTS2=${PUTS2:-0}
+DUPS2=$(stat_of "$PADDR" dup_puts); DUPS2=${DUPS2:-0}
+HITS2=$(stat_of "$PADDR" hits); HITS2=${HITS2:-0}
+[ "$PUTS2" -eq "$PUTS" ] && [ "$DUPS2" -eq "$DUPS0" ] || {
+    echo "FAIL: plane-attached worker recomputed (puts $PUTS->$PUTS2, dup_puts $DUPS0->$DUPS2)"; exit 1; }
+[ "$HITS2" -gt "$HITS1" ] || { echo "FAIL: worker never fetched from the plane"; exit 1; }
+echo "pull worker served the queue run from the plane ($((HITS2 - HITS1)) fetches, zero recomputation)"
+
+kill "$WORKER_PID" 2>/dev/null; wait "$WORKER_PID" 2>/dev/null || true
+kill "$BROKER_PID" 2>/dev/null; wait "$BROKER_PID" 2>/dev/null || true
+kill "$PLANE_PID" 2>/dev/null; wait "$PLANE_PID" 2>/dev/null || true
+
+# ---- Co-host: broker completes a job with zero leases -----------------
+# The broker co-hosts the plane over the same directory (replaying the
+# entries the cold run persisted) and no worker ever registers: the only
+# way the job can finish is the submit-time plane prefetch.
+"$WORK/dramlockerd" -broker -result-plane -plane-dir "$PDIR" -addr 127.0.0.1:0 \
+    -name cobroker >"$WORK/cohost.log" 2>&1 &
+COHOST_PID=$!; PIDS+=("$COHOST_PID")
+CADDR=$(wait_addr "$WORK/cohost.log" "$COHOST_PID")
+grep -q "co-hosting result plane" "$WORK/cohost.log" || {
+    echo "FAIL: broker did not co-host the plane:"; cat "$WORK/cohost.log"; exit 1; }
+echo "co-hosted broker up on $CADDR ($(sed -nE 's/.*co-hosting result plane \((.*)\).*/\1/p' "$WORK/cohost.log" | head -n1))"
+
+"$WORK/dramlocker" -preset tiny -exp "$EXPS" -workers 4 -quiet -broker "$CADDR" \
+    -no-cache > "$WORK/cohost.txt" &
+RUN_PID=$!
+for i in $(seq 1 600); do
+    kill -0 "$RUN_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$RUN_PID" 2>/dev/null; then
+    echo "FAIL: workerless run against the co-hosted broker did not finish (plane miss?)"
+    stat_of "$CADDR" plane_hits || true
+    exit 1
+fi
+wait "$RUN_PID" || { echo "FAIL: workerless co-host run failed"; cat "$WORK/cohost.txt"; exit 1; }
+RUN_PID=""
+diff -u "$WORK/local.norm" <(norm "$WORK/cohost.txt") || {
+    echo "FAIL: co-host plane report diverged from local"; exit 1; }
+
+PLANE_HITS=$(stat_of "$CADDR" plane_hits); PLANE_HITS=${PLANE_HITS:-0}
+SUBMITTED=$(stat_of "$CADDR" submitted); SUBMITTED=${SUBMITTED:-0}
+COMPLETED=$(stat_of "$CADDR" completed); COMPLETED=${COMPLETED:-0}
+WORKERS=$(stat_of "$CADDR" workers); WORKERS=${WORKERS:-0}
+LEASED=$(stat_of "$CADDR" leased); LEASED=${LEASED:-0}
+[ "$SUBMITTED" -ge 1 ] && [ "$COMPLETED" -eq "$SUBMITTED" ] || {
+    echo "FAIL: co-host broker completed $COMPLETED of $SUBMITTED tasks"; exit 1; }
+[ "$PLANE_HITS" -eq "$COMPLETED" ] || {
+    echo "FAIL: only $PLANE_HITS of $COMPLETED completions came from the plane"; exit 1; }
+[ "$WORKERS" -eq 0 ] && [ "$LEASED" -eq 0 ] || {
+    echo "FAIL: workerless leg had workers=$WORKERS leased=$LEASED"; exit 1; }
+echo "co-hosted broker completed all $COMPLETED task(s) from the plane with zero leases"
+kill "$COHOST_PID" 2>/dev/null; wait "$COHOST_PID" 2>/dev/null || true
+
+echo "e2e-resultplane: OK"
