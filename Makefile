@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote e2e-chaos e2e-resultplane ci
+.PHONY: build test race bench-smoke bench-kernels bench-attack vet fmt-check lint cache-gate e2e-remote e2e-chaos e2e-resultplane e2e-ha ci
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,18 @@ e2e-chaos:
 # the plane at submit time). All reports byte-identical to local.
 e2e-resultplane:
 	bash scripts/e2e_resultplane.sh
+
+# Broker high-availability gate: a hot standby replicates the primary's
+# journal over /v2/replicate; the primary is SIGKILLed mid-run with a
+# live backlog and the run must finish byte-identical to local through
+# both takeover paths — explicit promotion (dramlocker -promote) and the
+# -takeover-after silence timer. A third leg restarts the dead primary
+# as a zombie and requires the new primary's fencer to flip it into a
+# read-only replica whose late mutations are refused with a typed
+# not_leader redirect. Audits: backlog fully drained, no replication
+# entries skipped, fencing epoch durable across restarts.
+e2e-ha:
+	bash scripts/e2e_ha.sh
 
 # Persistent result cache gate: a cold tiny-preset run populates the
 # on-disk cache, the warm run must serve 100% from it and render a
@@ -128,4 +140,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check lint build test race e2e-remote e2e-chaos e2e-resultplane cache-gate
+ci: vet fmt-check lint build test race e2e-remote e2e-chaos e2e-resultplane e2e-ha cache-gate

@@ -13,6 +13,8 @@
 //	dramlocker -exp all -preset paper -cache-dir ~/.cache/dramlocker
 //	dramlocker -exp all -preset tiny -remote 10.0.0.7:9740,10.0.0.8:9740
 //	dramlocker -exp all -preset tiny -broker 10.0.0.9:9741 -tenant ci
+//	dramlocker -exp all -broker 10.0.0.9:9741,10.0.0.10:9741   # with failover
+//	dramlocker -broker 10.0.0.10:9741 -promote   # promote that standby
 //	dramlocker -broker 10.0.0.9:9741 -stats
 //	dramlocker -broker 10.0.0.9:9741 -stats -json
 //	dramlocker -broker 10.0.0.9:9741 -fleet -watch 2s
@@ -41,6 +43,16 @@
 // fairness bucket and -priority orders it within the tenant. The same
 // scheduler-side guarantees hold: the report is byte-identical to a
 // local or -remote run. -remote and -broker are mutually exclusive.
+//
+// High availability: -broker accepts a comma-separated failover list
+// (primary first, standbys after). The executor prefers the reachable
+// primary and, when a broker answers not_leader or stops answering,
+// fails over to the address the error names (or the next list entry),
+// resubmitting any job lost in the replication gap — the report stays
+// byte-identical across a mid-run takeover. -promote (with -broker)
+// asks the standby at that address to promote itself to primary
+// (POST /v2/promote): the manual half of a planned failover, the
+// unplanned half being the standby's own -takeover-after timer.
 //
 // -list prints the registered jobs with shard counts and cache-key
 // stems; -list -json emits the same listing as the dlexec2 api.Listing
@@ -125,6 +137,7 @@ func main() {
 	tenant := flag.String("tenant", "", "broker fairness bucket this run submits under (default: the broker's default tenant)")
 	priority := flag.Int("priority", 0, "broker priority within the tenant (higher dispatches first)")
 	stats := flag.Bool("stats", false, "with -broker: fetch and render the broker's /v2/metrics, then exit (-json for the raw payload)")
+	promote := flag.Bool("promote", false, "with -broker: promote the standby broker at that address to primary (POST /v2/promote), then exit")
 	fleet := flag.Bool("fleet", false, "with -broker: fetch and render the broker's /v2/fleet live worker/lease view, then exit (-json for the raw payload)")
 	watch := flag.Duration("watch", 0, "with -fleet: re-render every interval (0 = render once)")
 	planeAddr := flag.String("plane", "", "result plane address (dramlockerd -result-plane); attach this run's cache to the fleet-wide plane")
@@ -163,7 +176,7 @@ func main() {
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
 		remote: *remoteAddrs, broker: *brokerAddr, tenant: *tenant, priority: *priority,
-		stats: *stats, fleet: *fleet, watch: *watch, plane: *planeAddr,
+		stats: *stats, promote: *promote, fleet: *fleet, watch: *watch, plane: *planeAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -212,6 +225,7 @@ type config struct {
 	tenant        string
 	priority      int
 	stats         bool
+	promote       bool
 	fleet         bool
 	watch         time.Duration
 	plane         string
@@ -230,13 +244,19 @@ func run(ctx context.Context, cfg config) error {
 		if cfg.broker == "" {
 			return fmt.Errorf("-stats needs -broker (whose /v2/metrics to fetch)")
 		}
-		return showStats(ctx, cfg.broker, cfg.jsonOut)
+		return showStats(ctx, firstAddr(cfg.broker), cfg.jsonOut)
+	}
+	if cfg.promote {
+		if cfg.broker == "" {
+			return fmt.Errorf("-promote needs -broker (which standby to promote)")
+		}
+		return promoteBroker(ctx, firstAddr(cfg.broker))
 	}
 	if cfg.fleet {
 		if cfg.broker == "" {
 			return fmt.Errorf("-fleet needs -broker (whose /v2/fleet to fetch)")
 		}
-		return showFleet(ctx, cfg.broker, cfg.jsonOut, cfg.watch)
+		return showFleet(ctx, firstAddr(cfg.broker), cfg.jsonOut, cfg.watch)
 	}
 	if cfg.remote != "" && cfg.broker != "" {
 		return fmt.Errorf("-remote and -broker are mutually exclusive (push vs queue dispatch)")
@@ -389,6 +409,20 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 		return nil
 	}
 	fmt.Printf("broker     %s (proto %s)\n", base, m.Proto)
+	if m.Role != "" {
+		fmt.Printf("role       %s, epoch %d\n", m.Role, m.Epoch)
+	}
+	if rm := m.Replication; rm != nil {
+		lag := "crossing a segment boundary"
+		if rm.LagBytes >= 0 {
+			lag = fmt.Sprintf("%d bytes", rm.LagBytes)
+		}
+		fmt.Printf("replicate  cursor seg %d @ %d, primary seg %d @ %d, lag %s (%d segments behind)\n",
+			rm.Segment, rm.Offset, rm.PrimarySegment, rm.PrimaryOffset, lag, rm.SegmentsBehind)
+		fmt.Printf("           %d applied, %d duplicates, %d skipped over %d batches (%d restarts), last contact %v ago\n",
+			rm.Applied, rm.Duplicates, rm.Skipped, rm.Batches, rm.Restarts,
+			time.Duration(rm.LastContactAgeNS).Round(time.Millisecond))
+	}
 	fmt.Printf("queue      %d pending, %d leased, %d workers, %d jobs retained\n",
 		m.Pending, m.Leased, m.Workers, m.Jobs)
 	fmt.Printf("lifetime   %d submitted, %d completed (%d failed), %d requeues, %d hedges\n",
@@ -403,6 +437,10 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 			jm.Requeued, jm.Skipped, jm.Compactions)
 		fmt.Printf("segments   %d on disk (%d rotations), active %d bytes\n",
 			jm.Segments, jm.Rotations, jm.ActiveBytes)
+		if jm.StreamReads > 0 {
+			fmt.Printf("stream     %d replication reads served (%d bytes)\n",
+				jm.StreamReads, jm.StreamBytes)
+		}
 	}
 	if m.PlaneHits > 0 || m.Plane != nil {
 		fmt.Printf("plane      %d broker dispatch hits (tasks completed at submit, zero leases)\n", m.PlaneHits)
@@ -413,6 +451,10 @@ func showStats(ctx context.Context, addr string, jsonOut bool) error {
 			pm.Hits, pm.Misses, pm.WaitHits)
 		fmt.Printf("claims     %d granted, %d denied (fleet-wide single-flight)\n",
 			pm.ClaimsGranted, pm.ClaimsDenied)
+		if pm.Evictions > 0 || pm.Rewrites > 0 {
+			fmt.Printf("evictions  %d entries (%d bytes reclaimed), %d plane.jsonl rewrites\n",
+				pm.Evictions, pm.EvictedBytes, pm.Rewrites)
+		}
 	}
 	for _, t := range m.Tenants {
 		limit := "unlimited"
@@ -503,6 +545,30 @@ func renderFleet(fs api.FleetStatus, base string) {
 				time.Duration(l.AgeNS).Round(time.Millisecond), prog)
 		}
 	}
+}
+
+// promoteBroker asks the standby broker at addr to promote itself to
+// primary — the operator half of a planned failover.
+func promoteBroker(ctx context.Context, addr string) error {
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	var rep api.PromoteReply
+	if err := remote.PostJSON(ctx, http.DefaultClient, httpBase(addr)+remote.PromotePath,
+		api.PromoteRequest{Proto: api.Version}, &rep); err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	if err := api.CheckProto(rep.Proto); err != nil {
+		return fmt.Errorf("broker %s: %w", addr, err)
+	}
+	fmt.Printf("broker %s promoted to %s at epoch %d (%d leases requeued)\n",
+		addr, rep.Role, rep.Epoch, rep.Requeued)
+	return nil
+}
+
+// firstAddr picks the first entry of a (possibly comma-separated)
+// broker list: the introspection and promote verbs target one broker.
+func firstAddr(addr string) string {
+	return strings.TrimSpace(strings.Split(addr, ",")[0])
 }
 
 // httpBase normalizes a daemon address flag into a base URL.

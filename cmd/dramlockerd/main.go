@@ -7,7 +7,10 @@
 //	dramlockerd -broker -addr 0.0.0.0:9741       # job-queue broker
 //	dramlockerd -broker -hedge-after 2m -weights ci=1,interactive=4
 //	dramlockerd -broker -journal-dir /var/lib/dramlocker -max-queued 1000
+//	dramlockerd -broker -follow 10.0.0.9:9741    # hot standby replicating that primary
+//	dramlockerd -broker -follow 10.0.0.9:9741 -takeover-after 10s
 //	dramlockerd -pull 10.0.0.9:9741              # pull worker for that broker
+//	dramlockerd -pull 10.0.0.9:9741,10.0.0.10:9741   # with broker failover
 //	dramlockerd -result-plane -addr 0.0.0.0:9742 # content-addressed result plane
 //	dramlockerd -broker -result-plane            # broker + co-hosted plane
 //	dramlockerd -pull 10.0.0.9:9741 -plane 10.0.0.9:9742   # plane-attached worker
@@ -42,6 +45,20 @@
 // under load. GET /v2/metrics exports the queue census, journal
 // counters and per-tenant gauges as JSON or (?format=prometheus)
 // Prometheus text.
+//
+// High availability (-broker -follow PRIMARY): the broker starts as a
+// hot standby — it streams the primary's journal over /v2/replicate
+// into its own journal and in-memory state, answers read-only routes
+// (status, metrics, fleet, job status) and refuses mutations with the
+// retryable not_leader error naming the primary. It promotes to
+// primary on POST /v2/promote, on SIGUSR1, or — with -takeover-after —
+// after the primary has been silent that long; promotion bumps the
+// fencing epoch, requeues inherited leases, and fences the ex-primary
+// (POST /v2/fence) so a zombie that comes back refuses mutations
+// instead of splitting the brain. -advertise names the address
+// clients should be redirected to (default: the listen address).
+// Clients and workers take comma-separated broker lists and follow
+// not_leader hints automatically.
 //
 // -fault-plan loads a faultinject JSON plan (chaos testing: dropped or
 // delayed requests, torn journal writes) and is refused unless
@@ -124,8 +141,13 @@ func main() {
 	maxQueuedTenant := flag.String("max-queued-tenant", "", "broker: per-tenant overrides of -max-queued, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
 	maxSubmitRate := flag.Int("max-submit-rate", 0, "broker: per-tenant sustained submission rate in tasks/sec (token bucket, burst of one second); overflow gets rate_limited with Retry-After (0 = unlimited)")
 	maxSubmitRateTenant := flag.String("max-submit-rate-tenant", "", "broker: per-tenant overrides of -max-submit-rate, tenant=N[,tenant=N...] (0 = unlimited for that tenant)")
+	follow := flag.String("follow", "", "broker: start as a hot standby replicating the primary at this address; promote via /v2/promote, SIGUSR1, or -takeover-after")
+	takeoverAfter := flag.Duration("takeover-after", 0, "broker standby: promote automatically after the primary has been unreachable this long (0 = operator-only promotion)")
+	advertise := flag.String("advertise", "", "broker: client-reachable address stamped into not_leader redirects and fencing records (default: the listen address)")
 	resultPlane := flag.Bool("result-plane", false, "serve the content-addressed result plane (standalone, or co-hosted with -broker)")
 	planeDir := flag.String("plane-dir", "", "result plane: persist entries as JSON lines under this directory and replay them on startup (empty = in-memory only)")
+	planeMaxBytes := flag.Int64("plane-max-bytes", 0, "result plane: evict least-recently-used entries past this many stored bytes (0 = unlimited)")
+	planeTTL := flag.Duration("plane-ttl", 0, "result plane: evict entries idle longer than this (0 = keep forever)")
 	planeAddr := flag.String("plane", "", "worker modes: attach to the result plane at this address (plane-first lookups, write-through, fleet-wide single-flight)")
 	faultPlan := flag.String("fault-plan", "", "chaos testing: inject faults from this JSON plan (refused without -allow-faults)")
 	allowFaults := flag.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks this daemon")
@@ -141,6 +163,10 @@ func main() {
 	}
 	if *planeAddr != "" && (*broker || *resultPlane) {
 		fmt.Fprintln(os.Stderr, "dramlockerd: -plane attaches a worker to a plane; server modes use -result-plane")
+		os.Exit(1)
+	}
+	if *follow != "" && !*broker {
+		fmt.Fprintln(os.Stderr, "dramlockerd: -follow is a broker mode; add -broker")
 		os.Exit(1)
 	}
 	var faults *faultinject.Injector
@@ -167,8 +193,12 @@ func main() {
 		maxQueuedTenant:     *maxQueuedTenant,
 		maxSubmitRate:       *maxSubmitRate,
 		maxSubmitRateTenant: *maxSubmitRateTenant,
+		follow:              *follow,
+		takeoverAfter:       *takeoverAfter,
+		advertise:           *advertise,
 	}
-	pf := planeFlags{serve: *resultPlane, dir: *planeDir, attach: *planeAddr}
+	pf := planeFlags{serve: *resultPlane, dir: *planeDir, attach: *planeAddr,
+		maxBytes: *planeMaxBytes, ttl: *planeTTL}
 	err := run(*addr, *preset, *name, *capacity, *broker, *pull, bf, pf, faults)
 	// The exit receipt: how many backoff delays the process took and
 	// which injected faults actually landed. The chaos gate parses this
@@ -184,9 +214,11 @@ func main() {
 // standalone or co-hosted), dir (its persistence), attach (a worker's
 // upstream plane).
 type planeFlags struct {
-	serve  bool
-	dir    string
-	attach string
+	serve    bool
+	dir      string
+	attach   string
+	maxBytes int64
+	ttl      time.Duration
 }
 
 // brokerFlags carries the -broker mode's tuning flags.
@@ -200,6 +232,9 @@ type brokerFlags struct {
 	maxQueuedTenant     string
 	maxSubmitRate       int
 	maxSubmitRateTenant string
+	follow              string
+	takeoverAfter       time.Duration
+	advertise           string
 }
 
 func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags, pf planeFlags, faults *faultinject.Injector) error {
@@ -237,6 +272,8 @@ func run(addr, preset, name string, capacity int, broker bool, pull string, bf b
 			MaxQueuedTenant:     limits,
 			MaxSubmitRate:       bf.maxSubmitRate,
 			MaxSubmitRateTenant: rates,
+			Follower:            bf.follow != "",
+			PrimaryAddr:         bf.follow,
 		}, faults)
 	}
 	if pf.serve {
@@ -339,6 +376,7 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 			return err
 		}
 		defer store.Close()
+		store.SetLimits(pf.maxBytes, pf.ttl)
 		cfg.Plane = &resultplane.StorePlane{S: store, Version: experiments.CacheVersion}
 	}
 	b := queue.New(cfg)
@@ -357,6 +395,47 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 		handler = mux
 		log.Printf("dramlockerd %q co-hosting result plane (%d entries, version %s)",
 			name, store.Metrics().Entries, experiments.CacheVersion)
+	}
+	// Hot standby: replicate the primary's journal into this broker and
+	// arm the promotion paths (/v2/promote, SIGUSR1, silence timeout)
+	// before the listener opens, so a promote cannot race the mux.
+	if bf.follow != "" {
+		followBase := bf.follow
+		if !strings.Contains(followBase, "://") {
+			followBase = "http://" + followBase
+		}
+		adv := bf.advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		var fclient *http.Client
+		if faults != nil {
+			fclient = &http.Client{Transport: &faultinject.Transport{Inj: faults}}
+		}
+		fol := remote.NewFollower(b, followBase, remote.FollowerOptions{
+			Client:        fclient,
+			TakeoverAfter: bf.takeoverAfter,
+			Name:          name,
+			Advertise:     adv,
+		})
+		bs.SetPromote(fol.Promote)
+		go func() {
+			if err := fol.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("dramlockerd %q follower loop: %v", name, err)
+			}
+		}()
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		defer signal.Stop(usr1)
+		go func() {
+			for range usr1 {
+				if _, err := fol.Promote("SIGUSR1"); err != nil {
+					log.Printf("dramlockerd %q promote: %v", name, err)
+				}
+			}
+		}()
+		log.Printf("dramlockerd %q standby following %s (takeover-after %v, advertise %s)",
+			name, followBase, bf.takeoverAfter, adv)
 	}
 	srv := &http.Server{Handler: faultinject.Middleware(handler, faults)}
 
@@ -391,6 +470,7 @@ func runPlane(ctx context.Context, stop context.CancelFunc, addr, name string, p
 		return err
 	}
 	defer store.Close()
+	store.SetLimits(pf.maxBytes, pf.ttl)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -51,6 +51,11 @@ const (
 	// statement about arrival speed: the same submission succeeds after
 	// the RetryAfterNS hint, without anything needing to drain.
 	CodeRateLimited Code = "rate_limited"
+	// CodeNotLeader: the peer is a replication follower (or a fenced
+	// ex-primary) and refuses mutations. The Primary field carries the
+	// current leader's address when known; retry there after the
+	// RetryAfterNS floor.
+	CodeNotLeader Code = "not_leader"
 	// CodeInternal: an unexpected failure on the serving side.
 	CodeInternal Code = "internal"
 )
@@ -70,6 +75,7 @@ var retryableByCode = map[Code]bool{
 	CodeCanceled:      false,
 	CodeQueueFull:     true,
 	CodeRateLimited:   true,
+	CodeNotLeader:     true,
 	CodeInternal:      true,
 }
 
@@ -79,7 +85,7 @@ func Codes() []Code {
 	return []Code{
 		CodeBadRequest, CodeProtoMismatch, CodeUnknownJob, CodeKeyMismatch,
 		CodeNotFound, CodeDraining, CodeUnavailable, CodeCanceled,
-		CodeQueueFull, CodeRateLimited, CodeInternal,
+		CodeQueueFull, CodeRateLimited, CodeNotLeader, CodeInternal,
 	}
 }
 
@@ -96,6 +102,10 @@ type Error struct {
 	// bucket's refill time). Clients floor their backoff at it; the HTTP
 	// transport mirrors it as a Retry-After header.
 	RetryAfterNS int64 `json:"retry_after_ns,omitempty"`
+	// Primary, set on not_leader errors, is the address of the broker
+	// currently accepting mutations (as far as the refusing peer knows).
+	// Clients fail over to it instead of blind-rotating their list.
+	Primary string `json:"primary,omitempty"`
 }
 
 // Error implements the error interface.

@@ -41,6 +41,20 @@ type BrokerMetrics struct {
 	// chaos gate compares it before and after a soak to catch leaks.
 	Goroutines int `json:"goroutines"`
 
+	// Role is the broker's replication role: "primary" accepts
+	// mutations, "follower" replays a primary's journal and answers
+	// reads only, "fenced" is an ex-primary refusing everything but
+	// reads after a takeover.
+	Role string `json:"role,omitempty"`
+	// Epoch is the fencing epoch the broker last stamped into (or
+	// adopted from) its journal; mutations under an older epoch are
+	// refused after a takeover.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Replication is present on brokers that follow (or followed) a
+	// primary: the replay cursor and lag against the primary's durable
+	// watermark.
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
+
 	// Journal is present only when the broker runs with a journal.
 	Journal *JournalMetrics `json:"journal,omitempty"`
 	// Plane is present only when a result plane is co-hosted with the
@@ -96,6 +110,43 @@ type JournalMetrics struct {
 	Segments int `json:"segments"`
 	// ActiveBytes is the size of the active (append) segment.
 	ActiveBytes int64 `json:"active_bytes"`
+	// StreamReads / StreamBytes count replication serves: chunks handed
+	// to followers over /v2/replicate and the raw bytes they carried.
+	StreamReads int   `json:"stream_reads,omitempty"`
+	StreamBytes int64 `json:"stream_bytes,omitempty"`
+}
+
+// ReplicationMetrics is the follower-side view of journal streaming:
+// where the replay cursor sits in the primary's journal, how far behind
+// the primary's durable watermark it is, and what application did with
+// the records seen so far.
+type ReplicationMetrics struct {
+	// Segment/Offset is the follower's resume cursor into the primary's
+	// journal (the position after the last applied batch).
+	Segment int   `json:"segment"`
+	Offset  int64 `json:"offset"`
+	// PrimarySegment/PrimaryOffset is the primary's durable watermark as
+	// of the last replicate reply.
+	PrimarySegment int   `json:"primary_segment"`
+	PrimaryOffset  int64 `json:"primary_offset"`
+	// LagBytes is watermark minus cursor when both sit in the same
+	// segment, else -1 (whole segments behind; see SegmentsBehind).
+	LagBytes int64 `json:"lag_bytes"`
+	// SegmentsBehind counts primary segments the cursor has not reached.
+	SegmentsBehind int `json:"segments_behind"`
+	// Applied / Duplicates / Skipped classify replicated records:
+	// applied to state, already present (idempotent re-delivery after a
+	// resume or restart), or undecodable and dropped.
+	Applied    int `json:"applied"`
+	Duplicates int `json:"duplicates"`
+	Skipped    int `json:"skipped"`
+	// Batches counts replicate replies applied; Restarts counts cursor
+	// resets forced by primary-side compaction.
+	Batches  int `json:"batches"`
+	Restarts int `json:"restarts"`
+	// LastContactAgeNS is time since the last successful replicate
+	// reply; the silence-timeout takeover triggers off the same signal.
+	LastContactAgeNS int64 `json:"last_contact_age_ns,omitempty"`
 }
 
 // TenantMetrics is one tenant's queue gauges.

@@ -1,0 +1,92 @@
+package api
+
+// Replication wire messages. A standby broker follows its primary by
+// long-polling /v2/replicate with a (generation, segment, offset)
+// cursor into the primary's segmented journal; the primary answers with
+// raw journal bytes — whole lines only, and never past its fsync
+// watermark, so a follower can only ever see records the primary has
+// already made durable. Promotion and fencing ride alongside: /v2/promote
+// turns a follower into the new primary under a fresh fencing epoch, and
+// /v2/fence tells a (possibly restarted) ex-primary that the epoch has
+// moved on so its late mutations are refused instead of forking history.
+
+// ReplicateRequest asks the primary for the next span of journal bytes
+// at the follower's cursor. A zero-valued cursor (generation 0,
+// segment 0) means "start from the beginning"; the primary answers with
+// Restart set and the cursor rebased onto its oldest segment.
+type ReplicateRequest struct {
+	Proto string `json:"proto"`
+	// Generation identifies the journal history the cursor points into;
+	// compaction rewrites history and bumps it, invalidating cursors
+	// minted against the previous layout.
+	Generation int   `json:"generation"`
+	Segment    int   `json:"segment"`
+	Offset     int64 `json:"offset"`
+	// MaxBytes caps the reply's Data (0 = server default).
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// WaitNS long-polls: when the cursor is at the durable tip, the
+	// primary parks until new bytes are fsynced or the wait elapses.
+	WaitNS int64 `json:"wait_ns,omitempty"`
+	// Epoch and Follower are diagnostic: the follower's current fencing
+	// epoch and name, logged by the primary.
+	Epoch    int64  `json:"epoch,omitempty"`
+	Follower string `json:"follower,omitempty"`
+}
+
+// ReplicateReply carries raw journal lines and the cursor to resume
+// from. Data is always a whole number of records (cut at line
+// boundaries) and never extends past the primary's fsync watermark.
+type ReplicateReply struct {
+	Proto string `json:"proto"`
+	// Data holds verbatim journal lines (base64 over JSON). Empty when
+	// the long poll timed out with the follower already caught up.
+	Data []byte `json:"data,omitempty"`
+	// Generation/Segment/Offset is the cursor after consuming Data.
+	Generation int   `json:"generation"`
+	Segment    int   `json:"segment"`
+	Offset     int64 `json:"offset"`
+	// Restart means the follower's cursor no longer resolves (journal
+	// compacted since): the returned cursor has been rebased to the
+	// oldest live segment and the follower must re-apply from there —
+	// application is idempotent, so no state reset is needed.
+	Restart bool `json:"restart,omitempty"`
+	// PrimarySegment/PrimaryOffset is the primary's durable watermark at
+	// reply time; the distance to the follower's cursor is its lag.
+	PrimarySegment int    `json:"primary_segment"`
+	PrimaryOffset  int64  `json:"primary_offset"`
+	Epoch          int64  `json:"epoch"`
+	Role           string `json:"role"`
+}
+
+// PromoteRequest asks a follower to take over as primary.
+type PromoteRequest struct {
+	Proto string `json:"proto"`
+}
+
+// PromoteReply reports the outcome: the new fencing epoch (stamped into
+// the journal before the reply is sent) and how many previously-granted
+// tasks were returned to the pending queue — leases never transfer
+// across a takeover, they surface as expiry→requeue on the new primary.
+type PromoteReply struct {
+	Proto    string `json:"proto"`
+	Epoch    int64  `json:"epoch"`
+	Requeued int    `json:"requeued"`
+	Role     string `json:"role"`
+}
+
+// FenceRequest is sent by a freshly promoted primary to the broker it
+// was following: adopt the (strictly higher) epoch and refuse mutations
+// from now on, directing clients at Primary. A stale epoch (≤ the
+// receiver's) is refused with bad_request.
+type FenceRequest struct {
+	Proto   string `json:"proto"`
+	Epoch   int64  `json:"epoch"`
+	Primary string `json:"primary"`
+}
+
+// FenceReply acknowledges a fence with the receiver's resulting state.
+type FenceReply struct {
+	Proto string `json:"proto"`
+	Epoch int64  `json:"epoch"`
+	Role  string `json:"role"`
+}

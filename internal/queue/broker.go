@@ -119,6 +119,13 @@ type Config struct {
 	// complete immediately (journaled like worker results) without a
 	// lease. A fully plane-resident job finishes with zero workers.
 	Plane ResultPlane
+	// Follower starts the broker as a replication follower: read-only,
+	// continuously applying a primary's journal stream (ApplyReplicated)
+	// until promoted. Mutations are refused with not_leader.
+	Follower bool
+	// PrimaryAddr is the address a follower redirects mutations to (the
+	// Primary hint on not_leader errors) while it is not the leader.
+	PrimaryAddr string
 	// Now is the clock; nil means time.Now. Tests inject a fake.
 	Now func() time.Time
 }
@@ -175,6 +182,11 @@ type task struct {
 	// enqueued is when the task last entered the pending queue (submit,
 	// replay or requeue); the metrics queue-age gauge reads it.
 	enqueued time.Time
+	// granted records that a grant entry was seen during replay or
+	// replication while the task was pending: the primary had it out on
+	// a lease that did not survive. Promote reports these as requeued —
+	// a takeover turns live leases into expiry→requeue.
+	granted bool
 	// leases holds the active leases (normally one; two while hedged).
 	leases map[string]*lease
 	result *api.TaskResult
@@ -328,6 +340,15 @@ type Broker struct {
 	// long-polls park on it.
 	wake chan struct{}
 
+	// Replication role state. role gates mutations (only a primary
+	// accepts them); epoch is the fencing epoch (see Promote/Fence);
+	// primaryAddr is the redirect hint carried on not_leader errors;
+	// repl is the follower-side cursor and application counters.
+	role        Role
+	epoch       int64
+	primaryAddr string
+	repl        replState
+
 	stats Stats
 }
 
@@ -354,6 +375,14 @@ func New(cfg Config) *Broker {
 		workers: make(map[string]*workerRec),
 		tenants: make(map[string]*tenantQ),
 		wake:    make(chan struct{}),
+		// Every broker starts at epoch 1 (the implicit pre-HA epoch), so
+		// the first promotion anywhere mints epoch 2 and strictly
+		// outranks a zombie primary that never saw an epoch entry.
+		epoch:       1,
+		primaryAddr: cfg.PrimaryAddr,
+	}
+	if cfg.Follower {
+		b.role = RoleFollower
 	}
 	if cfg.Journal != nil {
 		b.replayJournal(cfg.Journal)
@@ -420,9 +449,17 @@ func (b *Broker) Submit(s api.JobSubmit) (api.SubmitReply, error) {
 	if err := s.Validate(); err != nil {
 		return api.SubmitReply{}, err
 	}
+	if err := b.roleGate(); err != nil {
+		return api.SubmitReply{}, err
+	}
 	hits := b.prefetchPlane(s)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// Re-check under the lock: the role may have flipped (a fence
+	// landing) between the fast-path gate and here.
+	if err := b.roleGateLocked(); err != nil {
+		return api.SubmitReply{}, err
+	}
 	b.sweep()
 	id, err := b.submitLocked(s, hits)
 	if err != nil {
@@ -479,12 +516,18 @@ func (b *Broker) SubmitBatch(bt api.JobSubmitBatch) (api.SubmitBatchReply, error
 	if err := bt.Validate(); err != nil {
 		return api.SubmitBatchReply{}, err
 	}
+	if err := b.roleGate(); err != nil {
+		return api.SubmitBatchReply{}, err
+	}
 	hits := make([]map[int]api.CachedResult, len(bt.Jobs))
 	for i, s := range bt.Jobs {
 		hits[i] = b.prefetchPlane(s)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return api.SubmitBatchReply{}, err
+	}
 	b.sweep()
 	rep := api.SubmitBatchReply{Proto: api.Version, Jobs: make([]api.SubmitItem, len(bt.Jobs))}
 	accepted := false
@@ -693,6 +736,9 @@ func (b *Broker) Cancel(req api.CancelRequest) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return err
+	}
 	b.sweep()
 	j := b.jobs[req.ID]
 	if j == nil {
@@ -741,6 +787,9 @@ func (b *Broker) Hello(h api.WorkerHello) (api.HelloReply, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return api.HelloReply{}, err
+	}
 	b.sweep()
 	w := &workerRec{
 		id:       b.nextID("w"),
@@ -764,6 +813,9 @@ func (b *Broker) Heartbeat(hb api.Heartbeat) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return err
+	}
 	b.sweep()
 	w := b.workers[hb.WorkerID]
 	if w == nil {
@@ -781,6 +833,9 @@ func (b *Broker) Drain(d api.DrainRequest) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return err
+	}
 	w := b.workers[d.WorkerID]
 	if w == nil {
 		return api.WorkerNotFound(d.WorkerID)
@@ -807,6 +862,10 @@ func (b *Broker) Poll(ctx context.Context, req api.PollRequest) (api.PollReply, 
 	}
 	for {
 		b.mu.Lock()
+		if err := b.roleGateLocked(); err != nil {
+			b.mu.Unlock()
+			return api.PollReply{}, err
+		}
 		b.sweep()
 		w := b.workers[req.WorkerID]
 		if w == nil {
@@ -990,6 +1049,9 @@ func (b *Broker) Renew(req api.LeaseRenew) (api.RenewReply, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return api.RenewReply{}, err
+	}
 	b.sweep()
 	w := b.workers[req.WorkerID]
 	if w == nil {
@@ -1075,6 +1137,9 @@ func (b *Broker) Done(req api.TaskDone) (api.DoneReply, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.roleGateLocked(); err != nil {
+		return api.DoneReply{}, err
+	}
 	b.sweep()
 	if w := b.workers[req.WorkerID]; w != nil {
 		w.lastSeen = b.now()
@@ -1262,6 +1327,29 @@ func (b *Broker) Metrics() api.BrokerMetrics {
 		RateLimited:  b.stats.RateLimited,
 		PlaneHits:    b.stats.PlaneHits,
 		Goroutines:   runtime.NumGoroutine(),
+		Role:         b.role.String(),
+		Epoch:        b.epoch,
+	}
+	if b.role == RoleFollower || b.repl.batches > 0 {
+		rm := api.ReplicationMetrics{
+			Segment: b.repl.cursorSeg, Offset: b.repl.cursorOff,
+			PrimarySegment: b.repl.primarySeg, PrimaryOffset: b.repl.primaryOff,
+			Applied: b.repl.applied, Duplicates: b.repl.duplicates,
+			Skipped: b.repl.skipped, Batches: b.repl.batches,
+			Restarts: b.repl.restarts,
+		}
+		if b.repl.primarySeg == b.repl.cursorSeg {
+			rm.LagBytes = b.repl.primaryOff - b.repl.cursorOff
+		} else {
+			rm.LagBytes = -1 // whole segments behind; byte distance unknowable
+		}
+		if behind := b.repl.primarySeg - b.repl.cursorSeg; behind > 0 {
+			rm.SegmentsBehind = behind
+		}
+		if !b.repl.lastContact.IsZero() {
+			rm.LastContactAgeNS = now.Sub(b.repl.lastContact).Nanoseconds()
+		}
+		m.Replication = &rm
 	}
 	for _, l := range b.leases {
 		if !l.active {
@@ -1318,8 +1406,11 @@ func (b *Broker) Metrics() api.BrokerMetrics {
 // replayJournal rebuilds broker state from the journal, then compacts
 // it. Runs inside New, before the broker is shared, so no locking.
 //
-// Jobs are restored in journal (submission) order with fresh task
-// sequence numbers, preserving the original FIFO; recorded results are
+// Each entry folds through applyEntryLocked — the same idempotent
+// incremental application the replication follower uses live, so a
+// broker restart and a journal stream land on identical state. Jobs
+// are restored in journal (submission) order with fresh task sequence
+// numbers, preserving the original FIFO; recorded results are
 // reattached verbatim (byte-identical replies across the restart);
 // tasks that were pending or leased-but-unfinished at crash time
 // re-enter their tenant queue — a lease without a completion record is
@@ -1327,108 +1418,35 @@ func (b *Broker) Metrics() api.BrokerMetrics {
 // limits do not gate replay: everything in the journal was already
 // admitted.
 func (b *Broker) replayJournal(jl *Journal) {
-	type rec struct {
-		tenant   string
-		priority int
-		tasks    []api.TaskSpec
-		results  map[int]*api.TaskResult
-		granted  map[int]bool
-		canceled bool
-	}
-	recs := make(map[string]*rec)
-	var order []string
 	for _, e := range jl.load() {
+		res := b.applyEntryLocked(e)
+		// Skip accounting mirrors the wire contract: duplicate submits
+		// (compaction leftovers) and undecodable/unresolvable submit or
+		// done entries count, stale grants/cancels and re-delivered
+		// results are silently idempotent.
 		switch e.Kind {
 		case entrySubmit:
-			if e.Job == "" || len(e.Tasks) == 0 || recs[e.Job] != nil {
+			if res != applyApplied {
 				jl.noteSkip("unusable submit entry for job %q", e.Job)
-				continue
-			}
-			recs[e.Job] = &rec{
-				tenant: e.Tenant, priority: e.Priority, tasks: e.Tasks,
-				results: make(map[int]*api.TaskResult),
-				granted: make(map[int]bool),
-			}
-			order = append(order, e.Job)
-		case entryGrant:
-			if r := recs[e.Job]; r != nil && e.Task >= 0 && e.Task < len(r.tasks) {
-				r.granted[e.Task] = true
 			}
 		case entryDone:
-			r := recs[e.Job]
-			if r == nil || e.Result == nil || e.Task < 0 || e.Task >= len(r.tasks) {
+			if res == applySkipped {
 				jl.noteSkip("unusable done entry for job %q task %d", e.Job, e.Task)
-				continue
 			}
-			r.results[e.Task] = e.Result
-		case entryCancel:
-			if r := recs[e.Job]; r != nil {
-				r.canceled = true
-			}
+		case entryGrant, entryCancel, entryEpoch, entryCursor:
 		default:
 			jl.noteSkip("entry of unknown kind %q", e.Kind)
 		}
 	}
-
-	now := b.now()
 	jobs, tasks, requeued := 0, 0, 0
-	var maxID uint64
-	for _, id := range order {
-		r := recs[id]
-		if n, ok := numericID(id, "j"); ok && n > maxID {
-			maxID = n
-		}
-		j := &job{
-			id: id, tenant: r.tenant, priority: r.priority,
-			canceled: r.canceled,
-			finished: make(chan struct{}),
-		}
-		tq := b.tenantFor(j.tenant)
-		for i, spec := range r.tasks {
-			t := &task{
-				id:       fmt.Sprintf("%s/%d", id, i),
-				job:      j,
-				idx:      i,
-				spec:     spec,
-				seq:      b.seq + uint64(i) + 1,
-				enqueued: now,
-				leases:   make(map[string]*lease),
-			}
-			j.tasks = append(j.tasks, t)
-			switch {
-			case r.canceled:
-				t.state = taskCanceled
-			case r.results[i] != nil:
-				res := *r.results[i]
-				t.result = &res
-				t.state = taskDone
-				j.done++
-				b.stats.Completed++
-				if res.Err != "" {
-					j.failed++
-					b.stats.Failed++
-				}
-			default:
-				tq.insert(t)
-				if r.granted[i] {
-					requeued++
-				}
-			}
-		}
-		b.seq += uint64(len(r.tasks))
-		b.jobs[id] = j
-		b.stats.Submitted += len(j.tasks)
-		if j.complete() {
-			j.finishedAt = now
-			close(j.finished)
-		}
+	for _, j := range b.jobs {
 		jobs++
 		tasks += len(j.tasks)
-	}
-	// Keep the id sequence ahead of every replayed job id so new ids
-	// never collide with journaled ones.
-	if maxID > b.seq {
-		b.seq = maxID
+		for _, t := range j.tasks {
+			if t.state == taskPending && t.granted {
+				requeued++
+			}
+		}
 	}
 	jl.noteReplay(jobs, tasks, requeued)
 	// Fold everything replayed into one snapshot segment, synchronously:
@@ -1439,10 +1457,163 @@ func (b *Broker) replayJournal(jl *Journal) {
 	}
 }
 
+// applyResult classifies one journal entry's application.
+type applyResult uint8
+
+const (
+	// applyApplied: the entry changed state (and is worth re-journaling
+	// on a follower).
+	applyApplied applyResult = iota
+	// applyDuplicate: the state already reflects the entry — a
+	// compaction leftover, a resume overlap, or a grant/result that a
+	// recorded winner superseded. Idempotently skipped.
+	applyDuplicate
+	// applySkipped: the entry is unusable (unknown kind, bad indices,
+	// missing fields, or referencing a job never seen).
+	applySkipped
+)
+
+// applyEntryLocked folds one journal entry into live state. It is the
+// single application path shared by startup replay and live journal
+// streaming, and it is idempotent: re-applying any prefix (or the whole
+// journal) after a resume leaves the state unchanged. Callers hold b.mu
+// (or run before the broker is shared).
+func (b *Broker) applyEntryLocked(e journalEntry) applyResult {
+	switch e.Kind {
+	case entrySubmit:
+		if e.Job == "" || len(e.Tasks) == 0 {
+			return applySkipped
+		}
+		if b.jobs[e.Job] != nil {
+			return applyDuplicate
+		}
+		j := &job{
+			id: e.Job, tenant: e.Tenant, priority: e.Priority,
+			finished: make(chan struct{}),
+		}
+		tq := b.tenantFor(j.tenant)
+		now := b.now()
+		for i, spec := range e.Tasks {
+			t := &task{
+				id:       fmt.Sprintf("%s/%d", e.Job, i),
+				job:      j,
+				idx:      i,
+				spec:     spec,
+				seq:      b.seq + uint64(i) + 1,
+				enqueued: now,
+				leases:   make(map[string]*lease),
+			}
+			j.tasks = append(j.tasks, t)
+			tq.insert(t)
+		}
+		b.seq += uint64(len(e.Tasks))
+		// Keep the id sequence ahead of every applied job id so new ids
+		// never collide with journaled ones.
+		if n, ok := numericID(e.Job, "j"); ok && n > b.seq {
+			b.seq = n
+		}
+		b.jobs[e.Job] = j
+		b.stats.Submitted += len(j.tasks)
+		return applyApplied
+	case entryGrant:
+		j := b.jobs[e.Job]
+		if j == nil || e.Task < 0 || e.Task >= len(j.tasks) {
+			return applySkipped
+		}
+		t := j.tasks[e.Task]
+		if t.state != taskPending {
+			return applyDuplicate
+		}
+		t.granted = true
+		return applyApplied
+	case entryDone:
+		j := b.jobs[e.Job]
+		if j == nil || e.Result == nil || e.Task < 0 || e.Task >= len(j.tasks) {
+			return applySkipped
+		}
+		t := j.tasks[e.Task]
+		if t.state == taskDone || t.state == taskCanceled {
+			return applyDuplicate
+		}
+		if t.state == taskPending {
+			b.tenantFor(j.tenant).remove(t)
+		} else {
+			b.releaseLeases(t)
+		}
+		res := *e.Result
+		t.result = &res
+		t.state = taskDone
+		j.done++
+		b.stats.Completed++
+		if res.Err != "" {
+			j.failed++
+			b.stats.Failed++
+		}
+		if j.done == len(j.tasks) && !j.canceled {
+			j.finishedAt = b.now()
+			close(j.finished)
+		}
+		return applyApplied
+	case entryCancel:
+		j := b.jobs[e.Job]
+		if j == nil {
+			return applySkipped
+		}
+		if j.complete() {
+			return applyDuplicate
+		}
+		j.canceled = true
+		j.finishedAt = b.now()
+		tq := b.tenantFor(j.tenant)
+		for _, t := range j.tasks {
+			switch t.state {
+			case taskPending:
+				tq.remove(t)
+				t.state = taskCanceled
+			case taskLeased:
+				t.state = taskCanceled
+				b.releaseLeases(t)
+			}
+		}
+		close(j.finished)
+		return applyApplied
+	case entryEpoch:
+		if e.Epoch <= 0 {
+			return applySkipped
+		}
+		res := applyDuplicate
+		if e.Epoch > b.epoch {
+			b.epoch = e.Epoch
+			res = applyApplied
+		}
+		// A fenced stamp re-fences this broker on replay — but never
+		// demotes a configured follower, which is already read-only and
+		// must stay promotable.
+		if e.Fenced && b.role == RolePrimary {
+			b.role = RoleFenced
+			if e.Primary != "" {
+				b.primaryAddr = e.Primary
+			}
+			res = applyApplied
+		}
+		return res
+	case entryCursor:
+		// Own bookkeeping from a previous follower incarnation: restore
+		// the replication resume point.
+		b.repl.cursorGen, b.repl.cursorSeg, b.repl.cursorOff = e.Gen, e.Seg, e.Off
+		return applyApplied
+	default:
+		return applySkipped
+	}
+}
+
 // liveEntriesLocked serialises the broker's retained state as a
 // minimal journal — one submit per job, its recorded results, a cancel
 // marker where needed — in numeric job-id order, so compaction is
-// deterministic and sheds grants and swept jobs.
+// deterministic and sheds grants and swept jobs. An epoch stamp (when
+// the broker has moved past the implicit epoch 1, or is fenced) leads,
+// and a follower's replication cursor trails, so neither survives only
+// in segments a fold just deleted.
 func (b *Broker) liveEntriesLocked() []journalEntry {
 	ids := make([]string, 0, len(b.jobs))
 	for id := range b.jobs {
@@ -1457,6 +1628,12 @@ func (b *Broker) liveEntriesLocked() []journalEntry {
 		return ids[i] < ids[k]
 	})
 	var out []journalEntry
+	if b.epoch > 1 || b.role == RoleFenced {
+		out = append(out, journalEntry{
+			Kind: entryEpoch, Epoch: b.epoch,
+			Fenced: b.role == RoleFenced, Primary: b.fencedPrimaryLocked(),
+		})
+	}
 	for _, id := range ids {
 		j := b.jobs[id]
 		specs := make([]api.TaskSpec, len(j.tasks))
@@ -1476,7 +1653,22 @@ func (b *Broker) liveEntriesLocked() []journalEntry {
 			out = append(out, journalEntry{Kind: entryCancel, Job: id})
 		}
 	}
+	if b.role == RoleFollower && (b.repl.cursorSeg > 0 || b.repl.cursorGen > 0) {
+		out = append(out, journalEntry{
+			Kind: entryCursor,
+			Gen:  b.repl.cursorGen, Seg: b.repl.cursorSeg, Off: b.repl.cursorOff,
+		})
+	}
 	return out
+}
+
+// fencedPrimaryLocked is the redirect hint worth persisting: only a
+// fenced broker's primaryAddr is journal state (a follower's is config).
+func (b *Broker) fencedPrimaryLocked() string {
+	if b.role == RoleFenced {
+		return b.primaryAddr
+	}
+	return ""
 }
 
 // numericID parses a "<prefix><n>" broker id; replay uses it to keep

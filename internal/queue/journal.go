@@ -95,6 +95,16 @@ const (
 	entryGrant  = "grant"
 	entryDone   = "done"
 	entryCancel = "cancel"
+	// entryEpoch stamps a fencing epoch: written (fsynced) when a
+	// follower promotes, and — with Fenced set — when an ex-primary is
+	// told the epoch moved on. Replaying it restores the fence across
+	// restarts, so a zombie primary stays fenced.
+	entryEpoch = "epoch"
+	// entryCursor is follower-only bookkeeping: the replication resume
+	// position, appended after each applied batch. It is meaningful only
+	// in the journal that wrote it (own=true on replay) — streamed to a
+	// downstream follower it is ignored.
+	entryCursor = "cursor"
 )
 
 // journalEntry is one persisted line. Kind selects which fields are
@@ -113,6 +123,19 @@ type journalEntry struct {
 	Task   int             `json:"task,omitempty"`
 	Worker string          `json:"worker,omitempty"`
 	Result *api.TaskResult `json:"result,omitempty"`
+
+	// Epoch-entry fields: the fencing epoch, whether this broker is the
+	// fenced party (as opposed to the promoting one), and where the new
+	// primary lives (the redirect hint for refused mutations).
+	Epoch   int64  `json:"epoch,omitempty"`
+	Fenced  bool   `json:"fenced,omitempty"`
+	Primary string `json:"primary,omitempty"`
+
+	// Cursor-entry fields: the replication resume position (generation,
+	// segment, offset) into the primary's journal.
+	Seg int   `json:"seg,omitempty"`
+	Off int64 `json:"off,omitempty"`
+	Gen int   `json:"gen,omitempty"`
 }
 
 // Journal is the broker's write-ahead record. All methods are safe for
@@ -132,12 +155,26 @@ type Journal struct {
 	loaded      []journalEntry
 	compactWG   sync.WaitGroup // in-flight compactAsync goroutines
 
+	// Replication read side. syncedBytes is the active segment's fsync
+	// watermark: streaming never serves bytes past it, so a follower
+	// only ever sees records the primary already made durable. syncWake
+	// is closed (and replaced) whenever the watermark moves, waking
+	// parked long-poll readers. generation counts compaction folds —
+	// each fold rewrites history, invalidating cursors into any segment
+	// ≤ foldedThrough that were minted under an older generation.
+	syncedBytes   int64
+	syncWake      chan struct{}
+	generation    int
+	foldedThrough int
+
 	faults *faultinject.Injector
 
 	appends, fsyncs, compactions  int
 	rotations                     int
 	replayJobs, replayTasks       int
 	replayRequeued, replaySkipped int
+	streamReads                   int
+	streamBytes                   int64
 }
 
 // OpenJournal opens the journal under dir, reading every existing
@@ -152,7 +189,7 @@ func OpenJournal(dir string, maxBytes int64) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("queue: journal dir: %w", err)
 	}
-	jl := &Journal{dir: dir, maxBytes: maxBytes}
+	jl := &Journal{dir: dir, maxBytes: maxBytes, syncWake: make(chan struct{})}
 
 	// A .tmp file is a compaction that died between Create and Rename;
 	// its content is still fully covered by the claimed segments it was
@@ -241,7 +278,15 @@ func (jl *Journal) Close() error {
 	}
 	err := jl.f.Close()
 	jl.f = nil
+	jl.wakeStreamLocked() // unpark long-poll readers so they observe the close
 	return err
+}
+
+// wakeStreamLocked signals streaming readers that the durable frontier
+// moved (or the journal closed). Callers hold jl.mu.
+func (jl *Journal) wakeStreamLocked() {
+	close(jl.syncWake)
+	jl.syncWake = make(chan struct{})
 }
 
 // append writes one entry; with sync it also fsyncs, making the entry
@@ -296,7 +341,32 @@ func (jl *Journal) append(e journalEntry, sync bool) (rotated bool) {
 			return false
 		}
 		jl.fsyncs++
+		jl.syncedBytes = jl.activeBytes
+		jl.wakeStreamLocked()
 	}
+	if jl.maxBytes > 0 && jl.activeBytes >= jl.maxBytes {
+		return jl.rotateLocked()
+	}
+	return false
+}
+
+// appendRaw appends one already-serialized journal line (newline
+// included) verbatim — the follower's write path, which must keep the
+// replicated bytes identical to the primary's so the two journals stay
+// comparable. The caller vets the line (parsable, current version) and
+// fsyncs per batch via sync(). Returns whether the segment rolled over.
+func (jl *Journal) appendRaw(line []byte) (rotated bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return false
+	}
+	if _, err := jl.f.Write(line); err != nil {
+		log.Printf("queue: journal: append: %v", err)
+		return false
+	}
+	jl.appends++
+	jl.activeBytes += int64(len(line))
 	if jl.maxBytes > 0 && jl.activeBytes >= jl.maxBytes {
 		return jl.rotateLocked()
 	}
@@ -341,7 +411,11 @@ func (jl *Journal) rotateLocked() bool {
 	jl.f = f
 	jl.activeSeg = next
 	jl.activeBytes = 0
+	jl.syncedBytes = 0
 	jl.rotations++
+	// The sealed segment is now fully durable and readable end to end;
+	// wake streamers parked at the old watermark.
+	jl.wakeStreamLocked()
 	return true
 }
 
@@ -358,6 +432,8 @@ func (jl *Journal) sync() {
 		return
 	}
 	jl.fsyncs++
+	jl.syncedBytes = jl.activeBytes
+	jl.wakeStreamLocked()
 }
 
 // load hands over the entries OpenJournal read, in segment order, and
@@ -472,6 +548,12 @@ func (jl *Journal) compactSegments(claimed []int, live []journalEntry) {
 			// sealed segment like any other and folds again next time.
 			jl.sealed = append(jl.sealed, claimed[0])
 			jl.compactions++
+			// History below foldedThrough was rewritten: replication
+			// cursors minted before this fold no longer resolve there.
+			jl.generation++
+			if last := claimed[len(claimed)-1]; last > jl.foldedThrough {
+				jl.foldedThrough = last
+			}
 		} else {
 			jl.sealed = append(jl.sealed, claimed...)
 		}
@@ -548,6 +630,8 @@ func (jl *Journal) metrics() api.JournalMetrics {
 		Rotations:     jl.rotations,
 		Segments:      len(jl.sealed) + len(jl.claimed) + 1,
 		ActiveBytes:   jl.activeBytes,
+		StreamReads:   jl.streamReads,
+		StreamBytes:   jl.streamBytes,
 	}
 }
 

@@ -26,11 +26,22 @@ const (
 	DonePath        = "/v2/done"        // POST api.TaskDone -> api.DoneReply
 	MetricsPath     = "/v2/metrics"     // GET [?format=prometheus] -> api.BrokerMetrics
 	FleetPath       = "/v2/fleet"       // GET -> api.FleetStatus
+	ReplicatePath   = "/v2/replicate"   // POST api.ReplicateRequest -> api.ReplicateReply (long poll)
+	PromotePath     = "/v2/promote"     // POST api.PromoteRequest -> api.PromoteReply
+	FencePath       = "/v2/fence"       // POST api.FenceRequest -> api.FenceReply
 )
 
 // maxStatusWait bounds the job-status long poll so a stuck client
 // cannot park a handler forever; clients simply re-issue the wait.
 const maxStatusWait = 30 * time.Second
+
+// maxReplicateWait bounds the replication long poll the same way.
+const maxReplicateWait = 30 * time.Second
+
+// drainingRetryAfter is the backoff floor stamped on draining refusals:
+// clients with another broker to try fail over instead of hammering a
+// broker that is on its way out.
+const drainingRetryAfter = time.Second
 
 // BrokerServer fronts an internal/queue.Broker over HTTP: schedulers
 // submit jobs and wait on them, workers register and pull leases. The
@@ -50,6 +61,10 @@ type BrokerServer struct {
 	// planeMetrics, when set, merges a co-hosted result plane's counters
 	// into /v2/metrics so one scrape covers the whole daemon.
 	planeMetrics func() api.PlaneMetrics
+	// promote, when set, handles /v2/promote instead of calling the
+	// broker directly — the daemon wires the Follower's Promote here so
+	// an HTTP promotion also stops the follow loop and starts fencing.
+	promote func(reason string) (api.PromoteReply, error)
 }
 
 // NewBrokerServer wraps b in the HTTP service, named name in statuses.
@@ -68,8 +83,15 @@ func NewBrokerServer(b *queue.Broker, name string) *BrokerServer {
 	s.mux.HandleFunc("GET "+StatusPath, s.handleStatus)
 	s.mux.HandleFunc("GET "+MetricsPath, s.handleMetrics)
 	s.mux.HandleFunc("GET "+FleetPath, s.handleFleet)
+	s.mux.HandleFunc("POST "+ReplicatePath, s.handleReplicate)
+	s.mux.HandleFunc("POST "+PromotePath, s.handlePromote)
+	s.mux.HandleFunc("POST "+FencePath, s.handleFence)
 	return s
 }
+
+// SetPromote installs the promotion hook (call before serving); without
+// one, /v2/promote calls the broker directly.
+func (s *BrokerServer) SetPromote(f func(reason string) (api.PromoteReply, error)) { s.promote = f }
 
 // SetPlaneMetrics registers a co-hosted result plane's metrics source
 // (call before serving).
@@ -103,9 +125,16 @@ func reply(w http.ResponseWriter, msg any) {
 	json.NewEncoder(w).Encode(msg)
 }
 
+// drainingErr builds the draining refusal with its Retry-After floor.
+func (s *BrokerServer) drainingErr() *api.Error {
+	ae := api.Errf(api.CodeDraining, "broker %s is draining", s.name)
+	ae.RetryAfterNS = int64(drainingRetryAfter)
+	return ae
+}
+
 func (s *BrokerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		writeError(w, s.drainingErr())
 		return
 	}
 	var sub api.JobSubmit
@@ -122,7 +151,7 @@ func (s *BrokerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *BrokerServer) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		writeError(w, s.drainingErr())
 		return
 	}
 	var bt api.JobSubmitBatch
@@ -188,7 +217,7 @@ func (s *BrokerServer) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *BrokerServer) handleHello(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, api.Errf(api.CodeDraining, "broker %s is draining", s.name))
+		writeError(w, s.drainingErr())
 		return
 	}
 	var h api.WorkerHello
@@ -268,13 +297,104 @@ func (s *BrokerServer) handleDone(w http.ResponseWriter, r *http.Request) {
 
 func (s *BrokerServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.b.Stats()
+	// Role "broker" (a mutation-accepting primary) is the historical
+	// value clients key off; a follower shows as "standby" and a fenced
+	// ex-primary as "fenced", so DialQueue can prefer the leader.
+	role := "broker"
+	switch s.b.Role() {
+	case queue.RoleFollower:
+		role = "standby"
+	case queue.RoleFenced:
+		role = "fenced"
+	}
 	reply(w, api.WorkerStatus{
 		Proto:    api.Version,
 		Name:     s.name,
-		Role:     "broker",
+		Role:     role,
 		Draining: s.draining.Load(),
 		Capacity: st.Workers,
 		Inflight: st.Leased,
 		Jobs:     st.Jobs,
 	})
+}
+
+func (s *BrokerServer) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req api.ReplicateRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := api.CheckProto(req.Proto); err != nil {
+		writeError(w, err)
+		return
+	}
+	jl := s.b.Journal()
+	if jl == nil {
+		writeError(w, api.Errf(api.CodeUnavailable,
+			"broker %s has no journal; nothing to replicate", s.name))
+		return
+	}
+	wait := min(time.Duration(req.WaitNS), maxReplicateWait)
+	ck := jl.WaitStream(r.Context(), req.Generation, req.Segment, req.Offset, req.MaxBytes, wait)
+	role := "primary"
+	switch s.b.Role() {
+	case queue.RoleFollower:
+		role = "follower"
+	case queue.RoleFenced:
+		role = "fenced"
+	}
+	reply(w, api.ReplicateReply{
+		Proto: api.Version, Data: ck.Data,
+		Generation: ck.Gen, Segment: ck.Seg, Offset: ck.Off,
+		Restart:        ck.Restart,
+		PrimarySegment: ck.PrimarySeg, PrimaryOffset: ck.PrimaryOff,
+		Epoch: s.b.Epoch(), Role: role,
+	})
+}
+
+func (s *BrokerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req api.PromoteRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := api.CheckProto(req.Proto); err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.promote != nil {
+		rep, err := s.promote("operator request (/v2/promote)")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		reply(w, rep)
+		return
+	}
+	epoch, requeued, err := s.b.Promote()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply(w, api.PromoteReply{
+		Proto: api.Version, Epoch: epoch, Requeued: requeued, Role: "primary",
+	})
+}
+
+func (s *BrokerServer) handleFence(w http.ResponseWriter, r *http.Request) {
+	var req api.FenceRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := api.CheckProto(req.Proto); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.b.Fence(req.Epoch, req.Primary); err != nil {
+		writeError(w, err)
+		return
+	}
+	role := "fenced"
+	if s.b.Role() == queue.RoleFollower {
+		role = "follower"
+	}
+	reply(w, api.FenceReply{Proto: api.Version, Epoch: s.b.Epoch(), Role: role})
 }

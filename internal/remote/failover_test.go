@@ -1,0 +1,154 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+	"repro/internal/queue"
+)
+
+// haPair is a journaled primary/standby broker pair with the standby's
+// replication loop live over real HTTP.
+type haPair struct {
+	primary  *queue.Broker
+	standby  *queue.Broker
+	tsP, tsS *httptest.Server
+	fol      *Follower
+}
+
+// startHAPair boots the pair: the standby follows the primary via
+// /v2/replicate exactly as `dramlockerd -broker -follow` would, with
+// automatic takeover disabled (tests promote explicitly).
+func startHAPair(t *testing.T) *haPair {
+	t.Helper()
+	openJournal := func() *queue.Journal {
+		jl, err := queue.OpenJournal(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { jl.Close() })
+		return jl
+	}
+	p := queue.New(queue.Config{Journal: openJournal()})
+	tsP := httptest.NewServer(NewBrokerServer(p, "qb-primary"))
+	t.Cleanup(tsP.Close)
+
+	s := queue.New(queue.Config{Journal: openJournal(), Follower: true, PrimaryAddr: tsP.URL})
+	bsS := NewBrokerServer(s, "qb-standby")
+	tsS := httptest.NewServer(bsS)
+	t.Cleanup(tsS.Close)
+
+	fol := NewFollower(s, tsP.URL, FollowerOptions{Name: "qb-standby", Advertise: tsS.URL,
+		Logf: func(string, ...any) {}})
+	bsS.SetPromote(fol.Promote)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); fol.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return &haPair{primary: p, standby: s, tsP: tsP, tsS: tsS, fol: fol}
+}
+
+// TestFailoverAfterPromotion is the in-process takeover arc: a
+// scheduler and a worker are given the full broker list, the primary
+// dies mid-run with a replicated backlog, the standby is promoted, and
+// both sides fail over on their own — the final report is byte-exact
+// with the local run.
+func TestFailoverAfterPromotion(t *testing.T) {
+	ha := startHAPair(t)
+	local, err := engine.Run(testRegistry(t), engine.Options{Workers: 1, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	list := ha.tsP.URL + "," + ha.tsS.URL
+	qe := dialQueue(t, list, QueueOptions{})
+	repCh := make(chan *engine.Report, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := engine.Run(testRegistry(t), engine.Options{Workers: 4, BaseSeed: 5, Executor: qe})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		repCh <- rep
+	}()
+
+	// No worker is serving yet, so the backlog pools on the primary.
+	// Wait for replication to carry some of it to the standby, then
+	// kill the primary and promote.
+	deadline := time.Now().Add(5 * time.Second)
+	for ha.standby.Stats().Submitted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never replicated the backlog")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// SIGKILL-shaped death: in-flight long-polls are severed, not
+	// drained.
+	ha.tsP.CloseClientConnections()
+	ha.tsP.Close()
+	if _, err := ha.fol.Promote("primary lost (test)"); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// The worker arrives only now, with the dead primary first in its
+	// list: registration and polling must find the new primary alone.
+	startPullWorker(t, list, testRegistry(t), "pw1", 4)
+
+	select {
+	case rep := <-repCh:
+		if reportText(rep) != reportText(local) {
+			t.Fatalf("post-takeover report diverged:\n%s\nvs local\n%s", reportText(rep), reportText(local))
+		}
+	case err := <-errCh:
+		t.Fatalf("scheduler failed across takeover: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("scheduler never finished after takeover")
+	}
+	if ha.standby.Role() != queue.RolePrimary {
+		t.Fatalf("standby role = %s, want primary", ha.standby.Role())
+	}
+}
+
+// TestStandbyRejectsMutationsOverHTTP pins the wire shape clients
+// depend on for failover: a standby answers mutations with 503, a
+// Retry-After floor, and a typed not_leader error naming the primary.
+func TestStandbyRejectsMutationsOverHTTP(t *testing.T) {
+	ha := startHAPair(t)
+	var rep api.SubmitReply
+	err := postJSON(context.Background(), http.DefaultClient, ha.tsS.URL+SubmitPath,
+		api.JobSubmit{Proto: api.Version, Tasks: []api.TaskSpec{
+			{Proto: api.Version, Job: "j", Shard: 0, Seed: 7, Key: "j@hash"},
+		}}, &rep)
+	ae, ok := api.AsError(err)
+	if !ok || ae.Code != api.CodeNotLeader {
+		t.Fatalf("standby submit error = %v, want %s", err, api.CodeNotLeader)
+	}
+	if !ae.Retryable || ae.Primary != ha.tsP.URL || ae.RetryAfterNS <= 0 {
+		t.Fatalf("not_leader reply lacks redirect/backoff hints: %+v", ae)
+	}
+
+	// The HTTP layer mirrors the typed hint as a Retry-After header,
+	// same as rate_limited — one floor-handling path client-side.
+	body, _ := json.Marshal(api.JobSubmit{Proto: api.Version, Tasks: []api.TaskSpec{
+		{Proto: api.Version, Job: "j2", Shard: 0, Seed: 7, Key: "j2@hash"},
+	}})
+	resp, err := http.Post(ha.tsS.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby submit status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 from standby carries no Retry-After header")
+	}
+}

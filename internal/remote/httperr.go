@@ -29,7 +29,7 @@ func httpStatus(code api.Code) int {
 		return http.StatusConflict
 	case api.CodeQueueFull, api.CodeRateLimited:
 		return http.StatusTooManyRequests
-	case api.CodeDraining, api.CodeUnavailable:
+	case api.CodeDraining, api.CodeUnavailable, api.CodeNotLeader:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -39,6 +39,29 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 	c("dramlocker_broker_rate_limited_jobs_total", "Job submissions deferred by the per-tenant token bucket (rate_limited).", int64(m.RateLimited))
 	c("dramlocker_broker_plane_hits_total", "Tasks completed straight from the result plane at submit time (no lease granted).", int64(m.PlaneHits))
 	g("dramlocker_broker_goroutines", "Goroutines in the broker process (leak canary for chaos soaks).", int64(m.Goroutines))
+	if m.Role != "" {
+		// The role gauge is labelled one-hot (value 1 on the current
+		// role) so dashboards can plot takeovers as a step function.
+		fmt.Fprintf(w, "# HELP dramlocker_broker_role Current HA role (1 on the active label).\n# TYPE dramlocker_broker_role gauge\n")
+		for _, role := range []string{"primary", "follower", "fenced"} {
+			v := 0
+			if role == m.Role {
+				v = 1
+			}
+			fmt.Fprintf(w, "dramlocker_broker_role{role=%q} %d\n", role, v)
+		}
+		g("dramlocker_broker_epoch", "Fencing epoch (bumps on every promotion).", m.Epoch)
+	}
+	if rm := m.Replication; rm != nil {
+		g("dramlocker_broker_replication_lag_bytes", "Bytes behind the primary's fsynced watermark (-1 across a segment boundary).", rm.LagBytes)
+		g("dramlocker_broker_replication_segments_behind", "Whole journal segments between the follower cursor and the primary.", int64(rm.SegmentsBehind))
+		c("dramlocker_broker_replication_applied_total", "Replicated journal entries applied.", int64(rm.Applied))
+		c("dramlocker_broker_replication_duplicates_total", "Replicated entries already reflected in follower state.", int64(rm.Duplicates))
+		c("dramlocker_broker_replication_skipped_total", "Replicated entries dropped as undecodable or unusable.", int64(rm.Skipped))
+		c("dramlocker_broker_replication_batches_total", "Replication batches applied.", int64(rm.Batches))
+		c("dramlocker_broker_replication_restarts_total", "Stream restarts after the primary compacted past the cursor.", int64(rm.Restarts))
+		g("dramlocker_broker_replication_last_contact_seconds", "Time since the last successful replication poll.", rm.LastContactAgeNS/1e9)
+	}
 	if pm := m.Plane; pm != nil {
 		c("dramlocker_plane_hits_total", "Result-plane GET hits (incl. conditional 304s).", pm.Hits)
 		c("dramlocker_plane_misses_total", "Result-plane GET misses.", pm.Misses)
@@ -50,6 +73,9 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 		c("dramlocker_plane_wait_hits_total", "Long-poll GETs answered by a PUT arriving mid-wait.", pm.WaitHits)
 		g("dramlocker_plane_entries", "Entries currently stored in the result plane.", pm.Entries)
 		g("dramlocker_plane_bytes_stored", "Bytes currently stored in the result plane.", pm.BytesStored)
+		c("dramlocker_plane_evictions_total", "Entries evicted by the byte-budget LRU or idle TTL.", pm.Evictions)
+		c("dramlocker_plane_evicted_bytes_total", "Bytes reclaimed by plane evictions.", pm.EvictedBytes)
+		c("dramlocker_plane_rewrites_total", "plane.jsonl compactions that made evictions durable.", pm.Rewrites)
 	}
 	if jm := m.Journal; jm != nil {
 		c("dramlocker_broker_journal_appends_total", "Journal entries appended.", int64(jm.Appends))
@@ -62,6 +88,8 @@ func writePrometheus(w io.Writer, m api.BrokerMetrics) {
 		c("dramlocker_broker_journal_rotations_total", "Active-segment rotations (-journal-max-bytes crossings).", int64(jm.Rotations))
 		g("dramlocker_broker_journal_segments", "Journal segments on disk (sealed + claimed + active).", int64(jm.Segments))
 		g("dramlocker_broker_journal_active_bytes", "Bytes in the journal's active segment.", jm.ActiveBytes)
+		c("dramlocker_broker_journal_stream_reads_total", "Replication stream reads served.", int64(jm.StreamReads))
+		c("dramlocker_broker_journal_stream_bytes_total", "Bytes served to replication followers.", jm.StreamBytes)
 	}
 	if len(m.Tenants) > 0 {
 		fmt.Fprintf(w, "# HELP dramlocker_tenant_pending_tasks Tasks pending per tenant.\n# TYPE dramlocker_tenant_pending_tasks gauge\n")

@@ -51,6 +51,43 @@ var statusRetry = backoff.Policy{
 	Jitter: 0.5,
 }
 
+// transportFailoverAfter is how many consecutive transport-level
+// failures against one broker a client tolerates before rotating to the
+// next target in its failover list. Low enough that a SIGKILLed primary
+// costs a couple of seconds, high enough that one dropped packet does
+// not bounce the fleet between brokers.
+const transportFailoverAfter = 3
+
+// maxResubmits caps how many times one task is resubmitted after its
+// job vanished in a failover (admitted by a primary that died before
+// the standby replicated the entry). Resubmission is safe — the
+// scheduler owns seeding and dedup — but an unbounded loop would mask a
+// broker that keeps losing jobs.
+const maxResubmits = 5
+
+// normalizeBase canonicalizes one broker address ("host:port" or a full
+// URL) so failover-list entries and not_leader hints compare equal.
+func normalizeBase(addr string) string {
+	base := strings.TrimSpace(addr)
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/")
+}
+
+// splitTargets parses a comma-separated broker list into normalized
+// bases, dropping empty elements.
+func splitTargets(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if strings.TrimSpace(a) == "" {
+			continue
+		}
+		out = append(out, normalizeBase(a))
+	}
+	return out
+}
+
 // QueueOptions configures a QueueExecutor.
 type QueueOptions struct {
 	// Tenant is the fairness bucket submissions run under; empty means
@@ -75,14 +112,20 @@ type QueueOptions struct {
 // caching, a report produced through the queue is byte-identical to a
 // local or push-remote run — the broker only changes who executes.
 type QueueExecutor struct {
-	base     string
 	name     string
 	tenant   string
 	priority int
 	client   *http.Client
 	linger   time.Duration
-	seed     int64        // jitter seed root (broker addr + tenant)
+	seed     int64        // jitter seed root (broker addrs + tenant)
 	seedCtr  atomic.Int64 // decorrelates concurrent retry loops
+
+	// Failover list: targets[cur] is where traffic goes now; failover
+	// advances cur when the current target refuses leadership
+	// (not_leader), announces a drain, or stops answering.
+	tmu     sync.Mutex
+	targets []string
+	cur     int
 
 	// Submission batcher: concurrent Executes enqueue waiters here; the
 	// first one to find the batcher idle becomes responsible for
@@ -99,50 +142,121 @@ type submitWaiter struct {
 	ch  chan submitOutcome
 }
 
-// submitOutcome is the per-job reply a waiter receives.
+// submitOutcome is the per-job reply a waiter receives. base records
+// which broker answered (or failed), so the retry loop's failover
+// targets the broker that actually misbehaved — not whichever target a
+// concurrent loop has already moved to.
 type submitOutcome struct {
-	id  string
-	err error
+	id   string
+	base string
+	err  error
 }
 
-// DialQueue connects to the broker at addr ("host:port" or a full URL),
-// verifies it speaks the current protocol version, and returns an
-// executor over it. Like Dial, startup is strict: an unreachable,
-// version-mismatched or draining broker is a configuration error.
+// DialQueue connects to a broker — "host:port", a full URL, or a
+// comma-separated failover list — verifies it speaks the current
+// protocol version, and returns an executor over it. With a single
+// address startup stays strict: an unreachable, version-mismatched or
+// draining broker is a configuration error. With a list, the first
+// reachable primary (role "broker", not draining) wins; if only
+// standbys answer — a takeover is mid-flight — the executor starts
+// against a standby and follows the not_leader hints to the new
+// primary once it exists.
 func DialQueue(ctx context.Context, addr string, opts QueueOptions) (*QueueExecutor, error) {
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	targets := splitTargets(addr)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("remote: no broker address in %q", addr)
 	}
-	base = strings.TrimRight(base, "/")
 	linger := opts.BatchLinger
 	if linger == 0 {
 		linger = defaultBatchLinger
 	}
 	e := &QueueExecutor{
-		base:     base,
+		targets:  targets,
 		tenant:   opts.Tenant,
 		priority: opts.Priority,
 		client:   orDefaultClient(opts.Client),
 		linger:   linger,
-		seed:     backoff.SeedString(base + "|" + opts.Tenant),
+		seed:     backoff.SeedString(strings.Join(targets, ",") + "|" + opts.Tenant),
 	}
-	st, err := e.status(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("remote: broker %s: %w", addr, err)
+	var firstErr error
+	fallback := -1
+	var fallbackSt api.WorkerStatus
+	for i, t := range targets {
+		st, err := e.statusOf(ctx, t)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("remote: broker %s: %w", t, err)
+			}
+			continue
+		}
+		if st.Draining {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("remote: broker %s (%s) is draining", t, st.Name)
+			}
+			continue
+		}
+		if st.Role == "broker" {
+			e.cur = i
+			e.name = st.Name
+			return e, nil
+		}
+		if fallback < 0 {
+			fallback = i
+			fallbackSt = st
+		}
 	}
-	if st.Draining {
-		return nil, fmt.Errorf("remote: broker %s (%s) is draining", addr, st.Name)
+	if fallback >= 0 {
+		e.cur = fallback
+		e.name = fallbackSt.Name
+		return e, nil
 	}
-	e.name = st.Name
-	return e, nil
+	return nil, firstErr
 }
 
-// status fetches and validates the broker's /v1/status.
-func (e *QueueExecutor) status(ctx context.Context) (api.WorkerStatus, error) {
+// baseNow is the broker traffic currently targets.
+func (e *QueueExecutor) baseNow() string {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	return e.targets[e.cur]
+}
+
+func (e *QueueExecutor) numTargets() int {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	return len(e.targets)
+}
+
+// failover moves traffic off the broker at from — but only if it is
+// still the current target, so concurrent retry loops racing to fail
+// over move the fleet exactly one hop. A non-empty hint (the primary
+// address a not_leader error names) is adopted directly, joining the
+// list if new; without one the list is tried round-robin.
+func (e *QueueExecutor) failover(from, hint string) {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if e.targets[e.cur] != from {
+		return
+	}
+	if hint != "" {
+		h := normalizeBase(hint)
+		for i, t := range e.targets {
+			if t == h {
+				e.cur = i
+				return
+			}
+		}
+		e.targets = append(e.targets, h)
+		e.cur = len(e.targets) - 1
+		return
+	}
+	e.cur = (e.cur + 1) % len(e.targets)
+}
+
+// statusOf fetches and validates one broker's /v1/status.
+func (e *QueueExecutor) statusOf(ctx context.Context, base string) (api.WorkerStatus, error) {
 	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.base+StatusPath, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+StatusPath, nil)
 	if err != nil {
 		return api.WorkerStatus{}, err
 	}
@@ -165,7 +279,7 @@ func (e *QueueExecutor) status(ctx context.Context) (api.WorkerStatus, error) {
 }
 
 // Broker describes the dialled broker as "name@addr" (for CLI logging).
-func (e *QueueExecutor) Broker() string { return e.name + "@" + e.base }
+func (e *QueueExecutor) Broker() string { return e.name + "@" + e.baseNow() }
 
 // Execute implements engine.Executor: submit the task as a one-task
 // job, long-poll its status until done, and hand back the result. The
@@ -174,42 +288,68 @@ func (e *QueueExecutor) Broker() string { return e.name + "@" + e.base }
 // cancelled ctx best-effort cancels the job so abandoned work leaves
 // the queue.
 func (e *QueueExecutor) Execute(ctx context.Context, spec api.TaskSpec) (api.TaskResult, error) {
-	id, err := e.submit(ctx, api.JobSubmit{
+	job := api.JobSubmit{
 		Proto:    api.Version,
 		Tenant:   e.tenant,
 		Priority: e.priority,
 		Tasks:    []api.TaskSpec{spec},
-	})
+	}
+	id, err := e.submit(ctx, job)
 	if err != nil {
 		return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: submit: %w", spec.Job, spec.Shard, err)
 	}
-	sub := api.SubmitReply{Proto: api.Version, ID: id}
 	retry := e.newRetry(statusRetry)
+	misses, resubmits := 0, 0
 	for {
-		st, err := e.jobStatus(ctx, sub.ID)
+		base := e.baseNow()
+		st, err := e.jobStatus(ctx, base, id)
 		if err != nil {
 			if ctx.Err() != nil {
-				e.cancel(sub.ID)
+				e.cancel(id)
 				return api.TaskResult{}, ctx.Err()
 			}
-			// Transient broker trouble: the job is already queued; keep
-			// polling rather than lose it.
-			if _, typed := api.AsError(err); !typed {
+			ae, typed := api.AsError(err)
+			switch {
+			case !typed:
+				// Transient broker trouble: the job is already queued; keep
+				// polling, rotating to the next target once the current one
+				// looks dead rather than lose the job.
+				if misses++; misses >= transportFailoverAfter && e.numTargets() > 1 {
+					e.failover(base, "")
+					misses = 0
+				}
 				retry.Sleep(ctx)
 				continue
+			case ae.Code == api.CodeNotFound && resubmits < maxResubmits:
+				// The job fell into the replication gap: the broker that
+				// admitted it died before the standby pulled the entry.
+				// Submitting again is safe — the scheduler owns seeding and
+				// dedup, so a re-run produces the identical result.
+				misses = 0
+				resubmits++
+				id2, serr := e.submit(ctx, job)
+				if serr != nil {
+					return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: resubmit after lost job %s: %w",
+						spec.Job, spec.Shard, id, serr)
+				}
+				id = id2
+				retry.Reset()
+				continue
+			default:
+				return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: job %s: %w", spec.Job, spec.Shard, id, err)
 			}
-			return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: job %s: %w", spec.Job, spec.Shard, sub.ID, err)
 		}
+		misses = 0
 		retry.Reset()
 		switch st.State {
 		case api.JobDone:
 			res := st.Results[0]
 			if verr := res.Validate(spec); verr != nil {
-				return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: broker %s: %w", spec.Job, spec.Shard, e.base, verr)
+				return api.TaskResult{}, fmt.Errorf("remote: task %s[%d]: broker %s: %w", spec.Job, spec.Shard, base, verr)
 			}
 			return res, nil
 		case api.JobCanceled:
-			return api.TaskResult{}, api.Errf(api.CodeCanceled, "job %s was canceled", sub.ID)
+			return api.TaskResult{}, api.Errf(api.CodeCanceled, "job %s was canceled", id)
 		}
 	}
 }
@@ -222,14 +362,18 @@ func (e *QueueExecutor) newRetry(p backoff.Policy) *backoff.Backoff {
 
 // submit routes one job through the batcher and waits for its per-job
 // outcome, retrying with capped jittered backoff on transport failures
-// (broker momentarily down — the crash-recovery window) and on the two
-// typed "back off and resubmit" rejections: queue_full (wait for the
-// backlog to drain) and rate_limited (wait out the token bucket,
-// flooring the backoff at the broker's own Retry-After hint — retrying
-// sooner is a guaranteed wasted round-trip). Other typed errors fail
-// fast: the broker positively rejected the submission.
+// (broker momentarily down — the crash-recovery window) and on the
+// typed "back off and resubmit" rejections: queue_full, rate_limited,
+// not_leader, and (with somewhere else to go) draining. Every typed
+// retry floors the backoff at the broker's own Retry-After hint —
+// retrying sooner than the server's named comeback time is a
+// guaranteed wasted round-trip. not_leader additionally fails over to
+// the primary the error names; repeated transport failures rotate
+// through the target list. Other typed errors fail fast: the broker
+// positively rejected the submission.
 func (e *QueueExecutor) submit(ctx context.Context, sub api.JobSubmit) (string, error) {
 	retry := e.newRetry(submitRetry)
+	misses := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return "", err
@@ -253,12 +397,27 @@ func (e *QueueExecutor) submit(ctx context.Context, sub api.JobSubmit) (string, 
 			return out.id, nil
 		}
 		ae, typed := api.AsError(out.err)
+		if typed {
+			misses = 0
+		}
 		switch {
 		case !typed:
+			if misses++; misses >= transportFailoverAfter && e.numTargets() > 1 {
+				e.failover(out.base, "")
+				misses = 0
+			}
 			retry.Sleep(ctx)
-		case ae.Code == api.CodeQueueFull:
-			retry.Sleep(ctx)
-		case ae.Code == api.CodeRateLimited:
+		case ae.Code == api.CodeNotLeader:
+			// A standby (or fenced ex-primary) answered: go where it
+			// points.
+			e.failover(out.base, ae.Primary)
+			retry.SleepAtLeast(ctx, time.Duration(ae.RetryAfterNS))
+		case ae.Code == api.CodeQueueFull, ae.Code == api.CodeRateLimited:
+			retry.SleepAtLeast(ctx, time.Duration(ae.RetryAfterNS))
+		case ae.Code == api.CodeDraining && e.numTargets() > 1:
+			// With a failover list, a draining broker is a hop, not a
+			// fatal config error (which it stays for single-target runs).
+			e.failover(out.base, "")
 			retry.SleepAtLeast(ctx, time.Duration(ae.RetryAfterNS))
 		default:
 			return "", out.err
@@ -306,26 +465,27 @@ func (e *QueueExecutor) ship(batch []*submitWaiter) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), submitShipTimeout)
 	defer cancel()
+	base := e.baseNow()
 	var rep api.SubmitBatchReply
-	err := postJSON(ctx, e.client, e.base+SubmitBatchPath, req, &rep)
+	err := postJSON(ctx, e.client, base+SubmitBatchPath, req, &rep)
 	if err == nil && len(rep.Jobs) != len(batch) {
 		err = fmt.Errorf("batch submit answered %d of %d jobs", len(rep.Jobs), len(batch))
 	}
 	for i, w := range batch {
 		switch {
 		case err != nil:
-			w.ch <- submitOutcome{err: err}
+			w.ch <- submitOutcome{base: base, err: err}
 		case rep.Jobs[i].Err != nil:
-			w.ch <- submitOutcome{err: rep.Jobs[i].Err}
+			w.ch <- submitOutcome{base: base, err: rep.Jobs[i].Err}
 		default:
-			w.ch <- submitOutcome{id: rep.Jobs[i].ID}
+			w.ch <- submitOutcome{base: base, id: rep.Jobs[i].ID}
 		}
 	}
 }
 
-// jobStatus long-polls one job's status.
-func (e *QueueExecutor) jobStatus(ctx context.Context, id string) (api.JobStatus, error) {
-	url := fmt.Sprintf("%s%s?id=%s&wait=%d", e.base, JobStatusPath, id, int(statusPollWait.Seconds()))
+// jobStatus long-polls one job's status against base.
+func (e *QueueExecutor) jobStatus(ctx context.Context, base, id string) (api.JobStatus, error) {
+	url := fmt.Sprintf("%s%s?id=%s&wait=%d", base, JobStatusPath, id, int(statusPollWait.Seconds()))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return api.JobStatus{}, err
@@ -349,5 +509,5 @@ func (e *QueueExecutor) jobStatus(ctx context.Context, id string) (api.JobStatus
 func (e *QueueExecutor) cancel(id string) {
 	ctx, done := context.WithTimeout(context.Background(), 5*time.Second)
 	defer done()
-	postJSON(ctx, e.client, e.base+CancelPath, api.CancelRequest{Proto: api.Version, ID: id}, nil)
+	postJSON(ctx, e.client, e.baseNow()+CancelPath, api.CancelRequest{Proto: api.Version, ID: id}, nil)
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -74,7 +73,6 @@ type WorkerOptions struct {
 // refusal is retryable, so the worker abandons the lease (no TaskDone)
 // and the broker requeues the task for a compatible worker.
 type PullWorker struct {
-	base       string
 	name       string
 	exec       engine.Executor
 	capacity   int
@@ -84,20 +82,23 @@ type PullWorker struct {
 	seed       int64
 
 	mu       sync.Mutex
+	targets  []string // failover list; targets[cur] is the current broker
+	cur      int
 	workerID string
 	ttl      time.Duration
 	progress map[string]*api.TaskProgress // latest heartbeat per active lease
 }
 
-// NewPullWorker builds a worker for the broker at addr ("host:port" or
-// full URL), executing over reg under opts; opts.Capacity <= 0 panics.
+// NewPullWorker builds a worker for the broker at addr ("host:port",
+// full URL, or a comma-separated failover list), executing over reg
+// under opts; opts.Capacity <= 0 or an empty address panics.
 func NewPullWorker(addr string, reg *engine.Registry, opts WorkerOptions) *PullWorker {
 	if opts.Capacity <= 0 {
 		panic("remote: pull worker capacity must be positive")
 	}
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	targets := splitTargets(addr)
+	if len(targets) == 0 {
+		panic("remote: pull worker needs a broker address")
 	}
 	drain := opts.DrainGrace
 	if drain == 0 {
@@ -116,7 +117,7 @@ func NewPullWorker(addr string, reg *engine.Registry, opts WorkerOptions) *PullW
 		exec = engine.NewNamedLocalExecutor(reg, opts.Name)
 	}
 	return &PullWorker{
-		base:       strings.TrimRight(base, "/"),
+		targets:    targets,
 		name:       opts.Name,
 		exec:       exec,
 		capacity:   opts.Capacity,
@@ -138,15 +139,20 @@ func orDefaultClient(c *http.Client) *http.Client {
 // Run registers with the broker and works leases until ctx cancels,
 // then drains: the broker is told to stop offering leases, in-flight
 // tasks finish (or are cancelled with ctx) and report, and Run returns
-// ctx's error. A broker that is down at start is an error; a broker
-// that dies later is retried forever under a jittered capped backoff —
-// pull workers are the resilient side of the topology.
+// ctx's error. Every broker in the failover list down at start is an
+// error; a broker that dies later is retried forever under a jittered
+// capped backoff, rotating through the list — pull workers are the
+// resilient side of the topology. Broker membership is soft state, so
+// every failover is followed by a fresh hello: the new primary has
+// never seen this worker, and the in-flight leases it inherited resolve
+// as expiry followed by requeue.
 func (p *PullWorker) Run(ctx context.Context) error {
-	if err := p.hello(ctx); err != nil {
-		return fmt.Errorf("remote: broker %s: %w", p.base, err)
+	if err := p.helloAnywhere(ctx); err != nil {
+		return fmt.Errorf("remote: broker %s: %w", p.baseNow(), err)
 	}
 	retry := pollRetry.New(p.seed)
 	slots := make(chan struct{}, p.capacity)
+	misses := 0
 	var wg sync.WaitGroup
 	for ctx.Err() == nil {
 		// Hold a slot before polling so we never lease work we cannot
@@ -159,14 +165,34 @@ func (p *PullWorker) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			break
 		}
+		base := p.baseNow()
 		lease, err := p.pollOne(ctx)
 		if err != nil {
 			<-slots
 			if ctx.Err() != nil {
 				break
 			}
-			if ae, ok := api.AsError(err); ok && ae.Code == api.CodeNotFound {
-				// Broker forgot us (restart or expiry): re-register.
+			if ae, typed := api.AsError(err); typed {
+				misses = 0
+				switch ae.Code {
+				case api.CodeNotFound:
+					// Broker forgot us (restart or expiry): re-register.
+					if herr := p.hello(ctx); herr == nil {
+						retry.Reset()
+						continue
+					}
+				case api.CodeNotLeader:
+					// A standby (or fenced ex-primary) answered: adopt the
+					// primary it names and register there.
+					p.failover(base, ae.Primary)
+					if herr := p.hello(ctx); herr == nil {
+						retry.Reset()
+						continue
+					}
+				}
+			} else if misses++; misses >= transportFailoverAfter && p.numTargets() > 1 {
+				p.failover(base, "")
+				misses = 0
 				if herr := p.hello(ctx); herr == nil {
 					retry.Reset()
 					continue
@@ -175,6 +201,7 @@ func (p *PullWorker) Run(ctx context.Context) error {
 			retry.Sleep(ctx)
 			continue
 		}
+		misses = 0
 		retry.Reset()
 		if lease == nil {
 			<-slots
@@ -201,10 +228,69 @@ func (p *PullWorker) id() string {
 	return p.workerID
 }
 
-// hello (re-)registers with the broker, adopting its lease TTL.
+// baseNow is the broker this worker currently talks to.
+func (p *PullWorker) baseNow() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.targets[p.cur]
+}
+
+func (p *PullWorker) numTargets() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.targets)
+}
+
+// failover moves off the broker at from if it is still current,
+// adopting a not_leader hint directly (joining the list if new) or
+// rotating round-robin without one.
+func (p *PullWorker) failover(from, hint string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.targets[p.cur] != from {
+		return
+	}
+	if hint != "" {
+		h := normalizeBase(hint)
+		for i, t := range p.targets {
+			if t == h {
+				p.cur = i
+				return
+			}
+		}
+		p.targets = append(p.targets, h)
+		p.cur = len(p.targets) - 1
+		return
+	}
+	p.cur = (p.cur + 1) % len(p.targets)
+}
+
+// helloAnywhere registers with the first broker in the list that
+// accepts, following not_leader hints and rotating past dead entries.
+// Startup stays strict overall: if no target accepts a registration,
+// the last error comes back.
+func (p *PullWorker) helloAnywhere(ctx context.Context) error {
+	var lastErr error
+	for i := 0; i <= p.numTargets(); i++ {
+		base := p.baseNow()
+		err := p.hello(ctx)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ae, ok := api.AsError(err); ok && ae.Code == api.CodeNotLeader {
+			p.failover(base, ae.Primary)
+			continue
+		}
+		p.failover(base, "")
+	}
+	return lastErr
+}
+
+// hello (re-)registers with the current broker, adopting its lease TTL.
 func (p *PullWorker) hello(ctx context.Context) error {
 	var rep api.HelloReply
-	err := postJSON(ctx, p.client, p.base+HelloPath,
+	err := postJSON(ctx, p.client, p.baseNow()+HelloPath,
 		api.WorkerHello{Proto: api.Version, Name: p.name, Capacity: p.capacity}, &rep)
 	if err != nil {
 		return err
@@ -344,7 +430,8 @@ func (p *PullWorker) clearProgress(id string) {
 	p.mu.Unlock()
 }
 
-// postBroker ships one broker message, resolving the path off the base.
+// postBroker ships one broker message, resolving the path off the
+// current base so renews and done-reports follow a failover.
 func (p *PullWorker) postBroker(ctx context.Context, path string, req, out any) error {
-	return postJSON(ctx, p.client, p.base+path, req, out)
+	return postJSON(ctx, p.client, p.baseNow()+path, req, out)
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +53,9 @@ const (
 type entry struct {
 	data []byte
 	etag string // hex sha256 of data
+	// lastUsed is the entry's last hit (or its store time), the LRU
+	// eviction order and the idle-TTL clock.
+	lastUsed time.Time
 }
 
 // claim is one in-flight computation registration.
@@ -77,7 +81,12 @@ type Store struct {
 	// GETs; Put closes it. Created lazily, recreated after each close.
 	waiters map[string]chan struct{}
 	f       *os.File
+	path    string // persistence file path ("" when memory-only)
 	m       api.PlaneMetrics
+	// Eviction limits (SetLimits): maxBytes caps BytesStored via LRU
+	// eviction, ttl drops entries idle longer than ttl. Zero disables.
+	maxBytes int64
+	ttl      time.Duration
 	// now is the clock (injectable so claim-expiry tests don't sleep).
 	now func() time.Time
 }
@@ -111,7 +120,22 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("resultplane: open plane file: %w", err)
 	}
 	s.f = f
+	s.path = path
 	return s, nil
+}
+
+// SetLimits caps the store: maxBytes bounds BytesStored (least recently
+// used entries are evicted past it) and ttl drops entries idle longer
+// than ttl. Zero disables either limit. Limits are enforced at PUT time
+// — the plane is an optimisation, so an eviction merely costs a future
+// recompute — and each eviction batch compacts plane.jsonl so reclaimed
+// entries do not resurrect on restart.
+func (s *Store) SetLimits(maxBytes int64, ttl time.Duration) {
+	s.mu.Lock()
+	s.maxBytes = maxBytes
+	s.ttl = ttl
+	s.maybeEvictLocked("")
+	s.mu.Unlock()
 }
 
 // load best-effort replays path into the store.
@@ -133,7 +157,10 @@ func (s *Store) load(path string) {
 			continue
 		}
 		data := append([]byte(nil), pl.Data...)
-		s.entries[pl.Key] = entry{data: data, etag: etagOf(data)}
+		// Reloaded entries start their idle clock now — mtimes are not
+		// persisted, and nuking the whole store at boot would be worse
+		// than letting survivors age out over the next TTL window.
+		s.entries[pl.Key] = entry{data: data, etag: etagOf(data), lastUsed: s.now()}
 	}
 	s.m.Entries = int64(len(s.entries))
 	for _, e := range s.entries {
@@ -176,7 +203,14 @@ func (s *Store) Get(key string) ([]byte, string, bool) {
 		return nil, "", false
 	}
 	s.m.Hits++
+	s.touchLocked(key, e)
 	return e.data, e.etag, true
+}
+
+// touchLocked refreshes key's LRU position (mu held).
+func (s *Store) touchLocked(key string, e entry) {
+	e.lastUsed = s.now()
+	s.entries[key] = e
 }
 
 // Wait long-polls for key: it returns immediately on a hit and
@@ -189,6 +223,7 @@ func (s *Store) Wait(ctx context.Context, key string, d time.Duration) ([]byte, 
 		s.mu.Lock()
 		if e, ok := s.entries[key]; ok {
 			s.m.Hits++
+			s.touchLocked(key, e)
 			s.mu.Unlock()
 			return e.data, e.etag, true
 		}
@@ -203,6 +238,7 @@ func (s *Store) Wait(ctx context.Context, key string, d time.Duration) ([]byte, 
 			s.mu.Lock()
 			if e, ok := s.entries[key]; ok {
 				s.m.WaitHits++
+				s.touchLocked(key, e)
 				s.mu.Unlock()
 				return e.data, e.etag, true
 			}
@@ -250,23 +286,127 @@ func (s *Store) Put(key string, data []byte) (string, bool) {
 		s.m.Puts++
 		s.m.Entries++
 	}
-	e := entry{data: data, etag: etagOf(data)}
+	e := entry{data: data, etag: etagOf(data), lastUsed: s.now()}
 	s.entries[key] = e
 	s.m.BytesStored += int64(len(data))
 	s.releaseLocked(key)
+	// Enforce the byte budget and idle TTL now that the write landed; a
+	// triggered eviction batch rewrites plane.jsonl (new entry included),
+	// making the append below redundant.
+	rewrote := s.maybeEvictLocked(key)
 	f := s.f
 	var line []byte
-	if f != nil {
+	if f != nil && !rewrote {
 		line, _ = json.Marshal(planeLine{Key: key, Data: data})
 		line = append(line, '\n')
 	}
 	s.mu.Unlock()
-	if f != nil {
+	if line != nil {
 		// Swallow write errors like the disk cache: persistence is an
 		// optimisation; the entry is live in memory regardless.
 		f.Write(line)
 	}
 	return e.etag, conflict
+}
+
+// maybeEvictLocked enforces the idle TTL and the byte budget (mu held),
+// sparing keep (the entry whose write triggered the check — evicting
+// what was just stored would thrash). It reports whether an eviction
+// batch compacted the persistence file.
+func (s *Store) maybeEvictLocked(keep string) bool {
+	if s.maxBytes <= 0 && s.ttl <= 0 {
+		return false
+	}
+	now := s.now()
+	evicted := 0
+	if s.ttl > 0 {
+		for key, e := range s.entries {
+			if key != keep && now.Sub(e.lastUsed) > s.ttl {
+				s.dropLocked(key, e)
+				evicted++
+			}
+		}
+	}
+	if s.maxBytes > 0 && s.m.BytesStored > s.maxBytes {
+		type cand struct {
+			key      string
+			lastUsed time.Time
+		}
+		cands := make([]cand, 0, len(s.entries))
+		for key, e := range s.entries {
+			if key != keep {
+				cands = append(cands, cand{key, e.lastUsed})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if !cands[i].lastUsed.Equal(cands[j].lastUsed) {
+				return cands[i].lastUsed.Before(cands[j].lastUsed)
+			}
+			return cands[i].key < cands[j].key // deterministic tie-break
+		})
+		for _, c := range cands {
+			if s.m.BytesStored <= s.maxBytes {
+				break
+			}
+			s.dropLocked(c.key, s.entries[c.key])
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		return false
+	}
+	return s.rewriteLocked()
+}
+
+// dropLocked removes one entry, counting the eviction (mu held).
+func (s *Store) dropLocked(key string, e entry) {
+	delete(s.entries, key)
+	s.m.Entries--
+	s.m.BytesStored -= int64(len(e.data))
+	s.m.Evictions++
+	s.m.EvictedBytes += int64(len(e.data))
+}
+
+// rewriteLocked compacts the persistence file to the live entries —
+// write a temp file, fsync, rename over plane.jsonl, and swap the
+// append handle to the new inode (mu held). Errors leave the old file
+// in place: worst case, evicted entries resurrect on the next restart,
+// and the eviction pass after the first PUT reclaims them again.
+func (s *Store) rewriteLocked() bool {
+	if s.f == nil || s.path == "" {
+		return false
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return false
+	}
+	w := bufio.NewWriter(f)
+	for key, e := range s.entries {
+		line, err := json.Marshal(planeLine{Key: key, Data: e.data})
+		if err != nil {
+			continue
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if w.Flush() != nil || f.Sync() != nil || f.Close() != nil || os.Rename(tmp, s.path) != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compact landed but we lost the append handle; keep the old
+		// one — its appends vanish with the renamed-over inode, degrading
+		// to cache misses after restart.
+		s.m.Rewrites++
+		return true
+	}
+	s.f.Close()
+	s.f = nf
+	s.m.Rewrites++
+	return true
 }
 
 // releaseLocked drops key's claim and wakes its waiters (mu held).

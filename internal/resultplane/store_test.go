@@ -203,3 +203,112 @@ func TestStorePersistenceReload(t *testing.T) {
 		t.Fatalf("reloaded entries %d, want 2", m.Entries)
 	}
 }
+
+// TestStoreTTLEviction: entries idle past the TTL are dropped on the
+// next write; a Get refreshes idleness, so recently-read entries stay.
+func TestStoreTTLEviction(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1_700_000_000, 0)
+	s.SetNow(func() time.Time { return now })
+	s.SetLimits(0, time.Minute)
+	old := entryBytes(t, "v1", "old", "a", 1)
+	s.Put("old", old)
+	s.Put("warm", entryBytes(t, "v1", "warm", "b", 1))
+	now = now.Add(45 * time.Second)
+	if _, _, ok := s.Get("warm"); !ok {
+		t.Fatal("warm entry missing before TTL")
+	}
+	// old is now 75s idle, warm only 30s — the next Put sweeps.
+	now = now.Add(30 * time.Second)
+	s.Put("new", entryBytes(t, "v1", "new", "c", 1))
+	if _, _, ok := s.Get("old"); ok {
+		t.Fatal("idle entry survived the TTL sweep")
+	}
+	if _, _, ok := s.Get("warm"); !ok {
+		t.Fatal("recently-read entry was TTL-evicted")
+	}
+	m := s.Metrics()
+	if m.Evictions != 1 || m.EvictedBytes != int64(len(old)) || m.Entries != 2 {
+		t.Fatalf("TTL eviction metrics off: %+v", m)
+	}
+}
+
+// TestStoreLRUEviction: over the byte budget, the least-recently-used
+// entries go first and the just-inserted entry is never the victim.
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1_700_000_000, 0)
+	s.SetNow(func() time.Time { return now })
+	a := entryBytes(t, "v1", "a", "alpha", 1)
+	s.SetLimits(int64(len(a))*2+2, 0) // room for two entries, barely
+	s.Put("a", a)
+	now = now.Add(time.Second)
+	s.Put("b", entryBytes(t, "v1", "b", "bravo", 1))
+	now = now.Add(time.Second)
+	if _, _, ok := s.Get("a"); !ok { // a is now fresher than b
+		t.Fatal("a missing before eviction")
+	}
+	now = now.Add(time.Second)
+	s.Put("c", entryBytes(t, "v1", "c", "charl", 1))
+	if _, _, ok := s.Get("b"); ok {
+		t.Fatal("LRU eviction took the wrong victim: b should be gone")
+	}
+	if _, _, ok := s.Get("a"); !ok {
+		t.Fatal("recently-read a was evicted ahead of b")
+	}
+	if _, _, ok := s.Get("c"); !ok {
+		t.Fatal("the just-inserted entry was evicted")
+	}
+	if m := s.Metrics(); m.Evictions != 1 || m.Entries != 2 {
+		t.Fatalf("LRU eviction metrics off: %+v", m)
+	}
+}
+
+// TestStoreEvictionRewriteSurvivesReload: an eviction on a disk-backed
+// store compacts plane.jsonl in place, so a restart does not resurrect
+// the evicted entry — and entries written after the rewrite persist
+// through the swapped append handle.
+func TestStoreEvictionRewriteSurvivesReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	s.SetNow(func() time.Time { return now })
+	a := entryBytes(t, "v1", "a", "alpha", 1)
+	s.SetLimits(int64(len(a))*2+2, 0)
+	s.Put("a", a)
+	now = now.Add(time.Second)
+	s.Put("b", entryBytes(t, "v1", "b", "bravo", 1))
+	now = now.Add(time.Second)
+	s.Put("c", entryBytes(t, "v1", "c", "charl", 1)) // evicts a, rewrites
+	if m := s.Metrics(); m.Rewrites != 1 {
+		t.Fatalf("eviction did not compact the file: %+v", m)
+	}
+	now = now.Add(time.Second)
+	if _, _, ok := s.Get("b"); !ok { // keep b fresher than c
+		t.Fatal("b missing after rewrite")
+	}
+	now = now.Add(time.Second)
+	s.Put("d", entryBytes(t, "v1", "d", "delta", 1)) // evicts c via the new handle
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, key := range []string{"a", "c"} {
+		if _, _, ok := s2.Get(key); ok {
+			t.Fatalf("evicted entry %q resurrected on reload", key)
+		}
+	}
+	for _, key := range []string{"b", "d"} {
+		if _, _, ok := s2.Get(key); !ok {
+			t.Fatalf("live entry %q lost across the rewrite", key)
+		}
+	}
+}
