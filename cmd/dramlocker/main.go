@@ -138,6 +138,7 @@ func main() {
 	priority := flag.Int("priority", 0, "broker priority within the tenant (higher dispatches first)")
 	stats := flag.Bool("stats", false, "with -broker: fetch and render the broker's /v2/metrics, then exit (-json for the raw payload)")
 	promote := flag.Bool("promote", false, "with -broker: promote the standby broker at that address to primary (POST /v2/promote), then exit")
+	haToken := flag.String("ha-token", "", "with -promote: shared secret matching the broker's -ha-token (empty when the broker runs without one)")
 	fleet := flag.Bool("fleet", false, "with -broker: fetch and render the broker's /v2/fleet live worker/lease view, then exit (-json for the raw payload)")
 	watch := flag.Duration("watch", 0, "with -fleet: re-render every interval (0 = render once)")
 	planeAddr := flag.String("plane", "", "result plane address (dramlockerd -result-plane); attach this run's cache to the fleet-wide plane")
@@ -176,7 +177,7 @@ func main() {
 		jsonOut: *jsonOut, list: *list, quiet: *quiet,
 		cacheDir: *cacheDir, noCache: *noCache, requireCached: *requireCached,
 		remote: *remoteAddrs, broker: *brokerAddr, tenant: *tenant, priority: *priority,
-		stats: *stats, promote: *promote, fleet: *fleet, watch: *watch, plane: *planeAddr,
+		stats: *stats, promote: *promote, haToken: *haToken, fleet: *fleet, watch: *watch, plane: *planeAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -226,6 +227,7 @@ type config struct {
 	priority      int
 	stats         bool
 	promote       bool
+	haToken       string
 	fleet         bool
 	watch         time.Duration
 	plane         string
@@ -250,7 +252,7 @@ func run(ctx context.Context, cfg config) error {
 		if cfg.broker == "" {
 			return fmt.Errorf("-promote needs -broker (which standby to promote)")
 		}
-		return promoteBroker(ctx, firstAddr(cfg.broker))
+		return promoteBroker(ctx, firstAddr(cfg.broker), cfg.haToken)
 	}
 	if cfg.fleet {
 		if cfg.broker == "" {
@@ -549,12 +551,12 @@ func renderFleet(fs api.FleetStatus, base string) {
 
 // promoteBroker asks the standby broker at addr to promote itself to
 // primary — the operator half of a planned failover.
-func promoteBroker(ctx context.Context, addr string) error {
+func promoteBroker(ctx context.Context, addr, token string) error {
 	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	var rep api.PromoteReply
 	if err := remote.PostJSON(ctx, http.DefaultClient, httpBase(addr)+remote.PromotePath,
-		api.PromoteRequest{Proto: api.Version}, &rep); err != nil {
+		api.PromoteRequest{Proto: api.Version, Token: token}, &rep); err != nil {
 		return fmt.Errorf("broker %s: %w", addr, err)
 	}
 	if err := api.CheckProto(rep.Proto); err != nil {

@@ -57,6 +57,10 @@
 // (POST /v2/fence) so a zombie that comes back refuses mutations
 // instead of splitting the brain. -advertise names the address
 // clients should be redirected to (default: the listen address).
+// -ha-token gates /v2/promote and /v2/fence behind a shared secret
+// (give every broker peer, and the promoting operator, the same
+// value); without it those endpoints accept any caller that reaches
+// the port, so keep it reachable by broker peers only.
 // Clients and workers take comma-separated broker lists and follow
 // not_leader hints automatically.
 //
@@ -144,6 +148,7 @@ func main() {
 	follow := flag.String("follow", "", "broker: start as a hot standby replicating the primary at this address; promote via /v2/promote, SIGUSR1, or -takeover-after")
 	takeoverAfter := flag.Duration("takeover-after", 0, "broker standby: promote automatically after the primary has been unreachable this long (0 = operator-only promotion)")
 	advertise := flag.String("advertise", "", "broker: client-reachable address stamped into not_leader redirects and fencing records (default: the listen address)")
+	haToken := flag.String("ha-token", "", "broker: shared secret required on /v2/promote and /v2/fence; set it on every broker peer (empty = unauthenticated — keep the port reachable by broker peers only)")
 	resultPlane := flag.Bool("result-plane", false, "serve the content-addressed result plane (standalone, or co-hosted with -broker)")
 	planeDir := flag.String("plane-dir", "", "result plane: persist entries as JSON lines under this directory and replay them on startup (empty = in-memory only)")
 	planeMaxBytes := flag.Int64("plane-max-bytes", 0, "result plane: evict least-recently-used entries past this many stored bytes (0 = unlimited)")
@@ -196,6 +201,7 @@ func main() {
 		follow:              *follow,
 		takeoverAfter:       *takeoverAfter,
 		advertise:           *advertise,
+		haToken:             *haToken,
 	}
 	pf := planeFlags{serve: *resultPlane, dir: *planeDir, attach: *planeAddr,
 		maxBytes: *planeMaxBytes, ttl: *planeTTL}
@@ -235,6 +241,7 @@ type brokerFlags struct {
 	follow              string
 	takeoverAfter       time.Duration
 	advertise           string
+	haToken             string
 }
 
 func run(addr, preset, name string, capacity int, broker bool, pull string, bf brokerFlags, pf planeFlags, faults *faultinject.Injector) error {
@@ -386,6 +393,7 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 			m.Journal.Requeued, m.Completed, m.Journal.Skipped)
 	}
 	bs := remote.NewBrokerServer(b, name)
+	bs.SetHAToken(bf.haToken)
 	var handler http.Handler = bs
 	if store != nil {
 		bs.SetPlaneMetrics(store.Metrics)
@@ -417,6 +425,7 @@ func runBroker(ctx context.Context, stop context.CancelFunc, addr, name string, 
 			TakeoverAfter: bf.takeoverAfter,
 			Name:          name,
 			Advertise:     adv,
+			Token:         bf.haToken,
 		})
 		bs.SetPromote(fol.Promote)
 		go func() {

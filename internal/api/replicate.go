@@ -58,9 +58,14 @@ type ReplicateReply struct {
 	Role           string `json:"role"`
 }
 
-// PromoteRequest asks a follower to take over as primary.
+// PromoteRequest asks a follower to take over as primary. Token is the
+// shared HA secret: a broker started with -ha-token refuses promote and
+// fence requests whose token does not match, so a promotion/fencing —
+// a durable, cluster-wide role flip — cannot be triggered by anything
+// that merely reaches the port.
 type PromoteRequest struct {
 	Proto string `json:"proto"`
+	Token string `json:"token,omitempty"`
 }
 
 // PromoteReply reports the outcome: the new fencing epoch (stamped into
@@ -82,6 +87,8 @@ type FenceRequest struct {
 	Proto   string `json:"proto"`
 	Epoch   int64  `json:"epoch"`
 	Primary string `json:"primary"`
+	// Token is the shared HA secret (see PromoteRequest).
+	Token string `json:"token,omitempty"`
 }
 
 // FenceReply acknowledges a fence with the receiver's resulting state.

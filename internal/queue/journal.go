@@ -67,6 +67,75 @@ const journalFormatVersion = "qjournal1"
 // alone, it is adopted as segment 1.
 const legacyJournalFile = "journal.jsonl"
 
+// journalMetaFile persists the replication generation across restarts.
+// Generations must be monotonic over the journal's whole lifetime — not
+// just one process incarnation — or a follower cursor minted before a
+// crash could coincidentally match the restarted primary's in-memory
+// counter and falsely validate against a snapshot the startup fold
+// rewrote (silent standby divergence). Every exposed generation is
+// persisted here before it becomes visible, and OpenJournal resumes one
+// past the persisted value.
+const journalMetaFile = "journal.meta"
+
+// journalMeta is the on-disk layout of journalMetaFile.
+type journalMeta struct {
+	V   string `json:"v"`
+	Gen int    `json:"gen"`
+}
+
+// readJournalMeta returns the last persisted generation (0 when the
+// file does not exist — a journal that never replicated or predates
+// generation persistence). A present-but-unreadable meta is a hard
+// error, like corruption in a sealed segment: guessing a generation
+// risks serving stale replication cursors as valid.
+func readJournalMeta(dir string) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, journalMetaFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("queue: journal meta: %w", err)
+	}
+	var m journalMeta
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &m); err != nil || m.V != journalFormatVersion || m.Gen < 0 {
+		return 0, fmt.Errorf("queue: journal meta %s corrupt; delete it to reset replication generations (followers will restart their streams)",
+			filepath.Join(dir, journalMetaFile))
+	}
+	return m.Gen, nil
+}
+
+// writeJournalMeta durably records gen: temp file, fsync, rename — the
+// same crash-safe dance as compaction snapshots.
+func writeJournalMeta(dir string, gen int) error {
+	path := filepath.Join(dir, journalMetaFile)
+	tmp := path + ".tmp"
+	raw, err := json.Marshal(journalMeta{V: journalFormatVersion, Gen: gen})
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(raw)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // segmentName renders the on-disk name of segment n.
 func segmentName(n int) string {
 	return fmt.Sprintf("journal-%06d.jsonl", n)
@@ -162,9 +231,14 @@ type Journal struct {
 	// parked long-poll readers. generation counts compaction folds —
 	// each fold rewrites history, invalidating cursors into any segment
 	// ≤ foldedThrough that were minted under an older generation.
+	// Generations are persisted (journalMetaFile) before they are
+	// exposed and never repeat across restarts; baseGen is this
+	// incarnation's first generation, so any cursor below it was minted
+	// against history a previous incarnation may have rewritten.
 	syncedBytes   int64
 	syncWake      chan struct{}
 	generation    int
+	baseGen       int
 	foldedThrough int
 
 	faults *faultinject.Injector
@@ -190,6 +264,21 @@ func OpenJournal(dir string, maxBytes int64) (*Journal, error) {
 		return nil, fmt.Errorf("queue: journal dir: %w", err)
 	}
 	jl := &Journal{dir: dir, maxBytes: maxBytes, syncWake: make(chan struct{})}
+
+	// Resume one generation past the last one this journal ever exposed
+	// and persist the claim before serving: a follower cursor minted by
+	// any earlier incarnation is then provably below baseGen, even if
+	// the crash landed between a fold's snapshot rename and its meta
+	// write.
+	gen, err := readJournalMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	jl.generation = gen + 1
+	jl.baseGen = jl.generation
+	if err := writeJournalMeta(dir, jl.generation); err != nil {
+		return nil, fmt.Errorf("queue: persist journal generation: %w", err)
+	}
 
 	// A .tmp file is a compaction that died between Create and Rename;
 	// its content is still fully covered by the claimed segments it was
@@ -550,6 +639,12 @@ func (jl *Journal) compactSegments(claimed []int, live []journalEntry) {
 			jl.compactions++
 			// History below foldedThrough was rewritten: replication
 			// cursors minted before this fold no longer resolve there.
+			// Persist the new generation before exposing it, so it can
+			// never be re-minted by a restart (see journalMetaFile).
+			if err := writeJournalMeta(jl.dir, jl.generation+1); err != nil {
+				log.Printf("queue: journal: persist generation %d: %v (a crash before the next successful write may let a restarted primary serve stale replication cursors)",
+					jl.generation+1, err)
+			}
 			jl.generation++
 			if last := claimed[len(claimed)-1]; last > jl.foldedThrough {
 				jl.foldedThrough = last

@@ -30,7 +30,12 @@ import (
 // generation; a cursor minted before the fold into a folded segment no
 // longer resolves and the primary answers Restart with the cursor
 // rebased to its oldest segment. The follower simply re-applies from
-// there — idempotence makes a restart a no-op on state.
+// there — idempotence makes a restart a no-op on state. Generations are
+// persisted (journal.meta) and strictly monotonic across primary
+// restarts, so a cursor minted against a previous incarnation — whose
+// startup replay refolds the snapshot segment under the same segment
+// number — can never coincidentally validate; it is below the restarted
+// journal's base generation and forces Restart.
 //
 // Fencing: every broker carries an epoch (starting at 1). Promotion
 // bumps it and fsyncs an epoch stamp into the new primary's journal
@@ -139,11 +144,16 @@ func (jl *Journal) ReadStream(gen, seg int, off, maxBytes int64) StreamChunk {
 			break
 		}
 	}
-	// A cursor is stale if its segment is gone, or if it predates a
-	// fold that rewrote that segment's content (same number, new
-	// bytes). Segments above foldedThrough are append-only history and
-	// stay valid across generations.
-	if !found || (gen != jl.generation && seg <= jl.foldedThrough) {
+	// A cursor is stale if its segment is gone, if it predates a fold
+	// that rewrote that segment's content (same number, new bytes), or
+	// if it was minted by another incarnation of this journal (below
+	// baseGen: an earlier incarnation whose folds may have rewritten
+	// anything; above generation: a different journal entirely, e.g. a
+	// wiped-and-recreated directory). Only segments above foldedThrough
+	// minted under this incarnation are append-only history that stays
+	// valid across generations.
+	if !found || (gen != jl.generation &&
+		(seg <= jl.foldedThrough || gen < jl.baseGen || gen > jl.generation)) {
 		ck.Restart = true
 		seg, off = segs[0], 0
 		ck.Seg, ck.Off = seg, off
@@ -235,12 +245,19 @@ func (jl *Journal) ReadStream(gen, seg int, off, maxBytes int64) StreamChunk {
 func (jl *Journal) WaitStream(ctx context.Context, gen, seg int, off, maxBytes int64, wait time.Duration) StreamChunk {
 	deadline := time.Now().Add(wait)
 	for {
+		// Capture the wake channel before reading: an fsync landing
+		// between the read and the park closes-and-replaces the channel,
+		// and a waiter that captured afterwards would sleep out its full
+		// deadline with bytes already available. Captured first, that
+		// fsync closes this channel and the select returns immediately.
+		jl.mu.Lock()
+		wake := jl.syncWake
+		jl.mu.Unlock()
 		ck := jl.ReadStream(gen, seg, off, maxBytes)
 		if len(ck.Data) > 0 || ck.Restart || ck.Seg != seg || ck.Off != off {
 			return ck
 		}
 		jl.mu.Lock()
-		wake := jl.syncWake
 		closed := jl.f == nil
 		jl.mu.Unlock()
 		if closed || wait <= 0 || !time.Now().Before(deadline) || ctx.Err() != nil {
@@ -428,19 +445,41 @@ func (b *Broker) Promote() (epoch int64, requeued int, err error) {
 	return b.epoch, requeued, nil
 }
 
-// Fence tells this broker a higher epoch exists: adopt it, journal it
+// Fence tells this broker a higher epoch exists. A primary (or an
+// already-fenced ex-primary at a lower epoch) adopts it, journals it
 // (fsynced, with the Fenced stamp, so the fence survives restarts) and
-// refuse mutations from now on, pointing clients at primary. A stale
-// epoch — at or below the broker's own — is refused with bad_request:
-// the caller is the zombie, not this broker.
+// refuses mutations from now on, pointing clients at primary. A
+// configured follower adopts the epoch and the redirect hint but stays
+// a follower — it is already read-only, must keep replicating, and must
+// stay promotable; flipping it to fenced would race the fencer's
+// retries against the replicated epoch entry and silently freeze a
+// standby the operator believes is hot. A stale epoch — at or below the
+// broker's own, on a non-follower — is refused with bad_request: the
+// caller is the zombie, not this broker.
 func (b *Broker) Fence(epoch int64, primary string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if epoch < b.epoch || (epoch == b.epoch && b.role != RoleFenced) {
+	if epoch < b.epoch {
 		return api.Errf(api.CodeBadRequest,
 			"stale fencing epoch %d (broker at epoch %d)", epoch, b.epoch)
 	}
-	if b.role == RoleFenced && epoch == b.epoch {
+	if b.role == RoleFollower {
+		if epoch > b.epoch {
+			b.epoch = epoch
+			b.journalAppendLocked(journalEntry{
+				Kind: entryEpoch, Epoch: epoch, Primary: primary,
+			}, true)
+		}
+		if primary != "" {
+			b.primaryAddr = primary
+		}
+		return nil
+	}
+	if epoch == b.epoch {
+		if b.role != RoleFenced {
+			return api.Errf(api.CodeBadRequest,
+				"stale fencing epoch %d (broker at epoch %d)", epoch, b.epoch)
+		}
 		if primary != "" {
 			b.primaryAddr = primary
 		}

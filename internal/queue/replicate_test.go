@@ -303,6 +303,95 @@ func TestPromoteFencesZombiePrimary(t *testing.T) {
 	}
 }
 
+// TestReplicationCursorStaleAcrossPrimaryRestart is the silent-
+// divergence trap: a follower's cursor sits mid-way through the
+// primary's snapshot segment when the primary restarts, and the startup
+// fold rewrites that same segment number with different bytes. If the
+// restarted journal re-minted the old generation number, the cursor
+// would validate against the new bytes, land mid-record and silently
+// skip history. Generations are persisted (journal.meta) and strictly
+// monotonic across incarnations, so the cursor must be forced to
+// Restart instead.
+func TestReplicationCursorStaleAcrossPrimaryRestart(t *testing.T) {
+	clk := newClock()
+	dirP := t.TempDir()
+	p := newBroker(t, Config{Journal: rotatingJournal(t, dirP, 512)}, clk)
+	for _, j := range []string{"jobA", "jobB", "jobC", "jobD"} {
+		submit(t, p, "acme", 0, spec(j, 0), spec(j, 1))
+	}
+	waitCompacted(t, p.Journal())
+
+	// Park a cursor mid-way through the snapshot segment: rebase from
+	// zero, then read one tiny chunk.
+	ck := p.Journal().ReadStream(0, 0, 0, 0)
+	if !ck.Restart {
+		t.Fatalf("zero cursor did not rebase: %+v", ck)
+	}
+	ck = p.Journal().ReadStream(ck.Gen, ck.Seg, ck.Off, 64)
+	gen1, seg1, off1 := ck.Gen, ck.Seg, ck.Off
+	if len(ck.Data) == 0 || off1 <= 0 {
+		t.Fatalf("tiny read returned no progress: %+v", ck)
+	}
+
+	// More history, then a restart: the startup replay folds everything
+	// into a rewritten snapshot — same segment number, new bytes.
+	submit(t, p, "acme", 0, spec("jobE", 0))
+	p2 := newBroker(t, Config{Journal: rotatingJournal(t, dirP, 512)}, clk)
+
+	ck2 := p2.Journal().ReadStream(gen1, seg1, off1, 0)
+	if !ck2.Restart {
+		t.Fatalf("pre-restart cursor (%d, %d, %d) validated against the rewritten journal: %+v",
+			gen1, seg1, off1, ck2)
+	}
+	if ck2.Gen <= gen1 {
+		t.Fatalf("generation did not advance across restart: %d → %d", gen1, ck2.Gen)
+	}
+}
+
+// TestFenceAdoptedByConfiguredFollower covers the fencer-races-
+// replication edge: a fence at the new epoch reaches a broker that is
+// already configured as a follower (the ex-primary restarted with
+// -follow pointing at the new primary) before the epoch record arrives
+// through replication. Flipping it to fenced would freeze the hot
+// standby; instead it adopts the epoch and primary address and keeps
+// following — still promotable.
+func TestFenceAdoptedByConfiguredFollower(t *testing.T) {
+	clk := newClock()
+	p := newBroker(t, Config{Journal: journalFor(t, t.TempDir())}, clk)
+	submit(t, p, "acme", 0, spec("jobA", 0))
+
+	f, _ := followerFor(t, clk, "primary:7001")
+	replicateAll(t, p.Journal(), f)
+
+	if err := f.Fence(2, "newprimary:7002"); err != nil {
+		t.Fatalf("fence on follower: %v", err)
+	}
+	if f.Role() != RoleFollower {
+		t.Fatalf("fenced follower role = %s, want still follower", f.Role())
+	}
+	if f.Epoch() != 2 {
+		t.Fatalf("follower epoch after fence = %d, want 2", f.Epoch())
+	}
+	// The fencer's retries stay idempotent.
+	if err := f.Fence(2, "newprimary:7002"); err != nil {
+		t.Fatalf("re-fence on follower: %v", err)
+	}
+	// Mutations now redirect at the fence's primary.
+	_, err := f.Submit(api.JobSubmit{Proto: api.Version, Tenant: "acme", Tasks: []api.TaskSpec{spec("jobB", 0)}})
+	if ae, ok := api.AsError(err); !ok || ae.Code != api.CodeNotLeader || ae.Primary != "newprimary:7002" {
+		t.Fatalf("follower submit after fence = %v, want not_leader → newprimary:7002", err)
+	}
+	// And the standby stayed hot: still promotable, past the adopted
+	// epoch.
+	epoch, _, err := f.Promote()
+	if err != nil {
+		t.Fatalf("promote after fence: %v", err)
+	}
+	if epoch != 3 {
+		t.Fatalf("promote epoch = %d, want 3 (past the adopted fence epoch)", epoch)
+	}
+}
+
 // TestReplicationRestartAfterCompaction: the primary restarts and its
 // startup replay folds the journal history the follower's cursor
 // pointed into. The stream must answer with a rebased Restart chunk and

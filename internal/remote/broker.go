@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 	"sync/atomic"
@@ -65,6 +66,10 @@ type BrokerServer struct {
 	// broker directly — the daemon wires the Follower's Promote here so
 	// an HTTP promotion also stops the follow loop and starts fencing.
 	promote func(reason string) (api.PromoteReply, error)
+	// haToken, when set, gates /v2/promote and /v2/fence: both are
+	// durable cluster-wide role flips, so a bare network path to the
+	// port must not be enough to trigger them.
+	haToken string
 }
 
 // NewBrokerServer wraps b in the HTTP service, named name in statuses.
@@ -96,6 +101,26 @@ func (s *BrokerServer) SetPromote(f func(reason string) (api.PromoteReply, error
 // SetPlaneMetrics registers a co-hosted result plane's metrics source
 // (call before serving).
 func (s *BrokerServer) SetPlaneMetrics(f func() api.PlaneMetrics) { s.planeMetrics = f }
+
+// SetHAToken requires the shared secret on promote and fence requests
+// (call before serving). Empty disables the check — acceptable only
+// when the broker port is reachable by broker peers alone.
+func (s *BrokerServer) SetHAToken(token string) { s.haToken = token }
+
+// checkHAToken vets a promote/fence request's shared secret, answering
+// a mismatch with a typed non-retryable error. Constant-time compare so
+// the token cannot be guessed byte by byte.
+func (s *BrokerServer) checkHAToken(w http.ResponseWriter, token string) bool {
+	if s.haToken == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(s.haToken), []byte(token)) != 1 {
+		writeError(w, api.Errf(api.CodeBadRequest,
+			"broker %s requires a matching -ha-token for promote/fence", s.name))
+		return false
+	}
+	return true
+}
 
 // ServeHTTP implements http.Handler.
 func (s *BrokerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -360,6 +385,9 @@ func (s *BrokerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if !s.checkHAToken(w, req.Token) {
+		return
+	}
 	if s.promote != nil {
 		rep, err := s.promote("operator request (/v2/promote)")
 		if err != nil {
@@ -386,6 +414,9 @@ func (s *BrokerServer) handleFence(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := api.CheckProto(req.Proto); err != nil {
 		writeError(w, err)
+		return
+	}
+	if !s.checkHAToken(w, req.Token) {
 		return
 	}
 	if err := s.b.Fence(req.Epoch, req.Primary); err != nil {

@@ -152,3 +152,65 @@ func TestStandbyRejectsMutationsOverHTTP(t *testing.T) {
 		t.Fatal("503 from standby carries no Retry-After header")
 	}
 }
+
+// TestPromoteFenceRequireHAToken: a broker started with -ha-token
+// refuses promote and fence requests whose token is missing or wrong —
+// a durable role flip must not be triggerable by anything that merely
+// reaches the port — and accepts matching ones.
+func TestPromoteFenceRequireHAToken(t *testing.T) {
+	jl, err := queue.OpenJournal(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	s := queue.New(queue.Config{Journal: jl, Follower: true, PrimaryAddr: "primary:7001"})
+	bs := NewBrokerServer(s, "qb-standby")
+	bs.SetHAToken("sesame")
+	fol := NewFollower(s, "primary:7001", FollowerOptions{
+		Name: "qb-standby", Token: "sesame", Logf: func(string, ...any) {}})
+	bs.SetPromote(fol.Promote)
+	ts := httptest.NewServer(bs)
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	var prep api.PromoteReply
+	for _, token := range []string{"", "wrong"} {
+		err := postJSON(ctx, http.DefaultClient, ts.URL+PromotePath,
+			api.PromoteRequest{Proto: api.Version, Token: token}, &prep)
+		if ae, ok := api.AsError(err); !ok || ae.Code != api.CodeBadRequest {
+			t.Fatalf("promote with token %q = %v, want %s", token, err, api.CodeBadRequest)
+		}
+	}
+	if s.Role() != queue.RoleFollower {
+		t.Fatalf("role after refused promotes = %s, want follower", s.Role())
+	}
+	var frep api.FenceReply
+	err = postJSON(ctx, http.DefaultClient, ts.URL+FencePath,
+		api.FenceRequest{Proto: api.Version, Epoch: 5, Primary: "np:1"}, &frep)
+	if ae, ok := api.AsError(err); !ok || ae.Code != api.CodeBadRequest {
+		t.Fatalf("tokenless fence = %v, want %s", err, api.CodeBadRequest)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after refused fence = %d, want untouched 1", s.Epoch())
+	}
+
+	// The matching token opens both verbs: the configured follower
+	// adopts the fence epoch (and keeps following), and a promote flips
+	// it to primary past that epoch.
+	err = postJSON(ctx, http.DefaultClient, ts.URL+FencePath,
+		api.FenceRequest{Proto: api.Version, Epoch: 2, Primary: "np:1", Token: "sesame"}, &frep)
+	if err != nil {
+		t.Fatalf("tokened fence: %v", err)
+	}
+	if frep.Epoch != 2 || s.Role() != queue.RoleFollower {
+		t.Fatalf("after tokened fence: epoch %d role %s, want 2/follower", frep.Epoch, s.Role())
+	}
+	err = postJSON(ctx, http.DefaultClient, ts.URL+PromotePath,
+		api.PromoteRequest{Proto: api.Version, Token: "sesame"}, &prep)
+	if err != nil {
+		t.Fatalf("tokened promote: %v", err)
+	}
+	if prep.Epoch != 3 || prep.Role != "primary" {
+		t.Fatalf("tokened promote reply = %+v, want epoch 3 primary", prep)
+	}
+}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"net/http"
 	"sync"
@@ -27,6 +28,7 @@ type Follower struct {
 	takeover  time.Duration
 	name      string
 	advertise string
+	token     string
 	logf      func(format string, args ...any)
 
 	// interrupt cancels the in-flight long poll when Promote is called
@@ -52,6 +54,10 @@ type FollowerOptions struct {
 	// into the fencing record so a fenced ex-primary's not_leader
 	// errors can point clients at the new primary.
 	Advertise string
+	// Token is the shared HA secret sent with fence requests; must
+	// match the peer's -ha-token (empty when the peers run without
+	// one).
+	Token string
 	// Logf receives progress lines; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -77,6 +83,7 @@ func NewFollower(b *queue.Broker, primaryAddr string, opts FollowerOptions) *Fol
 		takeover:    opts.TakeoverAfter,
 		name:        opts.Name,
 		advertise:   opts.Advertise,
+		token:       opts.Token,
 		logf:        opts.Logf,
 		interruptCh: make(chan struct{}),
 	}
@@ -170,8 +177,14 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 	if f.b.Role() == queue.RolePrimary {
 		f.fencePrimary(ctx)
+		return nil
 	}
-	return nil
+	// The loop only exits on promotion; any other role here means
+	// replication stopped with the operator still believing they have a
+	// hot standby. Fail loudly instead of returning a silent nil.
+	err := fmt.Errorf("follow loop stopped with broker in role %s (not promoted); replication is no longer running", f.b.Role())
+	f.logf("dramlockerd %q: %v", f.name, err)
+	return err
 }
 
 // fencePrimary tells the ex-primary it lost the lease. Best-effort
@@ -180,7 +193,7 @@ func (f *Follower) Run(ctx context.Context) error {
 // window gets fenced the moment it starts listening. A typed
 // non-retryable refusal means the ex-primary outranks us — stop.
 func (f *Follower) fencePrimary(ctx context.Context) {
-	req := api.FenceRequest{Proto: api.Version, Epoch: f.b.Epoch(), Primary: f.advertise}
+	req := api.FenceRequest{Proto: api.Version, Epoch: f.b.Epoch(), Primary: f.advertise, Token: f.token}
 	bo := backoff.Policy{Base: 250 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.5}.
 		New(backoff.SeedString(f.name + "/fence"))
 	deadline := time.Now().Add(fenceWindow)

@@ -82,7 +82,13 @@ type Store struct {
 	waiters map[string]chan struct{}
 	f       *os.File
 	path    string // persistence file path ("" when memory-only)
-	m       api.PlaneMetrics
+	// rewriteMu serializes plane.jsonl compactions. It is separate from
+	// mu so the full-file write+fsync never runs inside the critical
+	// section — at the byte budget most PUTs evict, and holding mu for
+	// the rewrite would stall every Get/Wait/Put for a write
+	// proportional to the plane size.
+	rewriteMu sync.Mutex
+	m         api.PlaneMetrics
 	// Eviction limits (SetLimits): maxBytes caps BytesStored via LRU
 	// eviction, ttl drops entries idle longer than ttl. Zero disables.
 	maxBytes int64
@@ -134,8 +140,11 @@ func (s *Store) SetLimits(maxBytes int64, ttl time.Duration) {
 	s.mu.Lock()
 	s.maxBytes = maxBytes
 	s.ttl = ttl
-	s.maybeEvictLocked("")
+	evicted := s.maybeEvictLocked("")
 	s.mu.Unlock()
+	if evicted {
+		s.rewrite()
+	}
 }
 
 // load best-effort replays path into the store.
@@ -291,17 +300,20 @@ func (s *Store) Put(key string, data []byte) (string, bool) {
 	s.m.BytesStored += int64(len(data))
 	s.releaseLocked(key)
 	// Enforce the byte budget and idle TTL now that the write landed; a
-	// triggered eviction batch rewrites plane.jsonl (new entry included),
-	// making the append below redundant.
-	rewrote := s.maybeEvictLocked(key)
+	// triggered eviction batch rewrites plane.jsonl — outside the lock,
+	// and with the new entry included (it is in s.entries before the
+	// rewrite snapshots), making the append below redundant.
+	evicted := s.maybeEvictLocked(key)
 	f := s.f
 	var line []byte
-	if f != nil && !rewrote {
+	if f != nil && !evicted {
 		line, _ = json.Marshal(planeLine{Key: key, Data: data})
 		line = append(line, '\n')
 	}
 	s.mu.Unlock()
-	if line != nil {
+	if evicted {
+		s.rewrite()
+	} else if line != nil {
 		// Swallow write errors like the disk cache: persistence is an
 		// optimisation; the entry is live in memory regardless.
 		f.Write(line)
@@ -311,8 +323,9 @@ func (s *Store) Put(key string, data []byte) (string, bool) {
 
 // maybeEvictLocked enforces the idle TTL and the byte budget (mu held),
 // sparing keep (the entry whose write triggered the check — evicting
-// what was just stored would thrash). It reports whether an eviction
-// batch compacted the persistence file.
+// what was just stored would thrash). It reports whether anything was
+// evicted; the caller runs rewrite() after releasing mu so the evicted
+// entries do not resurrect from plane.jsonl on restart.
 func (s *Store) maybeEvictLocked(keep string) bool {
 	if s.maxBytes <= 0 && s.ttl <= 0 {
 		return false
@@ -352,10 +365,7 @@ func (s *Store) maybeEvictLocked(keep string) bool {
 			evicted++
 		}
 	}
-	if evicted == 0 {
-		return false
-	}
-	return s.rewriteLocked()
+	return evicted > 0
 }
 
 // dropLocked removes one entry, counting the eviction (mu held).
@@ -367,46 +377,72 @@ func (s *Store) dropLocked(key string, e entry) {
 	s.m.EvictedBytes += int64(len(e.data))
 }
 
-// rewriteLocked compacts the persistence file to the live entries —
-// write a temp file, fsync, rename over plane.jsonl, and swap the
-// append handle to the new inode (mu held). Errors leave the old file
-// in place: worst case, evicted entries resurrect on the next restart,
-// and the eviction pass after the first PUT reclaims them again.
-func (s *Store) rewriteLocked() bool {
+// rewrite compacts the persistence file to the live entries — snapshot
+// the map under mu, then (outside mu, serialized by rewriteMu) write a
+// temp file, fsync, rename over plane.jsonl, and swap the append handle
+// to the new inode. Entry data slices are immutable once stored, so the
+// snapshot is a map copy, not a deep copy. A PUT that appends to the
+// old handle while the rename lands loses that one line on disk (the
+// entry stays live in memory and the next rewrite re-captures it);
+// errors leave the old file in place — in both cases the worst case is
+// entries resurrecting or missing on the next restart, which the plane
+// already tolerates as recomputes. Both are strictly better than
+// stalling every Get/Wait/Put behind a full-file fsync.
+func (s *Store) rewrite() {
+	s.rewriteMu.Lock()
+	defer s.rewriteMu.Unlock()
+	s.mu.Lock()
 	if s.f == nil || s.path == "" {
-		return false
+		s.mu.Unlock()
+		return
 	}
-	tmp := s.path + ".tmp"
+	snap := make(map[string][]byte, len(s.entries))
+	for key, e := range s.entries {
+		snap[key] = e.data
+	}
+	path := s.path
+	s.mu.Unlock()
+
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return false
+		return
 	}
 	w := bufio.NewWriter(f)
-	for key, e := range s.entries {
-		line, err := json.Marshal(planeLine{Key: key, Data: e.data})
+	for key, data := range snap {
+		line, err := json.Marshal(planeLine{Key: key, Data: data})
 		if err != nil {
 			continue
 		}
 		w.Write(line)
 		w.WriteByte('\n')
 	}
-	if w.Flush() != nil || f.Sync() != nil || f.Close() != nil || os.Rename(tmp, s.path) != nil {
+	if w.Flush() != nil || f.Sync() != nil || f.Close() != nil || os.Rename(tmp, path) != nil {
 		f.Close()
 		os.Remove(tmp)
-		return false
+		return
 	}
-	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+
+	s.mu.Lock()
+	s.m.Rewrites++
 	if err != nil {
 		// The compact landed but we lost the append handle; keep the old
 		// one — its appends vanish with the renamed-over inode, degrading
 		// to cache misses after restart.
-		s.m.Rewrites++
-		return true
+		s.mu.Unlock()
+		return
+	}
+	if s.f == nil {
+		// Closed mid-rewrite: the compacted file is on disk, but the
+		// store is sealed — do not resurrect an append handle.
+		s.mu.Unlock()
+		nf.Close()
+		return
 	}
 	s.f.Close()
 	s.f = nf
-	s.m.Rewrites++
-	return true
+	s.mu.Unlock()
 }
 
 // releaseLocked drops key's claim and wakes its waiters (mu held).
